@@ -1,0 +1,35 @@
+// Command hare-executor is the worker-side daemon of the distributed
+// testbed: one process per GPU. It dials the coordinator (started by
+// haretestbed -distributed or rpcnet.ServeDistributed), fetches its
+// task sequence, profiled times and clock epoch, executes its tasks
+// against the remote parameter servers, and reports the measured
+// records back.
+//
+//	hare-executor -addr 127.0.0.1:7462 -gpu 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hare/internal/rpcnet"
+)
+
+var (
+	addr = flag.String("addr", "127.0.0.1:7462", "coordinator address")
+	gpu  = flag.Int("gpu", -1, "this executor's GPU index (required)")
+)
+
+func main() {
+	flag.Parse()
+	if *gpu < 0 {
+		fmt.Fprintln(os.Stderr, "hare-executor: -gpu is required")
+		os.Exit(2)
+	}
+	if err := rpcnet.RunExecutor(*addr, *gpu); err != nil {
+		fmt.Fprintf(os.Stderr, "hare-executor: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("hare-executor: GPU %d done\n", *gpu)
+}

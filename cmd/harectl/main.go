@@ -1,0 +1,146 @@
+// Command harectl talks to a running hared daemon: submit jobs, run
+// the pending batch, and inspect job statuses.
+//
+//	harectl submit -model ResNet50 -rounds 20 -scale 2 -weight 2
+//	harectl submit -model GraphSAGE -rounds 10 -scale 1 -tag exp7
+//	harectl run
+//	harectl status
+//	harectl status -id 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hare/internal/manager"
+	"hare/internal/metrics"
+)
+
+func main() {
+	root := flag.NewFlagSet("harectl", flag.ExitOnError)
+	addr := root.String("addr", "127.0.0.1:7461", "hared address")
+	root.Usage = usage
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	// Global flags may precede the subcommand.
+	args := os.Args[1:]
+	if err := root.Parse(args); err != nil {
+		fatal(err)
+	}
+	rest := root.Args()
+	if len(rest) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, cmdArgs := rest[0], rest[1:]
+
+	c, err := manager.Dial(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	switch cmd {
+	case "submit":
+		submit(c, cmdArgs)
+	case "run":
+		run(c)
+	case "status":
+		status(c, cmdArgs)
+	default:
+		fmt.Fprintf(os.Stderr, "harectl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: harectl [-addr host:port] <command>
+
+commands:
+  submit -model NAME -rounds N -scale K [-weight W] [-batch B] [-tag T]
+  run                 execute the pending batch
+  status [-id N]      show job states`)
+}
+
+func submit(c *manager.Client, args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	modelName := fs.String("model", "", "Table 2 model name (required)")
+	rounds := fs.Int("rounds", 10, "training rounds")
+	scale := fs.Int("scale", 1, "parallel tasks per round")
+	weight := fs.Float64("weight", 1, "job weight")
+	batch := fs.Float64("batch", 1, "batch-size multiplier")
+	tag := fs.String("tag", "", "caller label")
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	if *modelName == "" {
+		fatal(fmt.Errorf("submit requires -model"))
+	}
+	id, err := c.Submit(manager.JobRequest{
+		Model: *modelName, Rounds: *rounds, Scale: *scale,
+		Weight: *weight, BatchScale: *batch, Tag: *tag,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("submitted job %d\n", id)
+}
+
+func run(c *manager.Client) {
+	reply, err := c.Execute()
+	if err != nil {
+		fatal(err)
+	}
+	if !reply.Ran {
+		fmt.Println("nothing pending")
+		return
+	}
+	fmt.Printf("batch %d: %d jobs, weighted JCT %.0f, makespan %s\n",
+		reply.Batch, reply.Jobs, reply.WeightedJCT, metrics.FormatSeconds(reply.Makespan))
+}
+
+func status(c *manager.Client, args []string) {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	id := fs.Int("id", -1, "job ID (all jobs when omitted)")
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	var jobs []manager.JobStatus
+	if *id >= 0 {
+		st, err := c.Status(*id)
+		if err != nil {
+			fatal(err)
+		}
+		jobs = []manager.JobStatus{st}
+	} else {
+		var err error
+		jobs, err = c.Statuses()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	var rows [][]string
+	for _, j := range jobs {
+		completion := "-"
+		if j.State == manager.StateDone {
+			completion = metrics.FormatSeconds(j.Completion)
+		}
+		note := j.Tag
+		if j.Error != "" {
+			note = j.Error
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", j.ID), j.Model, string(j.State), completion, note,
+		})
+	}
+	fmt.Print(metrics.Table([]string{"id", "model", "state", "completion", "note"}, rows))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "harectl:", err)
+	os.Exit(1)
+}

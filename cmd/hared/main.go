@@ -1,0 +1,83 @@
+// Command hared is the Hare cluster-manager daemon: the central
+// scheduler of the paper's Fig. 9 as a long-running service. It owns
+// a GPU fleet, accepts job submissions over net/rpc (see
+// cmd/harectl), profiles them with the reuse database, plans each
+// batch with Hare's algorithm, and executes on the in-process testbed
+// (or, with -sim, the instant simulator).
+//
+// Example session:
+//
+//	hared -gpus 16 -het high &
+//	harectl -addr 127.0.0.1:7461 submit -model ResNet50 -rounds 20 -scale 2
+//	harectl -addr 127.0.0.1:7461 run
+//	harectl -addr 127.0.0.1:7461 status
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"hare/internal/cluster"
+	"hare/internal/manager"
+)
+
+var (
+	addr      = flag.String("addr", "127.0.0.1:7461", "listen address")
+	gpus      = flag.Int("gpus", 15, "fleet size (ignored with -testbed-fleet)")
+	tbFleet   = flag.Bool("testbed-fleet", false, "use the paper's 15-GPU testbed fleet")
+	het       = flag.String("het", "high", "heterogeneity level: low, mid, high")
+	useSim    = flag.Bool("sim", false, "execute batches on the simulator instead of the testbed")
+	timescale = flag.Float64("timescale", 1e-3, "testbed clock scale (wall s per simulated s)")
+	batches   = flag.Int("batches-per-task", 0, "profiler mini-batches per task (0 = default)")
+)
+
+func main() {
+	flag.Parse()
+	cl, err := buildCluster()
+	if err != nil {
+		fatal(err)
+	}
+	var backend manager.Backend
+	if *useSim {
+		backend = &manager.SimBackend{}
+	} else {
+		backend = &manager.TestbedBackend{TimeScale: *timescale}
+	}
+	m := manager.New(cl, manager.Options{Backend: backend, BatchesPerTask: *batches})
+	srv, bound, err := manager.Serve(*addr, m)
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("hared: managing %s\n", cl)
+	fmt.Printf("hared: listening on %s (submit with harectl)\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nhared: shutting down")
+}
+
+func buildCluster() (*cluster.Cluster, error) {
+	if *tbFleet {
+		return cluster.Testbed(), nil
+	}
+	switch strings.ToLower(*het) {
+	case "low":
+		return cluster.Heterogeneous(cluster.LowHeterogeneity, *gpus), nil
+	case "mid":
+		return cluster.Heterogeneous(cluster.MidHeterogeneity, *gpus), nil
+	case "high":
+		return cluster.Heterogeneous(cluster.HighHeterogeneity, *gpus), nil
+	}
+	return nil, fmt.Errorf("unknown heterogeneity level %q", *het)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hared:", err)
+	os.Exit(1)
+}

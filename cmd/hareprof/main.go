@@ -1,0 +1,68 @@
+// Command hareprof runs the offline profiler over the model zoo and a
+// GPU fleet: it prints the per-(model, GPU) task training times and
+// synchronization times that feed the scheduler, and can persist the
+// profile database the way Hare's scheduler reuses historical
+// profiles for repeatedly submitted jobs.
+//
+// Example:
+//
+//	hareprof -net 25 -batches 20 -save profiles.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hare/internal/cluster"
+	"hare/internal/metrics"
+	"hare/internal/model"
+	"hare/internal/profile"
+)
+
+var (
+	netGbps = flag.Float64("net", 25, "network bandwidth in Gbps (sync time)")
+	batches = flag.Int("batches", 20, "mini-batches per task")
+	save    = flag.String("save", "", "write the profile database to this JSON file")
+	load    = flag.String("load", "", "seed the profiler from a saved database")
+)
+
+func main() {
+	flag.Parse()
+	prof := profile.New(profile.Options{BatchesPerTask: *batches})
+	if *load != "" {
+		if err := prof.Load(*load); err != nil {
+			fatal(err)
+		}
+	}
+	gpus := []cluster.GPUType{cluster.K80, cluster.M60, cluster.T4, cluster.V100}
+
+	var rows [][]string
+	for _, m := range model.All() {
+		cells := []string{m.Name}
+		for _, g := range gpus {
+			cells = append(cells, metrics.FormatSeconds(prof.TrainTime(m, g, 1)))
+		}
+		cells = append(cells,
+			metrics.FormatSeconds(profile.SyncTime(m, *netGbps*1e9, 2)),
+			fmt.Sprintf("%d MiB", m.ParamBytes>>20))
+		rows = append(rows, cells)
+	}
+	fmt.Printf("task = %d mini-batches; sync at %g Gbps with 2 workers\n\n", *batches, *netGbps)
+	fmt.Print(metrics.Table(
+		[]string{"model", "T^c K80", "T^c M60", "T^c T4", "T^c V100", "T^s", "params"}, rows))
+
+	st := prof.Stats()
+	fmt.Printf("\nprofile DB: %d entries (%d measured, %d reused)\n", st.Entries, st.Measured, st.Hits)
+	if *save != "" {
+		if err := prof.Save(*save); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved to %s\n", *save)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hareprof:", err)
+	os.Exit(1)
+}

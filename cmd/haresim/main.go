@@ -1,0 +1,142 @@
+// Command haresim plans and simulates a DML workload on a modeled
+// heterogeneous GPU cluster: pick a scheduler, a fleet, and a
+// workload, and it prints the realized weighted JCT, utilization,
+// switching overhead, and (optionally) a Gantt chart of the schedule.
+//
+// Examples:
+//
+//	haresim -sched Hare -gpus 16 -jobs 24 -scale 0.2 -gantt
+//	haresim -sched Sched_Allox -het mid -gpus 32 -jobs 50
+//	haresim -compare -gpus 16 -jobs 24   # all five schemes side by side
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hare"
+	"hare/internal/metrics"
+	"hare/internal/switching"
+)
+
+var (
+	schedName = flag.String("sched", "Hare", "scheduler: Hare, Gavel_FIFO, SRTF, Sched_Homo, Sched_Allox")
+	compare   = flag.Bool("compare", false, "run every scheduler and compare")
+	gpus      = flag.Int("gpus", 15, "fleet size (ignored with -testbed)")
+	useTB     = flag.Bool("testbed", false, "use the paper's 15-GPU testbed fleet")
+	het       = flag.String("het", "high", "heterogeneity level: low, mid, high")
+	jobs      = flag.Int("jobs", 24, "number of jobs")
+	scale     = flag.Float64("scale", 0.2, "rounds scale (1 = paper-size jobs)")
+	horizon   = flag.Float64("horizon", 300, "arrival horizon in seconds")
+	seed      = flag.Int64("seed", 1, "random seed")
+	gantt     = flag.Bool("gantt", false, "print a Gantt chart of the realized schedule")
+	ganttW    = flag.Int("gantt-width", 100, "Gantt chart width in columns")
+	savePlan  = flag.String("save-plan", "", "write the planned schedule to this JSON file")
+	loadPlan  = flag.String("load-plan", "", "replay a previously saved plan instead of scheduling")
+	workload  = flag.String("workload", "", "JSON workload file (overrides -jobs/-scale/-horizon)")
+)
+
+func main() {
+	flag.Parse()
+	cl, err := buildCluster()
+	if err != nil {
+		fatal(err)
+	}
+	var in *hare.Instance
+	var models []*hare.Model
+	if *workload != "" {
+		_, in, models, err = hare.LoadWorkload(*workload, cl)
+	} else {
+		_, in, models, err = hare.BuildWorkload(hare.WorkloadConfig{
+			Jobs: *jobs, Seed: *seed, HorizonSeconds: *horizon, RoundsScale: *scale,
+		}, cl)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cluster: %s\n", cl)
+	fmt.Printf("workload: %d jobs, %d tasks, alpha=%.2f\n\n", len(in.Jobs), in.NumTasks(), in.Alpha())
+
+	algos := hare.Schedulers()
+	if !*compare {
+		a, err := hare.SchedulerByName(*schedName)
+		if err != nil {
+			fatal(err)
+		}
+		algos = []hare.Algorithm{a}
+	}
+
+	var rows [][]string
+	for _, a := range algos {
+		var plan *hare.Schedule
+		var err error
+		if *loadPlan != "" {
+			if plan, err = hare.LoadSchedule(*loadPlan); err != nil {
+				fatal(err)
+			}
+			if err := hare.Validate(in, plan); err != nil {
+				fatal(fmt.Errorf("loaded plan does not fit this workload: %w", err))
+			}
+		} else if plan, err = a.Schedule(in); err != nil {
+			fatal(fmt.Errorf("%s: %w", a.Name(), err))
+		}
+		if *savePlan != "" && len(algos) == 1 {
+			if err := hare.SaveSchedule(plan, *savePlan); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("plan saved to %s\n", *savePlan)
+		}
+		scheme := switching.Default
+		speculative := false
+		if strings.HasPrefix(a.Name(), "Hare") {
+			scheme = switching.Hare
+			speculative = true
+		}
+		res, err := hare.Simulate(in, plan, cl, models, hare.SimOptions{
+			Scheme: scheme, Speculative: speculative, Seed: *seed,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("simulate %s: %w", a.Name(), err))
+		}
+		fair := metrics.NewFairnessReport(in, res.Trace)
+		rows = append(rows, []string{
+			a.Name(),
+			fmt.Sprintf("%.0f", res.WeightedJCT),
+			metrics.FormatSeconds(res.Makespan),
+			fmt.Sprintf("%.0f%%", res.MeanUtilization()*100),
+			metrics.FormatSeconds(res.TotalSwitch),
+			fmt.Sprintf("%d", res.SwitchCount),
+			fmt.Sprintf("%.2f", fair.MeanRho),
+			metrics.FormatSeconds(fair.MaxWait),
+		})
+		if *gantt && len(algos) == 1 {
+			fmt.Print(metrics.Gantt(res.Trace, in.NumGPUs, *ganttW))
+			fmt.Println()
+		}
+	}
+	fmt.Print(metrics.Table(
+		[]string{"scheduler", "weighted JCT", "makespan", "mean util", "switch time", "switches", "mean rho", "max wait"},
+		rows))
+}
+
+func buildCluster() (*hare.Cluster, error) {
+	if *useTB {
+		return hare.TestbedCluster(), nil
+	}
+	switch strings.ToLower(*het) {
+	case "low":
+		return hare.HeterogeneousCluster(hare.LowHeterogeneity, *gpus), nil
+	case "mid":
+		return hare.HeterogeneousCluster(hare.MidHeterogeneity, *gpus), nil
+	case "high":
+		return hare.HeterogeneousCluster(hare.HighHeterogeneity, *gpus), nil
+	}
+	return nil, fmt.Errorf("unknown heterogeneity level %q", *het)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "haresim:", err)
+	os.Exit(1)
+}

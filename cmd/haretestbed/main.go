@@ -1,0 +1,163 @@
+// Command haretestbed runs a workload end-to-end on the in-process
+// testbed: real SGD workers in goroutines, per-job parameter servers,
+// checkpointing, Hare's fast task switching, and — with -rpc — a
+// net/rpc control plane over TCP, mirroring the paper's prototype in
+// which the central scheduler talks to executors over gRPC.
+//
+// Example:
+//
+//	haretestbed -jobs 8 -scale 0.05 -timescale 1e-3
+//	haretestbed -jobs 6 -rpc          # executors dial the scheduler
+//	haretestbed -jobs 6 -distributed  # one OS process per GPU
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"hare"
+	"hare/internal/metrics"
+	"hare/internal/rpcnet"
+	"hare/internal/testbed"
+)
+
+var (
+	jobs      = flag.Int("jobs", 8, "number of jobs")
+	scale     = flag.Float64("scale", 0.05, "rounds scale")
+	seed      = flag.Int64("seed", 1, "random seed")
+	timescale = flag.Float64("timescale", 1e-3, "wall seconds per simulated second")
+	useRPC    = flag.Bool("rpc", false, "route executor traffic over a net/rpc TCP control plane")
+	addr      = flag.String("addr", "127.0.0.1:0", "control-plane listen address with -rpc/-distributed")
+	distrib   = flag.Bool("distributed", false, "spawn one executor OS process per GPU")
+
+	// Hidden executor-process mode: haretestbed re-executes itself
+	// with these flags to become one GPU's executor.
+	execMode = flag.Bool("executor", false, "internal: run as an executor process")
+	execGPU  = flag.Int("executor-gpu", -1, "internal: executor GPU index")
+)
+
+func main() {
+	flag.Parse()
+	if *execMode {
+		if err := rpcnet.RunExecutor(*addr, *execGPU); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	cl := hare.TestbedCluster()
+	_, in, models, err := hare.BuildWorkload(hare.WorkloadConfig{
+		Jobs: *jobs, Seed: *seed, HorizonSeconds: 60, RoundsScale: *scale,
+	}, cl)
+	if err != nil {
+		fatal(err)
+	}
+	plan, err := hare.NewScheduler().Schedule(in)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cluster: %s\n", cl)
+	fmt.Printf("planned %d tasks across %d jobs; executing on the testbed...\n\n",
+		in.NumTasks(), len(in.Jobs))
+
+	if *distrib {
+		runDistributed(in, plan, cl, models)
+		return
+	}
+
+	opts := hare.TestbedOptions{
+		TimeScale:   *timescale,
+		Scheme:      hare.SwitchHare,
+		Speculative: true,
+	}
+	var server *rpcnet.Server
+	if *useRPC {
+		opts.ClientFor = func(gpu int, local testbed.SyncClient) testbed.SyncClient {
+			if server == nil {
+				var bound string
+				server, bound, err = rpcnet.Serve(*addr, local, plan.Sequences(in.NumGPUs))
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf("control plane listening on %s\n", bound)
+				*addr = bound
+			}
+			c, err := rpcnet.Dial(*addr)
+			if err != nil {
+				fatal(err)
+			}
+			return c
+		}
+	}
+
+	res, err := hare.RunTestbed(in, plan, cl, models, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if server != nil {
+		defer server.Close()
+	}
+
+	var rows [][]string
+	for _, j := range in.Jobs {
+		rows = append(rows, []string{
+			j.Name,
+			fmt.Sprintf("%.2f", j.Weight),
+			metrics.FormatSeconds(j.Arrival),
+			metrics.FormatSeconds(res.JobCompletion[j.ID]),
+			fmt.Sprintf("%.4f", res.InitialLosses[j.ID]),
+			fmt.Sprintf("%.4f", res.FinalLosses[j.ID]),
+		})
+	}
+	fmt.Print(metrics.Table(
+		[]string{"job", "weight", "arrival", "completion", "loss@r0", "loss@end"}, rows))
+	fmt.Printf("\nweighted JCT: %.0f   makespan: %s\n", res.WeightedJCT, metrics.FormatSeconds(res.Makespan))
+	fmt.Printf("switching: %s across %d switches (%d residency hits)\n",
+		metrics.FormatSeconds(res.TotalSwitch), res.SwitchCount, res.ResidencyHits)
+}
+
+// runDistributed serves the coordinator and re-executes this binary
+// once per GPU as a separate OS process (the hidden -executor mode —
+// each child is exactly what cmd/hare-executor runs).
+func runDistributed(in *hare.Instance, plan *hare.Schedule, cl *hare.Cluster, models []*hare.Model) {
+	srv, bound, wait, err := rpcnet.ServeDistributed(*addr, in, plan, cl, models, rpcnet.DistributedOptions{
+		TimeScale: *timescale, Scheme: hare.SwitchHare, Speculative: true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+	self, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("coordinator on %s; spawning %d executor processes\n", bound, in.NumGPUs)
+	procs := make([]*exec.Cmd, in.NumGPUs)
+	for g := 0; g < in.NumGPUs; g++ {
+		cmd := exec.Command(self, "-executor", "-addr", bound, "-executor-gpu", fmt.Sprint(g))
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			fatal(err)
+		}
+		procs[g] = cmd
+	}
+	res, err := wait()
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range procs {
+		if err := p.Wait(); err != nil {
+			fatal(fmt.Errorf("executor process: %w", err))
+		}
+	}
+	fmt.Printf("distributed run: %d tasks across %d processes\n", len(res.Trace.Records), in.NumGPUs)
+	fmt.Printf("weighted JCT: %.0f   makespan: %s\n", res.WeightedJCT, metrics.FormatSeconds(res.Makespan))
+	fmt.Printf("switching: %s across %d switches (%d residency hits)\n",
+		metrics.FormatSeconds(res.TotalSwitch), res.SwitchCount, res.ResidencyHits)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "haretestbed:", err)
+	os.Exit(1)
+}

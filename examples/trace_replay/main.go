@@ -1,0 +1,112 @@
+// Trace replay: the paper's simulator-fidelity methodology end to
+// end. A workload executes on the in-process testbed (real goroutine
+// workers, parameter servers, measured wall timings); the per-task
+// trace is saved to JSON, reduced to per-job mean train/sync times,
+// and fed back into the trace-driven simulator. The final comparison
+// is the paper's "no more than 5% difference" check (Fig. 12).
+//
+//	go run ./examples/trace_replay
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+
+	"hare"
+	"hare/internal/metrics"
+	"hare/internal/trace"
+)
+
+func main() {
+	cl := hare.TestbedCluster()
+	_, in, models, err := hare.BuildWorkload(hare.WorkloadConfig{
+		Jobs: 8, Seed: 13, HorizonSeconds: 60, RoundsScale: 0.05,
+	}, cl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := hare.NewScheduler().Schedule(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Execute on the testbed and record the trace.
+	tb, err := hare.RunTestbed(in, plan, cl, models, hare.TestbedOptions{
+		TimeScale: 1.5e-3, Scheme: hare.SwitchHare, Speculative: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(os.TempDir(), "hare_trace.json")
+	if err := tb.Trace.Save(path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("testbed executed %d tasks; trace saved to %s\n", len(tb.Trace.Records), path)
+
+	// 2. Reload the trace and reduce it to per-job mean times — the
+	// way the paper's simulator is driven by testbed traces.
+	loaded, err := trace.Load(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	means := loaded.MeanTimes()
+	replayIn := &hare.Instance{
+		Jobs:    in.Jobs,
+		NumGPUs: in.NumGPUs,
+		Train:   make([][]float64, len(in.Jobs)),
+		Sync:    make([][]float64, len(in.Jobs)),
+	}
+	for _, j := range in.Jobs {
+		mt := means[j.ID]
+		replayIn.Train[j.ID] = make([]float64, in.NumGPUs)
+		replayIn.Sync[j.ID] = make([]float64, in.NumGPUs)
+		for m := 0; m < in.NumGPUs; m++ {
+			// The measured mean folds the GPU mix the job actually
+			// ran on; scale per-GPU times by the profiled ratios.
+			ratio := in.Train[j.ID][m] / meanOf(in.Train[j.ID])
+			replayIn.Train[j.ID][m] = mt.Train * ratio
+			replayIn.Sync[j.ID][m] = mt.Sync
+		}
+	}
+
+	// 3. Re-plan on the trace-derived instance and simulate.
+	replayPlan, err := hare.NewScheduler().Schedule(replayIn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	simRes, err := hare.Simulate(replayIn, replayPlan, cl, models, hare.SimOptions{
+		Scheme: hare.SwitchHare, Speculative: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Also simulate the original profiled instance for the direct
+	// fidelity comparison.
+	direct, err := hare.Simulate(in, plan, cl, models, hare.SimOptions{
+		Scheme: hare.SwitchHare, Speculative: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gap := math.Abs(tb.WeightedJCT-direct.WeightedJCT) / tb.WeightedJCT * 100
+	rows := [][]string{
+		{"testbed (measured)", fmt.Sprintf("%.0f", tb.WeightedJCT), metrics.FormatSeconds(tb.Makespan)},
+		{"simulator (profiled times)", fmt.Sprintf("%.0f", direct.WeightedJCT), metrics.FormatSeconds(direct.Makespan)},
+		{"simulator (trace-derived times)", fmt.Sprintf("%.0f", simRes.WeightedJCT), metrics.FormatSeconds(simRes.Makespan)},
+	}
+	fmt.Print(metrics.Table([]string{"run", "weighted JCT", "makespan"}, rows))
+	fmt.Printf("\ntestbed vs simulator gap: %.1f%% (paper reports <= 5%%)\n", gap)
+}
+
+func meanOf(xs []float64) float64 {
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs))
+}

@@ -1,0 +1,148 @@
+// Package assign implements the Hungarian (Kuhn–Munkres) algorithm for
+// minimum-cost bipartite matching. AlloX (one of the reproduced
+// baselines) casts heterogeneous job→GPU placement as exactly this
+// problem: jobs on one side, (GPU, reverse-position) slots on the
+// other, with cost w·k·p for the k-th-from-last job of processing
+// time p.
+package assign
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solve returns a minimum-cost perfect matching for the given cost
+// matrix. cost[i][j] is the cost of assigning row i to column j; the
+// matrix may be rectangular with rows ≤ cols (every row is matched,
+// columns may be left free). The result maps each row to its column,
+// along with the total cost.
+//
+// The implementation is the O(rows²·cols) potentials-based Hungarian
+// algorithm (Jonker–Volgenant style shortest augmenting paths).
+func Solve(cost [][]float64) ([]int, float64, error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	m := len(cost[0])
+	if m < n {
+		return nil, 0, fmt.Errorf("assign: %d rows exceed %d columns", n, m)
+	}
+	for i, row := range cost {
+		if len(row) != m {
+			return nil, 0, fmt.Errorf("assign: ragged cost matrix at row %d", i)
+		}
+		for j, c := range row {
+			if math.IsNaN(c) {
+				return nil, 0, fmt.Errorf("assign: NaN cost at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	// 1-based potentials formulation; u over rows, v over columns.
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1) // p[j] = row matched to column j (0 = none)
+	way := make([]int, m+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := 0
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	match := make([]int, n)
+	var total float64
+	for j := 1; j <= m; j++ {
+		if p[j] != 0 {
+			match[p[j]-1] = j - 1
+			total += cost[p[j]-1][j-1]
+		}
+	}
+	return match, total, nil
+}
+
+// BruteForce finds the optimal assignment by exhaustive permutation
+// search; it exists to cross-check Solve in tests and panics above 10
+// rows.
+func BruteForce(cost [][]float64) ([]int, float64) {
+	n := len(cost)
+	if n > 10 {
+		panic("assign: BruteForce limited to 10 rows")
+	}
+	if n == 0 {
+		return nil, 0
+	}
+	m := len(cost[0])
+	best := math.Inf(1)
+	var bestMatch []int
+	cols := make([]int, m)
+	for j := range cols {
+		cols[j] = j
+	}
+	cur := make([]int, n)
+	usedCols := make([]bool, m)
+	var rec func(i int, acc float64)
+	rec = func(i int, acc float64) {
+		if acc >= best {
+			return
+		}
+		if i == n {
+			best = acc
+			bestMatch = append([]int(nil), cur...)
+			return
+		}
+		for j := 0; j < m; j++ {
+			if usedCols[j] {
+				continue
+			}
+			usedCols[j] = true
+			cur[i] = j
+			rec(i+1, acc+cost[i][j])
+			usedCols[j] = false
+		}
+	}
+	rec(0, 0)
+	return bestMatch, best
+}

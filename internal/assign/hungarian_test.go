@@ -1,0 +1,115 @@
+package assign
+
+import (
+	"math"
+	"testing"
+
+	"hare/internal/stats"
+)
+
+func TestSolveKnownInstance(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	match, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: row0->col1 (1), row1->col0 (2), row2->col2 (2) = 5.
+	if total != 5 {
+		t.Errorf("total %g, want 5", total)
+	}
+	want := []int{1, 0, 2}
+	for i, c := range match {
+		if c != want[i] {
+			t.Errorf("match[%d]=%d, want %d", i, c, want[i])
+		}
+	}
+}
+
+func TestSolveRectangular(t *testing.T) {
+	cost := [][]float64{
+		{10, 1, 10, 10},
+		{10, 10, 2, 10},
+	}
+	match, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 || match[0] != 1 || match[1] != 2 {
+		t.Errorf("match %v total %g", match, total)
+	}
+}
+
+func TestSolveRejectsBadInput(t *testing.T) {
+	if _, _, err := Solve([][]float64{{1}, {2}}); err == nil {
+		t.Error("rows > cols accepted")
+	}
+	if _, _, err := Solve([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, _, err := Solve([][]float64{{math.NaN(), 1}}); err == nil {
+		t.Error("NaN cost accepted")
+	}
+}
+
+func TestSolveEmpty(t *testing.T) {
+	match, total, err := Solve(nil)
+	if err != nil || match != nil || total != 0 {
+		t.Errorf("empty solve: %v %v %v", match, total, err)
+	}
+}
+
+// TestSolveMatchesBruteForce cross-checks the Hungarian algorithm
+// against exhaustive search on random instances.
+func TestSolveMatchesBruteForce(t *testing.T) {
+	rng := stats.New(23)
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(6)
+		m := n + rng.Intn(4)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = math.Round(rng.Uniform(0, 50)*4) / 4
+			}
+		}
+		match, total, err := Solve(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, bfTotal := BruteForce(cost)
+		if math.Abs(total-bfTotal) > 1e-6 {
+			t.Fatalf("trial %d: hungarian %g != brute force %g (cost %v)", trial, total, bfTotal, cost)
+		}
+		// The reported matching must be consistent with the total.
+		used := make(map[int]bool)
+		var check float64
+		for i, c := range match {
+			if used[c] {
+				t.Fatalf("trial %d: column %d assigned twice", trial, c)
+			}
+			used[c] = true
+			check += cost[i][c]
+		}
+		if math.Abs(check-total) > 1e-6 {
+			t.Fatalf("trial %d: matching sums to %g, reported %g", trial, check, total)
+		}
+	}
+}
+
+func TestSolveNegativeCosts(t *testing.T) {
+	cost := [][]float64{
+		{-5, 2},
+		{3, -4},
+	}
+	_, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != -9 {
+		t.Errorf("total %g, want -9", total)
+	}
+}

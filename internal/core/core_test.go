@@ -1,0 +1,275 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hare/internal/stats"
+)
+
+func validInstance() *Instance {
+	return &Instance{
+		NumGPUs: 2,
+		Jobs: []*Job{
+			{ID: 0, Name: "a", Weight: 1, Rounds: 2, Scale: 1},
+			{ID: 1, Name: "b", Weight: 2, Arrival: 1, Rounds: 1, Scale: 2},
+		},
+		Train: [][]float64{{2, 4}, {1, 3}},
+		Sync:  [][]float64{{0.5, 0.5}, {0.2, 0.2}},
+	}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	if err := validInstance().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Instance)
+		want   string
+	}{
+		{"no GPUs", func(in *Instance) { in.NumGPUs = 0 }, "GPUs"},
+		{"no jobs", func(in *Instance) { in.Jobs = nil }, "no jobs"},
+		{"bad ID", func(in *Instance) { in.Jobs[1].ID = 5 }, "ID"},
+		{"zero rounds", func(in *Instance) { in.Jobs[0].Rounds = 0 }, "rounds"},
+		{"zero weight", func(in *Instance) { in.Jobs[0].Weight = 0 }, "weight"},
+		{"negative arrival", func(in *Instance) { in.Jobs[0].Arrival = -1 }, "arrival"},
+		{"ragged train", func(in *Instance) { in.Train[0] = []float64{1} }, "entries"},
+		{"zero train", func(in *Instance) { in.Train[0][0] = 0 }, "train time"},
+		{"NaN sync", func(in *Instance) { in.Sync[0][0] = math.NaN() }, "sync time"},
+	}
+	for _, c := range cases {
+		in := validInstance()
+		c.mutate(in)
+		err := in.Validate()
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestTasksEnumeration(t *testing.T) {
+	in := validInstance()
+	tasks := in.Tasks()
+	if len(tasks) != in.NumTasks() || len(tasks) != 4 {
+		t.Fatalf("got %d tasks", len(tasks))
+	}
+	want := []TaskRef{
+		{Job: 0, Round: 0, Index: 0}, {Job: 0, Round: 1, Index: 0},
+		{Job: 1, Round: 0, Index: 0}, {Job: 1, Round: 0, Index: 1},
+	}
+	for i, w := range want {
+		if tasks[i] != w {
+			t.Errorf("tasks[%d] = %v, want %v", i, tasks[i], w)
+		}
+	}
+}
+
+func TestAlpha(t *testing.T) {
+	in := validInstance()
+	// Job 0: 4/2 = 2 train spread, sync equal; job 1: 3/1 = 3.
+	if a := in.Alpha(); math.Abs(a-3) > 1e-9 {
+		t.Errorf("alpha %g, want 3", a)
+	}
+}
+
+func TestScheduleAccounting(t *testing.T) {
+	in := validInstance()
+	s := NewSchedule()
+	s.Place(TaskRef{Job: 0, Round: 0}, 0, 0)           // end 2.5
+	s.Place(TaskRef{Job: 0, Round: 1}, 0, 2.5)         // end 5.0
+	s.Place(TaskRef{Job: 1, Round: 0}, 0, 5)           // train on g0: end 6.2
+	s.Place(TaskRef{Job: 1, Round: 0, Index: 1}, 1, 1) // end 4.2
+	if err := ValidateSchedule(in, s); err != nil {
+		t.Fatal(err)
+	}
+	comps := s.JobCompletions(in)
+	if math.Abs(comps[0]-5.0) > 1e-9 {
+		t.Errorf("job 0 completion %g, want 5", comps[0])
+	}
+	if math.Abs(comps[1]-6.2) > 1e-9 {
+		t.Errorf("job 1 completion %g, want 6.2", comps[1])
+	}
+	if w := s.WeightedJCT(in); math.Abs(w-(1*5.0+2*6.2)) > 1e-9 {
+		t.Errorf("weighted JCT %g", w)
+	}
+	if m := s.Makespan(in); math.Abs(m-6.2) > 1e-9 {
+		t.Errorf("makespan %g", m)
+	}
+}
+
+func TestValidateCatchesArrivalViolation(t *testing.T) {
+	in := validInstance()
+	s := NewSchedule()
+	s.Place(TaskRef{Job: 0, Round: 0}, 0, 0)
+	s.Place(TaskRef{Job: 0, Round: 1}, 0, 2.5)
+	s.Place(TaskRef{Job: 1, Round: 0}, 1, 0.5) // arrives at 1
+	s.Place(TaskRef{Job: 1, Round: 0, Index: 1}, 1, 4)
+	if err := ValidateSchedule(in, s); err == nil || !strings.Contains(err.Error(), "constraint 4") {
+		t.Errorf("arrival violation not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesMissingPlacement(t *testing.T) {
+	in := validInstance()
+	s := NewSchedule()
+	s.Place(TaskRef{Job: 0, Round: 0}, 0, 0)
+	if err := ValidateSchedule(in, s); err == nil || !strings.Contains(err.Error(), "constraint 5") {
+		t.Errorf("missing placement not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesBarrierViolation(t *testing.T) {
+	in := validInstance()
+	s := NewSchedule()
+	s.Place(TaskRef{Job: 0, Round: 0}, 0, 0)   // ends 2.5 (sync incl.)
+	s.Place(TaskRef{Job: 0, Round: 1}, 1, 2.0) // starts before barrier
+	s.Place(TaskRef{Job: 1, Round: 0}, 0, 2)
+	s.Place(TaskRef{Job: 1, Round: 0, Index: 1}, 1, 6)
+	if err := ValidateSchedule(in, s); err == nil || !strings.Contains(err.Error(), "constraint 7") {
+		t.Errorf("barrier violation not caught: %v", err)
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	in := validInstance()
+	s := NewSchedule()
+	s.Place(TaskRef{Job: 0, Round: 0}, 0, 0) // train [0,2)
+	s.Place(TaskRef{Job: 1, Round: 0}, 0, 1) // overlaps on GPU 0
+	s.Place(TaskRef{Job: 0, Round: 1}, 1, 2.5)
+	s.Place(TaskRef{Job: 1, Round: 0, Index: 1}, 1, 8)
+	if err := ValidateSchedule(in, s); err == nil || !strings.Contains(err.Error(), "constraint 8") {
+		t.Errorf("overlap not caught: %v", err)
+	}
+}
+
+func TestValidateSyncOverlapAllowed(t *testing.T) {
+	// A successor may start during the predecessor's sync window —
+	// communication is off the GPU.
+	in := validInstance()
+	s := NewSchedule()
+	s.Place(TaskRef{Job: 0, Round: 0}, 0, 0) // train [0,2), sync to 2.5
+	s.Place(TaskRef{Job: 1, Round: 0}, 0, 2) // starts at train end
+	s.Place(TaskRef{Job: 1, Round: 0, Index: 1}, 1, 1)
+	s.Place(TaskRef{Job: 0, Round: 1}, 1, 4.2) // after barrier 2.5 and g1 free
+	if err := ValidateSchedule(in, s); err != nil {
+		t.Errorf("sync-overlapped schedule rejected: %v", err)
+	}
+}
+
+func TestSequencesOrdering(t *testing.T) {
+	s := NewSchedule()
+	s.Place(TaskRef{Job: 0, Round: 1}, 0, 5)
+	s.Place(TaskRef{Job: 0, Round: 0}, 0, 1)
+	s.Place(TaskRef{Job: 1, Round: 0}, 1, 2)
+	s.Place(TaskRef{Job: 1, Round: 0, Index: 1}, 1, 2)
+	seqs := s.Sequences(2)
+	if len(seqs[0]) != 2 || seqs[0][0].Round != 0 {
+		t.Errorf("GPU0 sequence %v", seqs[0])
+	}
+	// Equal starts tie-break deterministically by task identity.
+	if seqs[1][0].Index != 0 || seqs[1][1].Index != 1 {
+		t.Errorf("GPU1 tie-break %v", seqs[1])
+	}
+}
+
+func TestTotalWorkUsesFastestGPU(t *testing.T) {
+	in := validInstance()
+	// Job 0: fastest 2 × 2 tasks; job 1: fastest 1 × 2 tasks.
+	if w := in.TotalWork(); math.Abs(w-(2*2+1*2)) > 1e-9 {
+		t.Errorf("total work %g", w)
+	}
+}
+
+func TestCloneJobsIsDeep(t *testing.T) {
+	jobs := validInstance().Jobs
+	cp := CloneJobs(jobs)
+	cp[0].Weight = 99
+	if jobs[0].Weight == 99 {
+		t.Error("CloneJobs aliases the originals")
+	}
+}
+
+// TestJobCompletionsIncompleteNaN: missing tasks yield NaN, and
+// WeightedJCT propagates it.
+func TestJobCompletionsIncompleteNaN(t *testing.T) {
+	in := validInstance()
+	s := NewSchedule()
+	s.Place(TaskRef{Job: 0, Round: 0}, 0, 0)
+	comps := s.JobCompletions(in)
+	if !math.IsNaN(comps[0]) || !math.IsNaN(comps[1]) {
+		t.Errorf("incomplete jobs not NaN: %v", comps)
+	}
+	if !math.IsNaN(s.WeightedJCT(in)) {
+		t.Error("WeightedJCT of incomplete schedule not NaN")
+	}
+}
+
+// TestRandomScheduleRoundTrip fuzz-checks that a start-time-sorted
+// greedy dispatch always yields a schedule ValidateSchedule accepts.
+func TestRandomScheduleRoundTrip(t *testing.T) {
+	rng := stats.New(51)
+	for trial := 0; trial < 50; trial++ {
+		nm := 1 + rng.Intn(3)
+		in := &Instance{NumGPUs: nm}
+		nj := 1 + rng.Intn(3)
+		for j := 0; j < nj; j++ {
+			in.Jobs = append(in.Jobs, &Job{
+				ID: JobID(j), Name: "f", Weight: 1,
+				Arrival: rng.Uniform(0, 5),
+				Rounds:  1 + rng.Intn(3), Scale: 1 + rng.Intn(2),
+			})
+			tr := make([]float64, nm)
+			sy := make([]float64, nm)
+			for m := 0; m < nm; m++ {
+				tr[m] = rng.Uniform(0.5, 4)
+				sy[m] = rng.Uniform(0, 1)
+			}
+			in.Train = append(in.Train, tr)
+			in.Sync = append(in.Sync, sy)
+		}
+		s := greedyDispatch(in, rng)
+		if err := ValidateSchedule(in, s); err != nil {
+			t.Fatalf("trial %d: greedy dispatch infeasible: %v", trial, err)
+		}
+	}
+}
+
+// greedyDispatch is an intentionally naive scheduler used to fuzz the
+// validator: rounds in order, random GPU, earliest feasible start.
+func greedyDispatch(in *Instance, rng *stats.RNG) *Schedule {
+	s := NewSchedule()
+	free := make([]float64, in.NumGPUs)
+	barrier := make([]float64, len(in.Jobs))
+	for _, j := range in.Jobs {
+		barrier[j.ID] = j.Arrival
+	}
+	// Interleave jobs round-robin.
+	progress := make([]int, len(in.Jobs)) // next round
+	for done := 0; done < len(in.Jobs); {
+		done = 0
+		for _, j := range in.Jobs {
+			r := progress[j.ID]
+			if r >= j.Rounds {
+				done++
+				continue
+			}
+			end := barrier[j.ID]
+			for k := 0; k < j.Scale; k++ {
+				m := rng.Intn(in.NumGPUs)
+				start := math.Max(barrier[j.ID], free[m])
+				s.Place(TaskRef{Job: j.ID, Round: r, Index: k}, m, start)
+				free[m] = start + in.Train[j.ID][m]
+				if e := start + in.Train[j.ID][m] + in.Sync[j.ID][m]; e > end {
+					end = e
+				}
+			}
+			barrier[j.ID] = end
+			progress[j.ID]++
+		}
+	}
+	return s
+}

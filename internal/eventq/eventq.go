@@ -1,0 +1,109 @@
+// Package eventq implements the indexed min-heap priority queue that
+// drives the discrete-event simulator and the list schedulers.
+//
+// Two queues are provided:
+//
+//   - Queue[T]: a time-ordered event queue with stable FIFO tie-breaking
+//     for events scheduled at the same instant, which keeps simulation
+//     runs deterministic.
+//   - MinHeap[T]: a generic priority heap keyed by a float64 priority,
+//     used for "earliest available GPU" style selections.
+package eventq
+
+import "container/heap"
+
+// Queue is a deterministic time-ordered event queue. Events popped in
+// non-decreasing time order; equal times pop in push order.
+type Queue[T any] struct {
+	h   eventHeap[T]
+	seq uint64
+}
+
+type event[T any] struct {
+	at   float64
+	seq  uint64
+	item T
+}
+
+type eventHeap[T any] []event[T]
+
+func (h eventHeap[T]) Len() int { return len(h) }
+func (h eventHeap[T]) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap[T]) Push(x any)   { *h = append(*h, x.(event[T])) }
+func (h *eventHeap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Push schedules item at time at.
+func (q *Queue[T]) Push(at float64, item T) {
+	q.seq++
+	heap.Push(&q.h, event[T]{at: at, seq: q.seq, item: item})
+}
+
+// Pop removes and returns the earliest event. ok is false when the
+// queue is empty.
+func (q *Queue[T]) Pop() (at float64, item T, ok bool) {
+	if len(q.h) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	ev := heap.Pop(&q.h).(event[T])
+	return ev.at, ev.item, true
+}
+
+// Peek returns the earliest event without removing it.
+func (q *Queue[T]) Peek() (at float64, item T, ok bool) {
+	if len(q.h) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	return q.h[0].at, q.h[0].item, true
+}
+
+// Len reports the number of queued events.
+func (q *Queue[T]) Len() int { return len(q.h) }
+
+// MinHeap is a generic min-heap of items keyed by a float64 priority
+// with deterministic FIFO tie-breaking.
+type MinHeap[T any] struct {
+	h   eventHeap[T]
+	seq uint64
+}
+
+// Push inserts item with the given priority.
+func (m *MinHeap[T]) Push(priority float64, item T) {
+	m.seq++
+	heap.Push(&m.h, event[T]{at: priority, seq: m.seq, item: item})
+}
+
+// Pop removes and returns the minimum-priority item.
+func (m *MinHeap[T]) Pop() (priority float64, item T, ok bool) {
+	if len(m.h) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	ev := heap.Pop(&m.h).(event[T])
+	return ev.at, ev.item, true
+}
+
+// Peek returns the minimum-priority item without removing it.
+func (m *MinHeap[T]) Peek() (priority float64, item T, ok bool) {
+	if len(m.h) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	return m.h[0].at, m.h[0].item, true
+}
+
+// Len reports the number of items in the heap.
+func (m *MinHeap[T]) Len() int { return len(m.h) }

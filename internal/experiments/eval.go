@@ -1,0 +1,311 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"hare/internal/cluster"
+	"hare/internal/model"
+	"hare/internal/sched"
+	"hare/internal/switching"
+	"hare/internal/testbed"
+	"hare/internal/workload"
+)
+
+// Fig12Row compares one scheme's weighted JCT on the simulator and,
+// for the lineup's leaders, on the in-process testbed.
+type Fig12Row struct {
+	Scheme         string
+	SimWeightedJCT float64
+	// TestbedWeightedJCT is NaN for schemes not run on the testbed.
+	TestbedWeightedJCT float64
+	// GapPercent is |testbed − sim| / testbed · 100 (the paper's
+	// "no more than 5% difference" fidelity check).
+	GapPercent float64
+}
+
+// Fig12Options control the testbed-scale experiment.
+type Fig12Options struct {
+	// Jobs on the 15-GPU testbed fleet (default 24).
+	Jobs int
+	// TimeScale is the testbed clock scale (default 3e-3 wall
+	// seconds per simulated second).
+	TimeScale float64
+	// TestbedSchemes names the schemes also executed on the testbed
+	// (default: all five).
+	TestbedSchemes []string
+}
+
+// Fig12Testbed reproduces Fig. 12: total weighted JCT of all five
+// schemes on the paper's 15-GPU heterogeneous testbed workload, on
+// both the simulator and the concurrently-executing testbed, with the
+// per-scheme fidelity gap.
+func Fig12Testbed(cfg Config, opts Fig12Options) ([]Fig12Row, error) {
+	cfg = cfg.Defaults()
+	if opts.Jobs == 0 {
+		opts.Jobs = 24
+	}
+	if opts.TimeScale == 0 {
+		opts.TimeScale = 3e-3
+	}
+	cl := cluster.Testbed()
+	cfg.HorizonSeconds = math.Min(cfg.HorizonSeconds, 600)
+	in, _, models, err := buildWorkload(cfg, cl, opts.Jobs, nil, 1)
+	if err != nil {
+		return nil, err
+	}
+	algos := sched.All()
+	cfg.WithSwitching = true
+	cfg.Speculative = true
+	simRes, err := runSchemes(cfg, in, cl, models, algos)
+	if err != nil {
+		return nil, err
+	}
+
+	runOnTestbed := make(map[string]bool)
+	if opts.TestbedSchemes == nil {
+		for _, a := range algos {
+			runOnTestbed[a.Name()] = true
+		}
+	} else {
+		for _, n := range opts.TestbedSchemes {
+			runOnTestbed[n] = true
+		}
+	}
+
+	rows := make([]Fig12Row, 0, len(algos))
+	for _, a := range algos {
+		sr, err := findResult(simRes, a.Name())
+		if err != nil {
+			return nil, err
+		}
+		row := Fig12Row{Scheme: a.Name(), SimWeightedJCT: sr.WeightedJCT, TestbedWeightedJCT: math.NaN()}
+		if runOnTestbed[a.Name()] {
+			plan, err := a.Schedule(in)
+			if err != nil {
+				return nil, err
+			}
+			scheme := schemeFor(a.Name())
+			tb, err := testbed.Run(in, plan, cl, models, testbed.Options{
+				TimeScale:   opts.TimeScale,
+				Scheme:      scheme,
+				Speculative: scheme == switching.Hare,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.TestbedWeightedJCT = tb.WeightedJCT
+			if tb.WeightedJCT > 0 {
+				row.GapPercent = math.Abs(tb.WeightedJCT-sr.WeightedJCT) / tb.WeightedJCT * 100
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig13Row is one scheme's JCT CDF.
+type Fig13Row struct {
+	Scheme string
+	// Thresholds are in seconds; Fractions[i] is the fraction of jobs
+	// completing within Thresholds[i] of their arrival.
+	Thresholds []float64
+	Fractions  []float64
+	// Within25Min is the paper's headline point on the CDF.
+	Within25Min float64
+}
+
+// Fig13CDF reproduces Fig. 13: the CDF of job completion time under
+// Hare, Sched_Allox and Sched_Homo on the testbed workload.
+func Fig13CDF(cfg Config, jobs int) ([]Fig13Row, error) {
+	cfg = cfg.Defaults()
+	if jobs == 0 {
+		jobs = 48
+	}
+	cl := cluster.Testbed()
+	cfg.HorizonSeconds = math.Min(cfg.HorizonSeconds, 600)
+	in, _, models, err := buildWorkload(cfg, cl, jobs, nil, 1)
+	if err != nil {
+		return nil, err
+	}
+	cfg.WithSwitching = true
+	cfg.Speculative = true
+	algos := []sched.Algorithm{sched.NewHare(), sched.NewSchedAllox(), sched.NewSchedHomo()}
+	results, err := runSchemes(cfg, in, cl, models, algos)
+	if err != nil {
+		return nil, err
+	}
+	thresholds := make([]float64, 30)
+	for i := range thresholds {
+		thresholds[i] = float64(i+1) * 120 // 2-minute grid up to 1 hour
+	}
+	rows := make([]Fig13Row, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, Fig13Row{
+			Scheme:      r.Scheme,
+			Thresholds:  thresholds,
+			Fractions:   r.Report.CDF(thresholds),
+			Within25Min: r.Report.FractionWithin(25 * 60),
+		})
+	}
+	return rows, nil
+}
+
+// SweepRow is one (x, scheme) cell of a sweep figure.
+type SweepRow struct {
+	X       float64 // the swept parameter (GPUs, jobs, Gbps, ...)
+	Label   string  // textual form of X where non-numeric
+	Results []SchemeResult
+}
+
+// Fig14GPUSweep reproduces Fig. 14: weighted JCT of every scheme as
+// the fleet grows (80–240 GPUs at high heterogeneity), with the job
+// count fixed (paper: 200).
+func Fig14GPUSweep(cfg Config, gpuCounts []int) ([]SweepRow, error) {
+	cfg = cfg.Defaults()
+	if len(gpuCounts) == 0 {
+		gpuCounts = []int{80, 120, 160, 200, 240}
+	}
+	var rows []SweepRow
+	for _, n := range gpuCounts {
+		cl := cluster.Heterogeneous(cluster.HighHeterogeneity, n)
+		in, _, models, err := buildWorkload(cfg, cl, cfg.Jobs, nil, 1)
+		if err != nil {
+			return nil, err
+		}
+		results, err := runSchemes(cfg, in, cl, models, sched.All())
+		if err != nil {
+			return nil, fmt.Errorf("fig14 n=%d: %w", n, err)
+		}
+		rows = append(rows, SweepRow{X: float64(n), Label: fmt.Sprintf("%d GPUs", n), Results: results})
+	}
+	return rows, nil
+}
+
+// Fig15JobSweep reproduces Fig. 15: weighted JCT as the number of
+// jobs grows (100–300) on a fixed 160-GPU fleet.
+func Fig15JobSweep(cfg Config, jobCounts []int) ([]SweepRow, error) {
+	cfg = cfg.Defaults()
+	if len(jobCounts) == 0 {
+		jobCounts = []int{100, 150, 200, 250, 300}
+	}
+	cl := cluster.Heterogeneous(cluster.HighHeterogeneity, cfg.GPUs)
+	var rows []SweepRow
+	for _, n := range jobCounts {
+		in, _, models, err := buildWorkload(cfg, cl, n, nil, 1)
+		if err != nil {
+			return nil, err
+		}
+		results, err := runSchemes(cfg, in, cl, models, sched.All())
+		if err != nil {
+			return nil, fmt.Errorf("fig15 n=%d: %w", n, err)
+		}
+		rows = append(rows, SweepRow{X: float64(n), Label: fmt.Sprintf("%d jobs", n), Results: results})
+	}
+	return rows, nil
+}
+
+// Fig16Heterogeneity reproduces Fig. 16: weighted JCT at the paper's
+// three heterogeneity levels (pure V100; V100×K80; V100×T4×K80×M60)
+// with fleet and job counts fixed.
+func Fig16Heterogeneity(cfg Config) ([]SweepRow, error) {
+	cfg = cfg.Defaults()
+	levels := []cluster.HeterogeneityLevel{
+		cluster.LowHeterogeneity, cluster.MidHeterogeneity, cluster.HighHeterogeneity,
+	}
+	var rows []SweepRow
+	for i, lv := range levels {
+		cl := cluster.Heterogeneous(lv, cfg.GPUs)
+		in, _, models, err := buildWorkload(cfg, cl, cfg.Jobs, nil, 1)
+		if err != nil {
+			return nil, err
+		}
+		results, err := runSchemes(cfg, in, cl, models, sched.All())
+		if err != nil {
+			return nil, fmt.Errorf("fig16 %s: %w", lv, err)
+		}
+		rows = append(rows, SweepRow{X: float64(i), Label: lv.String(), Results: results})
+	}
+	return rows, nil
+}
+
+// Fig17JobMix reproduces Fig. 17: weighted JCT as one workload class's
+// share grows from the default 25 % to the given fractions, for each
+// of the four classes.
+func Fig17JobMix(cfg Config, fractions []float64) (map[model.Class][]SweepRow, error) {
+	cfg = cfg.Defaults()
+	if len(fractions) == 0 {
+		fractions = []float64{0.25, 0.40, 0.55, 0.70}
+	}
+	cl := cluster.Heterogeneous(cluster.HighHeterogeneity, cfg.GPUs)
+	out := make(map[model.Class][]SweepRow, 4)
+	for _, class := range model.Classes() {
+		var rows []SweepRow
+		for _, f := range fractions {
+			mix := workload.DefaultMix().Boost(class, f)
+			in, _, models, err := buildWorkload(cfg, cl, cfg.Jobs, mix, 1)
+			if err != nil {
+				return nil, err
+			}
+			results, err := runSchemes(cfg, in, cl, models, sched.All())
+			if err != nil {
+				return nil, fmt.Errorf("fig17 %s f=%g: %w", class, f, err)
+			}
+			rows = append(rows, SweepRow{X: f, Label: fmt.Sprintf("%s=%.0f%%", class, f*100), Results: results})
+		}
+		out[class] = rows
+	}
+	return out, nil
+}
+
+// Fig18Bandwidth reproduces Fig. 18: weighted JCT as the data-center
+// network speed varies (10–25 Gbps). Faster networks shrink T^s and
+// so the JCT, sub-linearly.
+func Fig18Bandwidth(cfg Config, gbps []float64) ([]SweepRow, error) {
+	cfg = cfg.Defaults()
+	if len(gbps) == 0 {
+		gbps = []float64{10, 15, 20, 25}
+	}
+	var rows []SweepRow
+	for _, g := range gbps {
+		cl := cluster.Heterogeneous(cluster.HighHeterogeneity, cfg.GPUs).WithNetwork(g * 1e9)
+		in, _, models, err := buildWorkload(cfg, cl, cfg.Jobs, nil, 1)
+		if err != nil {
+			return nil, err
+		}
+		results, err := runSchemes(cfg, in, cl, models, sched.All())
+		if err != nil {
+			return nil, fmt.Errorf("fig18 %gGbps: %w", g, err)
+		}
+		rows = append(rows, SweepRow{X: g, Label: fmt.Sprintf("%gGbps", g), Results: results})
+	}
+	return rows, nil
+}
+
+// Fig19BatchSize reproduces Fig. 19: weighted JCT at half, default
+// and double batch sizes (B0/2, B0, 2B0). A bigger batch means longer
+// tasks but proportionally fewer rounds — each job still trains the
+// same number of samples — so most schemes are nearly flat, while the
+// gang schedulers pay more straggler idle per (longer) round.
+func Fig19BatchSize(cfg Config, scales []float64) ([]SweepRow, error) {
+	cfg = cfg.Defaults()
+	if len(scales) == 0 {
+		scales = []float64{0.5, 1, 2}
+	}
+	cl := cluster.Heterogeneous(cluster.HighHeterogeneity, cfg.GPUs)
+	baseRounds := cfg.RoundsScale
+	var rows []SweepRow
+	for _, bs := range scales {
+		cfg.RoundsScale = baseRounds / bs
+		in, _, models, err := buildWorkload(cfg, cl, cfg.Jobs, nil, bs)
+		if err != nil {
+			return nil, err
+		}
+		results, err := runSchemes(cfg, in, cl, models, sched.All())
+		if err != nil {
+			return nil, fmt.Errorf("fig19 b=%g: %w", bs, err)
+		}
+		rows = append(rows, SweepRow{X: bs, Label: fmt.Sprintf("%gxB0", bs), Results: results})
+	}
+	return rows, nil
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"hare/internal/stats"
+)
+
+// Multi-seed aggregation: every headline number in the evaluation is
+// a point estimate from one seeded workload; MultiSeed re-runs a
+// sweep across independent seeds and reports mean ± stddev per
+// scheme, so EXPERIMENTS.md's "who wins by what factor" claims can be
+// checked for seed-robustness (cmd/harebench -experiment ext-seeds).
+
+// SeedStats is one scheme's weighted JCT across seeds.
+type SeedStats struct {
+	Scheme string
+	Mean   float64
+	Std    float64
+	N      int
+}
+
+// MultiSeedRow aggregates one sweep setting across seeds.
+type MultiSeedRow struct {
+	Label string
+	Stats []SeedStats
+}
+
+// MultiSeed runs the sweep `run` with `seeds` different seeds derived
+// from cfg.Seed and aggregates per (setting, scheme). Every seed must
+// yield the same settings and scheme lineup.
+func MultiSeed(cfg Config, seeds int, run func(Config) ([]SweepRow, error)) ([]MultiSeedRow, error) {
+	if seeds <= 0 {
+		seeds = 3
+	}
+	cfg = cfg.Defaults()
+	// samples[label][scheme] collects weighted JCTs across seeds,
+	// with insertion order preserved for stable output.
+	type cell struct{ values []float64 }
+	samples := make(map[string]map[string]*cell)
+	var labelOrder []string
+	var schemeOrder []string
+
+	for s := 0; s < seeds; s++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(s)*1009
+		rows, err := run(c)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: seed %d: %w", c.Seed, err)
+		}
+		for _, row := range rows {
+			if samples[row.Label] == nil {
+				samples[row.Label] = make(map[string]*cell)
+				labelOrder = append(labelOrder, row.Label)
+			}
+			for _, res := range row.Results {
+				if s == 0 && row.Label == labelOrder[0] {
+					schemeOrder = append(schemeOrder, res.Scheme)
+				}
+				cl := samples[row.Label][res.Scheme]
+				if cl == nil {
+					cl = &cell{}
+					samples[row.Label][res.Scheme] = cl
+				}
+				cl.values = append(cl.values, res.WeightedJCT)
+			}
+		}
+	}
+
+	out := make([]MultiSeedRow, 0, len(labelOrder))
+	for _, label := range labelOrder {
+		row := MultiSeedRow{Label: label}
+		for _, scheme := range schemeOrder {
+			cl := samples[label][scheme]
+			if cl == nil {
+				return nil, fmt.Errorf("experiments: scheme %q missing for %q", scheme, label)
+			}
+			if len(cl.values) != seeds {
+				return nil, fmt.Errorf("experiments: scheme %q has %d/%d seeds for %q",
+					scheme, len(cl.values), seeds, label)
+			}
+			sum := stats.Summarize(cl.values)
+			row.Stats = append(row.Stats, SeedStats{
+				Scheme: scheme, Mean: sum.Mean, Std: sum.Stddev, N: seeds,
+			})
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// HareLeadConfidence summarizes, across a multi-seed row, whether
+// Hare's mean beats every other scheme's mean by more than the
+// combined noise (one pooled standard deviation).
+func HareLeadConfidence(row MultiSeedRow) (leads bool, worstMargin float64) {
+	var hare SeedStats
+	for _, s := range row.Stats {
+		if s.Scheme == "Hare" {
+			hare = s
+		}
+	}
+	leads = true
+	worstMargin = math.Inf(1)
+	for _, s := range row.Stats {
+		if s.Scheme == "Hare" {
+			continue
+		}
+		noise := math.Sqrt(hare.Std*hare.Std + s.Std*s.Std)
+		margin := s.Mean - hare.Mean - noise
+		if margin < worstMargin {
+			worstMargin = margin
+		}
+		if s.Mean <= hare.Mean {
+			leads = false
+		}
+	}
+	return leads, worstMargin
+}

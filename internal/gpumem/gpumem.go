@@ -1,0 +1,241 @@
+// Package gpumem implements Hare's speculative GPU memory manager
+// (paper §4). After a task finishes, the manager keeps the task's
+// model weights resident "speculatively" so that a later task of the
+// same job scheduled on the same GPU can skip the host→device
+// transfer entirely.
+//
+// Two eviction policies are provided. KeepLatest is the paper's
+// heuristic, implemented verbatim: the *next* task always has memory
+// priority, and the models of the latest completed tasks are kept
+// greedily until they no longer fit. Belady approximates the optimal
+// offline policy the paper notes one could solve for — Hare schedules
+// offline, so each GPU's future task sequence is known, and the model
+// re-used farthest in the future is the best victim. The ablation
+// experiments.AblationMemoryPolicy quantifies the (small) gap, which
+// is the paper's justification for shipping the heuristic.
+package gpumem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// JobKey identifies a resident model by the job that owns it. Two
+// tasks share weights only if they belong to the same job (different
+// jobs training the same architecture still have different weights).
+type JobKey int
+
+// Policy selects the eviction order among speculatively kept models.
+type Policy int
+
+const (
+	// KeepLatest is the paper's heuristic: "greedily keeps models of
+	// latest completed tasks until they cannot be accommodated" —
+	// evict the oldest-completed first.
+	KeepLatest Policy = iota
+	// Belady evicts the model whose next use in the known task
+	// sequence is farthest away (never-used models first). It needs
+	// SetLookahead; without one it behaves like KeepLatest.
+	Belady
+)
+
+func (p Policy) String() string {
+	switch p {
+	case KeepLatest:
+		return "keep-latest"
+	case Belady:
+		return "belady"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// resident is one speculatively kept model.
+type resident struct {
+	key         JobKey
+	weightBytes int64
+	// completedAt orders KeepLatest evictions: oldest first.
+	completedAt float64
+}
+
+// Manager tracks one GPU's memory. It is not safe for concurrent use;
+// the simulator and each executor own one manager per GPU.
+type Manager struct {
+	capacity int64
+	policy   Policy
+	used     int64 // bytes held by resident models (excludes active task)
+	active   int64 // bytes held by the currently running task
+
+	models map[JobKey]*resident
+	// positions lists, per job, the indices of its tasks in this
+	// GPU's planned sequence; cursor counts Begins so nextUse can be
+	// answered relative to the current point in the sequence.
+	positions map[JobKey][]int
+	cursor    int
+
+	// Counters for experiments.
+	hits, misses, evictions int
+}
+
+// NewManager returns a manager for a device with the given capacity
+// in bytes, using the paper's KeepLatest policy.
+func NewManager(capacity int64) *Manager {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("gpumem: non-positive capacity %d", capacity))
+	}
+	return &Manager{
+		capacity:  capacity,
+		models:    make(map[JobKey]*resident),
+		positions: make(map[JobKey][]int),
+	}
+}
+
+// SetPolicy switches the eviction policy; call before traffic starts.
+func (m *Manager) SetPolicy(p Policy) { m.policy = p }
+
+// Policy returns the active eviction policy.
+func (m *Manager) Policy() Policy { return m.policy }
+
+// SetLookahead informs the manager of the upcoming task order on its
+// GPU: order[i] is the job of the i-th future task. It resets the
+// sequence cursor.
+func (m *Manager) SetLookahead(order []JobKey) {
+	m.positions = make(map[JobKey][]int, len(order))
+	for i, k := range order {
+		m.positions[k] = append(m.positions[k], i)
+	}
+	m.cursor = 0
+}
+
+// nextUseOf returns the next sequence position at which job k runs,
+// counting from the current cursor, or -1 if never again (or no
+// lookahead was provided).
+func (m *Manager) nextUseOf(k JobKey) int {
+	ps := m.positions[k]
+	i := sort.SearchInts(ps, m.cursor)
+	if i == len(ps) {
+		return -1
+	}
+	return ps[i]
+}
+
+// Resident reports whether the job's model weights are currently on
+// the device.
+func (m *Manager) Resident(k JobKey) bool {
+	_, ok := m.models[k]
+	return ok
+}
+
+// Begin claims memory for a task of job k whose full training
+// footprint is footprintBytes. It returns hit=true when the job's
+// weights were already resident (the speculative win: no host→device
+// transfer). The task's own resident entry, if any, is folded into
+// the active footprint; other residents are evicted by policy until
+// the footprint fits. Begin panics if the footprint alone exceeds
+// device capacity — the scheduler must never place such a task.
+func (m *Manager) Begin(k JobKey, footprintBytes int64) (hit bool) {
+	if footprintBytes > m.capacity {
+		panic(fmt.Sprintf("gpumem: task footprint %d exceeds capacity %d", footprintBytes, m.capacity))
+	}
+	if r, ok := m.models[k]; ok {
+		hit = true
+		m.hits++
+		m.used -= r.weightBytes
+		delete(m.models, k)
+	} else {
+		m.misses++
+	}
+	m.cursor++ // this Begin consumes one sequence position
+	// The next task has absolute priority (paper heuristic): evict
+	// until it fits.
+	m.evictFor(footprintBytes)
+	m.active = footprintBytes
+	return hit
+}
+
+// evictFor removes resident models until need bytes fit beside them.
+func (m *Manager) evictFor(need int64) {
+	if m.used+need <= m.capacity {
+		return
+	}
+	victims := make([]*resident, 0, len(m.models))
+	for _, r := range m.models {
+		victims = append(victims, r)
+	}
+	sort.Slice(victims, func(i, j int) bool { return m.evictsBefore(victims[i], victims[j]) })
+	for _, v := range victims {
+		if m.used+need <= m.capacity {
+			return
+		}
+		m.used -= v.weightBytes
+		delete(m.models, v.key)
+		m.evictions++
+	}
+}
+
+// evictsBefore orders eviction victims according to the policy.
+func (m *Manager) evictsBefore(a, b *resident) bool {
+	switch m.policy {
+	case Belady:
+		au, bu := m.nextUseOf(a.key), m.nextUseOf(b.key)
+		if (au == -1) != (bu == -1) {
+			return au == -1 // never used again evicts first
+		}
+		if au != bu {
+			return au > bu // needed later evicts first
+		}
+	}
+	if a.completedAt != b.completedAt {
+		return a.completedAt < b.completedAt // oldest evicts first
+	}
+	return a.key < b.key
+}
+
+// Complete releases the active task's footprint and speculatively
+// keeps the job's model weights (weightBytes) resident if room can be
+// made by policy. now orders future KeepLatest evictions.
+func (m *Manager) Complete(k JobKey, weightBytes int64, now float64) {
+	m.active = 0
+	if weightBytes <= 0 {
+		return
+	}
+	if old, ok := m.models[k]; ok {
+		m.used -= old.weightBytes
+		delete(m.models, k)
+	}
+	if m.used+weightBytes > m.capacity {
+		m.evictFor(weightBytes)
+		if m.used+weightBytes > m.capacity {
+			return // cannot keep; drop silently (not an error)
+		}
+	}
+	m.models[k] = &resident{key: k, weightBytes: weightBytes, completedAt: now}
+	m.used += weightBytes
+}
+
+// Used returns the bytes held by speculatively resident models.
+func (m *Manager) Used() int64 { return m.used }
+
+// Free returns capacity minus resident and active bytes.
+func (m *Manager) Free() int64 { return m.capacity - m.used - m.active }
+
+// NumResident returns the count of speculatively kept models.
+func (m *Manager) NumResident() int { return len(m.models) }
+
+// Stats reports hit/miss/eviction counters.
+type Stats struct {
+	Hits, Misses, Evictions int
+}
+
+// Stats returns the manager's counters.
+func (m *Manager) Stats() Stats {
+	return Stats{Hits: m.hits, Misses: m.misses, Evictions: m.evictions}
+}
+
+// HitRate returns hits / (hits + misses), or 0 with no traffic.
+func (m *Manager) HitRate() float64 {
+	total := m.hits + m.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(m.hits) / float64(total)
+}

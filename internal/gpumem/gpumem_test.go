@@ -1,0 +1,206 @@
+package gpumem
+
+import (
+	"testing"
+
+	"hare/internal/stats"
+)
+
+const gib = int64(1) << 30
+
+func TestBeginMissThenHit(t *testing.T) {
+	m := NewManager(16 * gib)
+	if hit := m.Begin(1, 4*gib); hit {
+		t.Error("first Begin reported a hit")
+	}
+	m.Complete(1, 1*gib, 10)
+	if !m.Resident(1) {
+		t.Error("weights not kept after Complete")
+	}
+	if hit := m.Begin(1, 4*gib); !hit {
+		t.Error("second Begin missed despite residency")
+	}
+	st := m.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	if hr := m.HitRate(); hr != 0.5 {
+		t.Errorf("hit rate %g", hr)
+	}
+}
+
+func TestEvictionOldestFirst(t *testing.T) {
+	m := NewManager(10 * gib)
+	m.Begin(1, 3*gib)
+	m.Complete(1, 3*gib, 1)
+	m.Begin(2, 3*gib)
+	m.Complete(2, 3*gib, 2)
+	m.Begin(3, 3*gib)
+	m.Complete(3, 3*gib, 3)
+	// 9 GiB resident; a 4 GiB task forces eviction of the oldest (1).
+	m.Begin(4, 4*gib)
+	if m.Resident(1) {
+		t.Error("oldest model survived eviction")
+	}
+	if !m.Resident(2) || !m.Resident(3) {
+		t.Error("newer models evicted before the oldest")
+	}
+}
+
+func TestBeladyProtectsNeededModels(t *testing.T) {
+	m := NewManager(10 * gib)
+	m.SetPolicy(Belady)
+	// Sequence: job1, job2, job3, then job1 again — job 2 is never
+	// needed after its run, job 1 is.
+	m.SetLookahead([]JobKey{1, 2, 3, 1})
+	m.Begin(1, 3*gib)
+	m.Complete(1, 3*gib, 1) // older, but needed at position 3
+	m.Begin(2, 3*gib)
+	m.Complete(2, 3*gib, 2) // newer, never needed again
+	m.Begin(3, 5*gib)
+	if m.Resident(2) {
+		t.Error("never-needed model kept over a needed one")
+	}
+	if !m.Resident(1) {
+		t.Error("needed model evicted despite Belady lookahead")
+	}
+}
+
+func TestKeepLatestIgnoresLookahead(t *testing.T) {
+	m := NewManager(10 * gib) // default KeepLatest
+	m.SetLookahead([]JobKey{1, 2, 3, 1})
+	m.Begin(1, 3*gib)
+	m.Complete(1, 3*gib, 1)
+	m.Begin(2, 3*gib)
+	m.Complete(2, 3*gib, 2)
+	m.Begin(3, 5*gib)
+	// The paper's heuristic evicts the oldest completion (job 1)
+	// even though the lookahead says it is needed again.
+	if m.Resident(1) {
+		t.Error("keep-latest kept the oldest model")
+	}
+	if !m.Resident(2) {
+		t.Error("keep-latest evicted the newest model")
+	}
+}
+
+func TestBeladyCursorAdvances(t *testing.T) {
+	m := NewManager(10 * gib)
+	m.SetPolicy(Belady)
+	// Job 1 appears at positions 0 and 1 only; after both run, its
+	// next use must be "never".
+	m.SetLookahead([]JobKey{1, 1, 2})
+	m.Begin(1, 2*gib)
+	m.Complete(1, 2*gib, 1)
+	if m.nextUseOf(1) != 1 {
+		t.Errorf("next use %d, want 1", m.nextUseOf(1))
+	}
+	m.Begin(1, 2*gib)
+	m.Complete(1, 2*gib, 2)
+	if m.nextUseOf(1) != -1 {
+		t.Errorf("next use %d after both runs, want -1", m.nextUseOf(1))
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if KeepLatest.String() != "keep-latest" || Belady.String() != "belady" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestOwnResidencyFoldsIntoActive(t *testing.T) {
+	m := NewManager(8 * gib)
+	m.Begin(1, 6*gib)
+	m.Complete(1, 2*gib, 1)
+	// Beginning the same job again must not double-count its bytes.
+	if hit := m.Begin(1, 6*gib); !hit {
+		t.Error("self residency missed")
+	}
+	if m.Used() != 0 {
+		t.Errorf("resident bytes %d after folding into active", m.Used())
+	}
+	if m.Free() != 2*gib {
+		t.Errorf("free %d", m.Free())
+	}
+}
+
+func TestCompleteDropsWhenFull(t *testing.T) {
+	m := NewManager(4 * gib)
+	m.Begin(1, 3*gib)
+	m.Complete(1, 3*gib, 1)
+	m.Begin(2, 4*gib) // evicts 1 (next task has priority)
+	if m.Resident(1) {
+		t.Error("model survived a full-memory Begin")
+	}
+	m.Complete(2, 3*gib, 2)
+	if !m.Resident(2) {
+		t.Error("completed model not kept when it fits")
+	}
+}
+
+func TestBeginPanicsOnImpossibleFootprint(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for footprint > capacity")
+		}
+	}()
+	NewManager(1*gib).Begin(1, 2*gib)
+}
+
+func TestNewManagerPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero capacity")
+		}
+	}()
+	NewManager(0)
+}
+
+// TestInvariantNeverOverCapacity fuzzes random Begin/Complete traffic
+// and asserts the manager never tracks more bytes than the device
+// holds.
+func TestInvariantNeverOverCapacity(t *testing.T) {
+	rng := stats.New(61)
+	for trial := 0; trial < 30; trial++ {
+		capacity := int64(rng.Intn(14)+2) * gib
+		m := NewManager(capacity)
+		if rng.Intn(2) == 0 {
+			order := make([]JobKey, 12)
+			for i := range order {
+				order[i] = JobKey(rng.Intn(6))
+			}
+			m.SetLookahead(order)
+		}
+		for step := 0; step < 200; step++ {
+			job := JobKey(rng.Intn(6))
+			foot := int64(rng.Intn(int(capacity/gib))+1) * gib
+			if foot > capacity {
+				foot = capacity
+			}
+			m.Begin(job, foot)
+			if m.Used()+foot > capacity {
+				t.Fatalf("trial %d step %d: resident %d + active %d > capacity %d",
+					trial, step, m.Used(), foot, capacity)
+			}
+			weights := foot / 3
+			m.Complete(job, weights, float64(step))
+			if m.Used() > capacity {
+				t.Fatalf("trial %d step %d: resident %d > capacity %d", trial, step, m.Used(), capacity)
+			}
+			if m.Free() < 0 {
+				t.Fatalf("trial %d step %d: negative free", trial, step)
+			}
+		}
+	}
+}
+
+func TestNumResident(t *testing.T) {
+	m := NewManager(16 * gib)
+	m.Begin(1, gib)
+	m.Complete(1, gib, 1)
+	m.Begin(2, gib)
+	m.Complete(2, gib, 2)
+	if m.NumResident() != 2 {
+		t.Errorf("resident count %d", m.NumResident())
+	}
+}

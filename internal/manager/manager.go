@@ -1,0 +1,346 @@
+// Package manager is the long-running cluster service of the paper's
+// system diagram (Fig. 9): upper-layer applications submit DML jobs
+// (job type, model, parallelism, weight); the manager profiles them
+// against its fleet (reusing the profile database for re-submitted
+// jobs), runs the scheduling algorithm over each accumulated batch,
+// dispatches the resulting per-GPU task sequences to executors, and
+// tracks every job from QUEUED through RUNNING to DONE.
+//
+// The manager is deliberately batch-oriented — Hare's algorithm is
+// offline — but batches chain: jobs submitted while a batch executes
+// form the next batch, and the fleet's availability carries over, so
+// a deployment can run it as a continuously cycling service (see
+// cmd/hared). Execution is pluggable: the in-process testbed by
+// default, or the pure simulator for capacity planning.
+package manager
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hare/internal/cluster"
+	"hare/internal/core"
+	"hare/internal/model"
+	"hare/internal/profile"
+	"hare/internal/sched"
+	"hare/internal/sim"
+	"hare/internal/store"
+	"hare/internal/switching"
+	"hare/internal/testbed"
+	"hare/internal/trace"
+)
+
+// JobState tracks a submitted job through its lifetime.
+type JobState string
+
+// The lifecycle states.
+const (
+	StateQueued  JobState = "QUEUED"
+	StateRunning JobState = "RUNNING"
+	StateDone    JobState = "DONE"
+	StateFailed  JobState = "FAILED"
+)
+
+// JobRequest is a submission from an upper-layer application.
+type JobRequest struct {
+	// Model names a Table 2 model.
+	Model string
+	// Rounds is the number of synchronized training rounds.
+	Rounds int
+	// Scale is the per-round parallelism |D_r|.
+	Scale int
+	// Weight is the job's priority weight (1 if ≤ 0).
+	Weight float64
+	// BatchScale multiplies the model's default batch size (1 if ≤ 0).
+	BatchScale float64
+	// Tag is an optional caller label echoed in status.
+	Tag string
+}
+
+// validate normalizes and checks a request against the fleet.
+func (r *JobRequest) validate(fleetSize int) error {
+	if _, err := model.ByName(r.Model); err != nil {
+		return err
+	}
+	if r.Rounds <= 0 {
+		return fmt.Errorf("manager: job needs a positive round count, got %d", r.Rounds)
+	}
+	if r.Scale <= 0 || r.Scale > fleetSize {
+		return fmt.Errorf("manager: scale %d outside [1, %d]", r.Scale, fleetSize)
+	}
+	if r.Weight <= 0 {
+		r.Weight = 1
+	}
+	if r.BatchScale <= 0 {
+		r.BatchScale = 1
+	}
+	return nil
+}
+
+// JobStatus is the externally visible state of one submission.
+type JobStatus struct {
+	ID    int
+	Tag   string
+	Model string
+	State JobState
+	// SubmittedAt is the manager-clock submission time (seconds).
+	SubmittedAt float64
+	// Completion is the realized completion time (valid when DONE).
+	Completion float64
+	// Error is set when FAILED.
+	Error string
+}
+
+// Backend executes a planned batch.
+type Backend interface {
+	// Execute runs the schedule and returns per-job completions and
+	// the execution trace.
+	Execute(in *core.Instance, plan *core.Schedule, cl *cluster.Cluster, models []*model.Model) ([]float64, *trace.Trace, error)
+}
+
+// TestbedBackend executes batches on the in-process testbed.
+type TestbedBackend struct {
+	// TimeScale is the testbed clock scale (default 1e-3).
+	TimeScale float64
+	// Store receives checkpoints (in-memory by default).
+	Store store.Store
+}
+
+// Execute implements Backend.
+func (b *TestbedBackend) Execute(in *core.Instance, plan *core.Schedule, cl *cluster.Cluster, models []*model.Model) ([]float64, *trace.Trace, error) {
+	ts := b.TimeScale
+	if ts <= 0 {
+		ts = 1e-3
+	}
+	res, err := testbed.Run(in, plan, cl, models, testbed.Options{
+		TimeScale: ts, Scheme: switching.Hare, Speculative: true, Store: b.Store,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.JobCompletion, res.Trace, nil
+}
+
+// SimBackend executes batches on the discrete-event simulator
+// (instant; used for capacity planning and tests).
+type SimBackend struct {
+	Seed int64
+}
+
+// Execute implements Backend.
+func (b *SimBackend) Execute(in *core.Instance, plan *core.Schedule, cl *cluster.Cluster, models []*model.Model) ([]float64, *trace.Trace, error) {
+	res, err := sim.Run(in, plan, cl, models, sim.Options{
+		Scheme: switching.Hare, Speculative: true, Seed: b.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.JobCompletion, res.Trace, nil
+}
+
+// Options configures a Manager.
+type Options struct {
+	// Algorithm plans each batch (Hare by default).
+	Algorithm sched.Algorithm
+	// Backend executes plans (the simulator by default).
+	Backend Backend
+	// BatchesPerTask sets the profiler's task granularity.
+	BatchesPerTask int
+}
+
+// Manager is the central scheduler service.
+type Manager struct {
+	cl    *cluster.Cluster
+	prof  *profile.Profiler
+	algo  sched.Algorithm
+	back  Backend
+	clock func() float64 // virtual submission clock, seconds
+
+	mu      sync.Mutex
+	nextID  int
+	pending []pendingJob
+	status  map[int]*JobStatus
+	// horizon is the fleet-busy-until watermark carried across
+	// batches: a new batch cannot start before the previous one's
+	// makespan.
+	horizon float64
+	batches int
+}
+
+type pendingJob struct {
+	id  int
+	req JobRequest
+	at  float64
+}
+
+// New builds a manager for a fleet.
+func New(cl *cluster.Cluster, opts Options) *Manager {
+	if opts.Algorithm == nil {
+		opts.Algorithm = sched.NewHare()
+	}
+	if opts.Backend == nil {
+		opts.Backend = &SimBackend{}
+	}
+	m := &Manager{
+		cl:     cl,
+		prof:   profile.New(profile.Options{BatchesPerTask: opts.BatchesPerTask}),
+		algo:   opts.Algorithm,
+		back:   opts.Backend,
+		status: make(map[int]*JobStatus),
+	}
+	m.clock = func() float64 { return m.horizon }
+	return m
+}
+
+// Submit queues a job and returns its ID.
+func (m *Manager) Submit(req JobRequest) (int, error) {
+	if err := (&req).validate(m.cl.Size()); err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextID
+	m.nextID++
+	m.pending = append(m.pending, pendingJob{id: id, req: req, at: m.clock()})
+	m.status[id] = &JobStatus{
+		ID: id, Tag: req.Tag, Model: req.Model,
+		State: StateQueued, SubmittedAt: m.clock(),
+	}
+	return id, nil
+}
+
+// Pending reports how many jobs await the next batch.
+func (m *Manager) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending)
+}
+
+// Status returns a job's current state.
+func (m *Manager) Status(id int) (JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.status[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("manager: unknown job %d", id)
+	}
+	return *st, nil
+}
+
+// Statuses returns every known job, ordered by ID.
+func (m *Manager) Statuses() []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStatus, 0, len(m.status))
+	for _, st := range m.status {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// BatchResult summarizes one executed batch.
+type BatchResult struct {
+	Batch       int
+	Jobs        int
+	WeightedJCT float64
+	Makespan    float64
+	Trace       *trace.Trace
+}
+
+// ExecuteBatch profiles, schedules and executes every pending job as
+// one batch. Jobs submitted during execution join the next batch. It
+// returns an error (and marks the batch's jobs FAILED) if planning or
+// execution fails; a nil result with nil error means nothing was
+// pending.
+func (m *Manager) ExecuteBatch() (*BatchResult, error) {
+	m.mu.Lock()
+	batch := m.pending
+	m.pending = nil
+	base := m.horizon
+	batchNo := m.batches
+	m.batches++
+	for _, pj := range batch {
+		m.status[pj.id].State = StateRunning
+	}
+	m.mu.Unlock()
+	if len(batch) == 0 {
+		return nil, nil
+	}
+
+	fail := func(err error) (*BatchResult, error) {
+		m.mu.Lock()
+		for _, pj := range batch {
+			m.status[pj.id].State = StateFailed
+			m.status[pj.id].Error = err.Error()
+		}
+		m.mu.Unlock()
+		return nil, err
+	}
+
+	// Build the batch instance. Arrivals are the submission times,
+	// floored at the fleet watermark (the fleet is busy until then).
+	jobs := make([]*core.Job, len(batch))
+	specs := make([]profile.JobSpec, len(batch))
+	models := make([]*model.Model, len(batch))
+	for i, pj := range batch {
+		arrival := pj.at
+		if arrival < base {
+			arrival = base
+		}
+		jobs[i] = &core.Job{
+			ID:      core.JobID(i),
+			Name:    fmt.Sprintf("job-%d(%s)", pj.id, pj.req.Model),
+			Model:   pj.req.Model,
+			Weight:  pj.req.Weight,
+			Arrival: arrival,
+			Rounds:  pj.req.Rounds,
+			Scale:   pj.req.Scale,
+		}
+		specs[i] = managerSpec{req: pj.req}
+		models[i] = model.MustByName(pj.req.Model)
+	}
+	in, err := m.prof.BuildInstance(jobs, specs, m.cl)
+	if err != nil {
+		return fail(fmt.Errorf("manager: profile batch: %w", err))
+	}
+	plan, err := m.algo.Schedule(in)
+	if err != nil {
+		return fail(fmt.Errorf("manager: schedule batch: %w", err))
+	}
+	if err := core.ValidateSchedule(in, plan); err != nil {
+		return fail(fmt.Errorf("manager: plan infeasible: %w", err))
+	}
+	completions, tr, err := m.back.Execute(in, plan, m.cl, models)
+	if err != nil {
+		return fail(fmt.Errorf("manager: execute batch: %w", err))
+	}
+
+	res := &BatchResult{Batch: batchNo, Jobs: len(batch), Trace: tr}
+	m.mu.Lock()
+	for i, pj := range batch {
+		st := m.status[pj.id]
+		st.State = StateDone
+		st.Completion = completions[i]
+		res.WeightedJCT += jobs[i].Weight * completions[i]
+		if completions[i] > res.Makespan {
+			res.Makespan = completions[i]
+		}
+	}
+	if res.Makespan > m.horizon {
+		m.horizon = res.Makespan
+	}
+	m.mu.Unlock()
+	return res, nil
+}
+
+// ProfilerStats exposes the profile database's reuse counters.
+func (m *Manager) ProfilerStats() profile.Stats { return m.prof.Stats() }
+
+// managerSpec adapts a JobRequest to profile.JobSpec.
+type managerSpec struct{ req JobRequest }
+
+func (s managerSpec) ModelName() string   { return s.req.Model }
+func (s managerSpec) BatchScale() float64 { return s.req.BatchScale }
+func (s managerSpec) SyncScale() int      { return s.req.Scale }

@@ -1,0 +1,262 @@
+package manager
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"hare/internal/cluster"
+	"hare/internal/core"
+	"hare/internal/model"
+	"hare/internal/trace"
+)
+
+func testManager(back Backend) *Manager {
+	cl := cluster.New([]cluster.Spec{
+		{Type: cluster.V100, Count: 2}, {Type: cluster.K80, Count: 2},
+	}, 4)
+	return New(cl, Options{Backend: back})
+}
+
+func req(model string, rounds, scale int) JobRequest {
+	return JobRequest{Model: model, Rounds: rounds, Scale: scale, Weight: 1}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	m := testManager(nil)
+	cases := []JobRequest{
+		{Model: "NoSuchNet", Rounds: 1, Scale: 1},
+		{Model: "ResNet50", Rounds: 0, Scale: 1},
+		{Model: "ResNet50", Rounds: 1, Scale: 9}, // wider than fleet
+	}
+	for i, r := range cases {
+		if _, err := m.Submit(r); err == nil {
+			t.Errorf("case %d accepted: %+v", i, r)
+		}
+	}
+	if _, err := m.Submit(req("ResNet50", 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Pending() != 1 {
+		t.Errorf("pending %d", m.Pending())
+	}
+}
+
+func TestBatchLifecycle(t *testing.T) {
+	m := testManager(&SimBackend{Seed: 1})
+	var ids []int
+	for _, name := range []string{"ResNet50", "GraphSAGE", "Bert_base"} {
+		id, err := m.Submit(req(name, 3, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		st, err := m.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateQueued {
+			t.Errorf("job %d state %s before batch", id, st.State)
+		}
+	}
+	res, err := m.ExecuteBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != 3 || res.WeightedJCT <= 0 || res.Makespan <= 0 {
+		t.Errorf("batch result %+v", res)
+	}
+	for _, id := range ids {
+		st, _ := m.Status(id)
+		if st.State != StateDone || st.Completion <= 0 {
+			t.Errorf("job %d: %+v", id, st)
+		}
+	}
+	if m.Pending() != 0 {
+		t.Errorf("pending %d after batch", m.Pending())
+	}
+	// Empty batch is a no-op.
+	if res, err := m.ExecuteBatch(); err != nil || res != nil {
+		t.Errorf("empty batch: %v %v", res, err)
+	}
+}
+
+func TestBatchesChainThroughWatermark(t *testing.T) {
+	m := testManager(&SimBackend{Seed: 2})
+	if _, err := m.Submit(req("VGG19", 4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	first, err := m.ExecuteBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := m.Submit(req("FastGCN", 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := m.ExecuteBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := m.Status(id2)
+	// The second batch's job cannot finish before the fleet freed up.
+	if st.Completion < first.Makespan {
+		t.Errorf("batch 2 job completed at %.1f before batch 1's makespan %.1f",
+			st.Completion, first.Makespan)
+	}
+	if second.Batch != first.Batch+1 {
+		t.Errorf("batch numbering %d -> %d", first.Batch, second.Batch)
+	}
+}
+
+func TestProfilerReuseAcrossBatches(t *testing.T) {
+	m := testManager(&SimBackend{})
+	for batch := 0; batch < 3; batch++ {
+		for i := 0; i < 5; i++ {
+			if _, err := m.Submit(req("ResNet50", 2, 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := m.ExecuteBatch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.ProfilerStats()
+	// 1 model × 2 GPU types: 2 measurements, everything else reused.
+	if st.Measured > 2 {
+		t.Errorf("profiler measured %d entries for 15 identical jobs", st.Measured)
+	}
+	if st.Hits < 10 {
+		t.Errorf("only %d profile reuses", st.Hits)
+	}
+}
+
+func TestBatchFailureMarksJobs(t *testing.T) {
+	// A scheduler that cannot place the batch (scale > fleet is
+	// caught at submit, so force failure via a failing backend).
+	m := testManager(failingBackend{})
+	id, err := m.Submit(req("ResNet50", 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ExecuteBatch(); err == nil {
+		t.Fatal("failing backend did not error")
+	}
+	st, _ := m.Status(id)
+	if st.State != StateFailed || !strings.Contains(st.Error, "boom") {
+		t.Errorf("status %+v", st)
+	}
+}
+
+type failingBackend struct{}
+
+func (failingBackend) Execute(*core.Instance, *core.Schedule, *cluster.Cluster, []*model.Model) ([]float64, *trace.Trace, error) {
+	return nil, nil, errors.New("boom")
+}
+
+func TestTestbedBackendBatch(t *testing.T) {
+	m := testManager(&TestbedBackend{TimeScale: 5e-4})
+	var ids []int
+	for _, name := range []string{"FastGCN", "GraphSAGE"} {
+		id, err := m.Submit(req(name, 2, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	res, err := m.ExecuteBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != 2 || res.Trace == nil || len(res.Trace.Records) != 4 {
+		t.Errorf("testbed batch result %+v", res)
+	}
+	for _, id := range ids {
+		st, _ := m.Status(id)
+		if st.State != StateDone {
+			t.Errorf("job %d state %s", id, st.State)
+		}
+	}
+}
+
+func TestRPCServiceEndToEnd(t *testing.T) {
+	m := testManager(&SimBackend{Seed: 7})
+	srv, addr, err := Serve("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	id, err := c.Submit(req("Transformer", 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(JobRequest{Model: "nope", Rounds: 1, Scale: 1}); err == nil {
+		t.Error("invalid submission accepted over RPC")
+	}
+	reply, err := c.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reply.Ran || reply.Jobs != 1 {
+		t.Errorf("execute reply %+v", reply)
+	}
+	st, err := c.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Errorf("state %s", st.State)
+	}
+	all, err := c.Statuses()
+	if err != nil || len(all) != 1 {
+		t.Errorf("statuses %v %v", all, err)
+	}
+	// Empty execute over RPC.
+	if reply, err := c.Execute(); err != nil || reply.Ran {
+		t.Errorf("empty execute: %+v %v", reply, err)
+	}
+}
+
+func TestConcurrentSubmissions(t *testing.T) {
+	m := testManager(&SimBackend{})
+	var wg sync.WaitGroup
+	const n = 40
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := m.Submit(req("GraphSAGE", 1, 1)); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Pending() != n {
+		t.Errorf("pending %d, want %d", m.Pending(), n)
+	}
+	res, err := m.ExecuteBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != n {
+		t.Errorf("batch ran %d jobs", res.Jobs)
+	}
+	// IDs are unique and dense.
+	seen := map[int]bool{}
+	for _, st := range m.Statuses() {
+		if seen[st.ID] {
+			t.Errorf("duplicate ID %d", st.ID)
+		}
+		seen[st.ID] = true
+	}
+}

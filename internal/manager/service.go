@@ -1,0 +1,174 @@
+package manager
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+)
+
+// RPC front end for the manager — the submission path of the paper's
+// Fig. 9, where upper-layer applications hand job information to the
+// central scheduler. cmd/hared serves it; cmd/harectl is the client.
+
+// RPCName is the registered net/rpc service name.
+const RPCName = "HareManager"
+
+// SubmitReply returns the assigned job ID.
+type SubmitReply struct{ ID int }
+
+// StatusArgs selects a job.
+type StatusArgs struct{ ID int }
+
+// StatusesReply lists every known job.
+type StatusesReply struct{ Jobs []JobStatus }
+
+// ExecuteReply summarizes the batch that ran.
+type ExecuteReply struct {
+	Ran         bool // false when nothing was pending
+	Batch       int
+	Jobs        int
+	WeightedJCT float64
+	Makespan    float64
+}
+
+// Service exposes a Manager over net/rpc.
+type Service struct {
+	m *Manager
+	// execMu serializes ExecuteBatch calls from concurrent clients.
+	execMu sync.Mutex
+}
+
+// Submit queues a job.
+func (s *Service) Submit(req JobRequest, reply *SubmitReply) error {
+	id, err := s.m.Submit(req)
+	if err != nil {
+		return err
+	}
+	reply.ID = id
+	return nil
+}
+
+// Status reports one job.
+func (s *Service) Status(args StatusArgs, reply *JobStatus) error {
+	st, err := s.m.Status(args.ID)
+	if err != nil {
+		return err
+	}
+	*reply = st
+	return nil
+}
+
+// Statuses reports every job.
+func (s *Service) Statuses(_ struct{}, reply *StatusesReply) error {
+	reply.Jobs = s.m.Statuses()
+	return nil
+}
+
+// Execute runs the pending batch to completion.
+func (s *Service) Execute(_ struct{}, reply *ExecuteReply) error {
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	res, err := s.m.ExecuteBatch()
+	if err != nil {
+		return err
+	}
+	if res == nil {
+		return nil
+	}
+	*reply = ExecuteReply{
+		Ran: true, Batch: res.Batch, Jobs: res.Jobs,
+		WeightedJCT: res.WeightedJCT, Makespan: res.Makespan,
+	}
+	return nil
+}
+
+// Server hosts the manager RPC endpoint.
+type Server struct {
+	lis net.Listener
+	wg  sync.WaitGroup
+}
+
+// Serve exposes m on addr ("127.0.0.1:0" for an ephemeral port) and
+// returns the server plus the bound address.
+func Serve(addr string, m *Manager) (*Server, string, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(RPCName, &Service{m: m}); err != nil {
+		return nil, "", fmt.Errorf("manager: register: %w", err)
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("manager: listen: %w", err)
+	}
+	s := &Server{lis: lis}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return s, lis.Addr().String(), nil
+}
+
+// Close stops accepting connections.
+func (s *Server) Close() error {
+	err := s.lis.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Client is the submission-side handle.
+type Client struct{ c *rpc.Client }
+
+// Dial connects to a manager at addr.
+func Dial(addr string) (*Client, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("manager: dial %s: %w", addr, err)
+	}
+	return &Client{c: c}, nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.c.Close() }
+
+// Submit queues a job and returns its ID.
+func (c *Client) Submit(req JobRequest) (int, error) {
+	var reply SubmitReply
+	if err := c.c.Call(RPCName+".Submit", req, &reply); err != nil {
+		return 0, err
+	}
+	return reply.ID, nil
+}
+
+// Status fetches one job's state.
+func (c *Client) Status(id int) (JobStatus, error) {
+	var reply JobStatus
+	if err := c.c.Call(RPCName+".Status", StatusArgs{ID: id}, &reply); err != nil {
+		return JobStatus{}, err
+	}
+	return reply, nil
+}
+
+// Statuses fetches every job's state.
+func (c *Client) Statuses() ([]JobStatus, error) {
+	var reply StatusesReply
+	if err := c.c.Call(RPCName+".Statuses", struct{}{}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Jobs, nil
+}
+
+// Execute runs the pending batch and reports its outcome.
+func (c *Client) Execute() (ExecuteReply, error) {
+	var reply ExecuteReply
+	if err := c.c.Call(RPCName+".Execute", struct{}{}, &reply); err != nil {
+		return ExecuteReply{}, err
+	}
+	return reply, nil
+}

@@ -1,0 +1,258 @@
+// Package profile implements Hare's offline profiler (paper §3): it
+// predicts the per-task training time T^c_{i,m} and synchronization
+// time T^s_{i,m} of every (job, GPU) pair, and maintains a database of
+// historical profiles so repeatedly-submitted jobs skip profiling —
+// the paper observes that periodic re-training makes this the common
+// case.
+//
+// Time model. A task trains BatchesPerTask mini-batches between
+// synchronizations. Training time follows the model zoo's calibrated
+// Amdahl curve (see internal/model); synchronization time is the
+// push+pull of the model's gradient/parameter bytes over the cluster
+// network with a mild PS-side contention factor that grows with the
+// job's synchronization scale. The paper's assumption T^c > T^s holds
+// for every Table 2 model at the testbed's 25 Gbps network.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+
+	"hare/internal/cluster"
+	"hare/internal/core"
+	"hare/internal/model"
+	"hare/internal/stats"
+)
+
+// Options configures the profiler's task granularity and measurement
+// noise.
+type Options struct {
+	// BatchesPerTask is the number of mini-batches a task trains
+	// between synchronizations. Defaults to 20.
+	BatchesPerTask int
+	// MeasureJitter is the relative measurement noise applied to
+	// profiled (not cached) times, reproducing the small per-round
+	// variance of Fig. 11. Defaults to 0 (exact).
+	MeasureJitter float64
+	// Seed seeds the measurement-noise stream.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.BatchesPerTask <= 0 {
+		o.BatchesPerTask = 20
+	}
+	return o
+}
+
+// Key identifies one profile-database entry. BatchScale is quantized
+// to 1e-3 to keep float keys stable.
+type Key struct {
+	Model      string  `json:"model"`
+	GPUType    string  `json:"gpu"`
+	BatchScale float64 `json:"batch_scale"`
+}
+
+// Entry is one profiled result.
+type Entry struct {
+	// TrainSeconds is T^c for one task (BatchesPerTask batches).
+	TrainSeconds float64 `json:"train_seconds"`
+	// PerBatchSeconds is the single-batch time (used by switching-
+	// overhead ratios).
+	PerBatchSeconds float64 `json:"per_batch_seconds"`
+}
+
+// Profiler predicts task times and caches them in its database.
+// It is safe for concurrent use.
+type Profiler struct {
+	opts Options
+
+	mu       sync.Mutex
+	rng      *stats.RNG
+	db       map[Key]Entry
+	measured int // cache misses (actual profiling runs)
+	hits     int // cache hits
+}
+
+// New returns a profiler with an empty database.
+func New(opts Options) *Profiler {
+	opts = opts.withDefaults()
+	return &Profiler{
+		opts: opts,
+		rng:  stats.New(opts.Seed),
+		db:   make(map[Key]Entry),
+	}
+}
+
+func quantize(x float64) float64 { return math.Round(x*1000) / 1000 }
+
+// TrainTime returns T^c for one task of the model at batchScale on the
+// given GPU type, profiling on first use and reusing the database
+// afterwards.
+func (p *Profiler) TrainTime(m *model.Model, gt cluster.GPUType, batchScale float64) float64 {
+	return p.entry(m, gt, batchScale).TrainSeconds
+}
+
+// BatchTime returns the single-mini-batch time for (model, GPU type).
+func (p *Profiler) BatchTime(m *model.Model, gt cluster.GPUType, batchScale float64) float64 {
+	return p.entry(m, gt, batchScale).PerBatchSeconds
+}
+
+func (p *Profiler) entry(m *model.Model, gt cluster.GPUType, batchScale float64) Entry {
+	key := Key{Model: m.Name, GPUType: gt.Name, BatchScale: quantize(batchScale)}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.db[key]; ok {
+		p.hits++
+		return e
+	}
+	p.measured++
+	batch := m.BatchSeconds(gt.Speed, batchScale)
+	if p.opts.MeasureJitter > 0 {
+		batch = p.rng.Jitter(batch, p.opts.MeasureJitter)
+	}
+	e := Entry{
+		TrainSeconds:    batch * float64(p.opts.BatchesPerTask),
+		PerBatchSeconds: batch,
+	}
+	p.db[key] = e
+	return e
+}
+
+// SyncTime returns T^s: the time for one task to push its gradients to
+// the parameter server and pull the updated model back, over a network
+// of netBps bits/second, with syncScale parallel tasks sharing the
+// PS's ingress link. The √K contention factor reflects that Hare's
+// relaxed synchronization staggers task completions, so workers rarely
+// collide at the PS all at once.
+func SyncTime(m *model.Model, netBps float64, syncScale int) float64 {
+	if netBps <= 0 {
+		panic(fmt.Sprintf("profile: non-positive network bandwidth %g", netBps))
+	}
+	if syncScale < 1 {
+		syncScale = 1
+	}
+	bytesPerSec := netBps / 8
+	base := 2 * float64(m.ParamBytes) / bytesPerSec
+	return base * math.Sqrt(float64(syncScale))
+}
+
+// Stats reports database effectiveness.
+type Stats struct {
+	Entries  int
+	Measured int
+	Hits     int
+}
+
+// Stats returns the profiler's database statistics.
+func (p *Profiler) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{Entries: len(p.db), Measured: p.measured, Hits: p.hits}
+}
+
+// dbFile is the JSON persistence format.
+type dbFile struct {
+	BatchesPerTask int     `json:"batches_per_task"`
+	Entries        []dbRow `json:"entries"`
+}
+
+type dbRow struct {
+	Key   Key   `json:"key"`
+	Entry Entry `json:"entry"`
+}
+
+// Save writes the profile database to path as JSON.
+func (p *Profiler) Save(path string) error {
+	p.mu.Lock()
+	rows := make([]dbRow, 0, len(p.db))
+	for k, e := range p.db {
+		rows = append(rows, dbRow{Key: k, Entry: e})
+	}
+	bpt := p.opts.BatchesPerTask
+	p.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i].Key, rows[j].Key
+		if a.Model != b.Model {
+			return a.Model < b.Model
+		}
+		if a.GPUType != b.GPUType {
+			return a.GPUType < b.GPUType
+		}
+		return a.BatchScale < b.BatchScale
+	})
+	data, err := json.MarshalIndent(dbFile{BatchesPerTask: bpt, Entries: rows}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("profile: marshal database: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load merges a previously saved database into the profiler. Entries
+// saved with a different BatchesPerTask are rejected, since the task
+// granularity would not match.
+func (p *Profiler) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("profile: read database: %w", err)
+	}
+	var f dbFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("profile: parse database: %w", err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f.BatchesPerTask != p.opts.BatchesPerTask {
+		return fmt.Errorf("profile: database built with %d batches/task, profiler uses %d",
+			f.BatchesPerTask, p.opts.BatchesPerTask)
+	}
+	for _, r := range f.Entries {
+		p.db[r.Key] = r.Entry
+	}
+	return nil
+}
+
+// JobSpec is the subset of a workload job the profiler needs to build
+// instance matrices.
+type JobSpec interface {
+	ModelName() string
+	BatchScale() float64
+	SyncScale() int
+}
+
+// BuildInstance assembles a core.Instance for jobs on a cluster: it
+// fills Train[j][m] and Sync[j][m] from the profiler and the cluster's
+// network. The jobs slice supplies arrival/weight/round metadata; its
+// order defines job IDs.
+func (p *Profiler) BuildInstance(jobs []*core.Job, specs []JobSpec, cl *cluster.Cluster) (*core.Instance, error) {
+	if len(jobs) != len(specs) {
+		return nil, fmt.Errorf("profile: %d jobs but %d specs", len(jobs), len(specs))
+	}
+	in := &core.Instance{
+		Jobs:    jobs,
+		NumGPUs: cl.Size(),
+		Train:   make([][]float64, len(jobs)),
+		Sync:    make([][]float64, len(jobs)),
+	}
+	for j, spec := range specs {
+		m, err := model.ByName(spec.ModelName())
+		if err != nil {
+			return nil, err
+		}
+		in.Train[j] = make([]float64, cl.Size())
+		in.Sync[j] = make([]float64, cl.Size())
+		syncT := SyncTime(m, cl.NetworkBps, spec.SyncScale())
+		for _, g := range cl.GPUs {
+			in.Train[j][g.ID] = p.TrainTime(m, g.Type, spec.BatchScale())
+			in.Sync[j][g.ID] = syncT
+		}
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}

@@ -1,0 +1,355 @@
+package rpcnet
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"hare/internal/cluster"
+	"hare/internal/core"
+	"hare/internal/gpumem"
+	"hare/internal/model"
+	"hare/internal/store"
+	"hare/internal/switching"
+	"hare/internal/testbed"
+	"hare/internal/trace"
+)
+
+// Distributed testbed mode: the scheduler process (DistributedServer)
+// hosts the parameter servers, the checkpoint store, and every task
+// sequence; executor processes (cmd/hare-executor, or RunExecutor
+// in-process) dial in, fetch their full configuration — sequence,
+// per-job times for their GPU, clock epoch — run their tasks against
+// the remote control plane, and report their measured records back.
+// The server assembles the same testbed.Result the in-process path
+// produces, once every GPU has reported.
+
+// DistributedName is the registered net/rpc service name.
+const DistributedName = "HareTestbedCoordinator"
+
+// ExecutorConfigArgs selects the GPU asking for its configuration.
+type ExecutorConfigArgs struct{ GPU int }
+
+// ExecutorConfigReply carries everything an external executor needs.
+type ExecutorConfigReply struct {
+	// Instance is the full scheduling problem (times are indexed by
+	// [job][gpu]).
+	Instance *core.Instance
+	// Seq is this GPU's planned task order.
+	Seq []core.TaskRef
+	// GPUTypeName resolves to the cluster.GPUType locally.
+	GPUTypeName string
+	// ModelNames maps job → model zoo name.
+	ModelNames []string
+	// Scheme, Speculative and MemPolicy configure switching.
+	Scheme      switching.Scheme
+	Speculative bool
+	MemPolicy   gpumem.Policy
+	// TimeScale and EpochUnixNano align every process's clock.
+	TimeScale     float64
+	EpochUnixNano int64
+	// ProblemDim and ProblemBatch size the SGD problems (seeds are
+	// jobID+1, as in the in-process testbed).
+	ProblemDim, ProblemBatch int
+	// FaultRate and FaultSeed configure failure injection.
+	FaultRate float64
+	FaultSeed int64
+}
+
+// ReportArgs carries one executor's measured outcome.
+type ReportArgs struct {
+	GPU           int
+	Records       []trace.TaskRecord
+	SwitchTotal   float64
+	SwitchCount   int
+	ResidencyHits int
+	Retries       int
+	// Err is a non-empty string when the executor failed.
+	Err string
+}
+
+// DistributedOptions configures RunDistributed.
+type DistributedOptions struct {
+	TimeScale    float64
+	Scheme       switching.Scheme
+	Speculative  bool
+	MemPolicy    gpumem.Policy
+	ProblemDim   int
+	ProblemBatch int
+	Eta          float64
+	FaultRate    float64
+	FaultSeed    int64
+	Store        store.Store
+}
+
+func (o DistributedOptions) withDefaults() DistributedOptions {
+	if o.TimeScale <= 0 {
+		o.TimeScale = 1e-3
+	}
+	if o.ProblemDim <= 0 {
+		o.ProblemDim = 32
+	}
+	if o.ProblemBatch <= 0 {
+		o.ProblemBatch = 8
+	}
+	if o.Eta <= 0 {
+		o.Eta = 0.3
+	}
+	if o.Store == nil {
+		o.Store = store.NewMem()
+	}
+	return o
+}
+
+// coordinator is the scheduler-side RPC handler.
+type coordinator struct {
+	in     *core.Instance
+	seqs   [][]core.TaskRef
+	cl     *cluster.Cluster
+	models []*model.Model
+	opts   DistributedOptions
+	epoch  time.Time
+	local  testbed.SyncClient
+
+	mu       sync.Mutex
+	reported map[int]bool
+	reports  chan ReportArgs
+}
+
+// Config hands an executor its full configuration.
+func (c *coordinator) Config(args ExecutorConfigArgs, reply *ExecutorConfigReply) error {
+	if args.GPU < 0 || args.GPU >= c.in.NumGPUs {
+		return fmt.Errorf("rpcnet: unknown GPU %d", args.GPU)
+	}
+	names := make([]string, len(c.models))
+	for i, m := range c.models {
+		names[i] = m.Name
+	}
+	*reply = ExecutorConfigReply{
+		Instance:      c.in,
+		Seq:           c.seqs[args.GPU],
+		GPUTypeName:   c.cl.GPUs[args.GPU].Type.Name,
+		ModelNames:    names,
+		Scheme:        c.opts.Scheme,
+		Speculative:   c.opts.Speculative,
+		MemPolicy:     c.opts.MemPolicy,
+		TimeScale:     c.opts.TimeScale,
+		EpochUnixNano: c.epoch.UnixNano(),
+		ProblemDim:    c.opts.ProblemDim,
+		ProblemBatch:  c.opts.ProblemBatch,
+		FaultRate:     c.opts.FaultRate,
+		FaultSeed:     c.opts.FaultSeed,
+	}
+	return nil
+}
+
+// Push, WaitRound and LoadCheckpoint proxy the control plane for
+// executors that share this connection.
+func (c *coordinator) Push(args PushArgs, reply *PushReply) error {
+	comp, err := c.local.Push(args.Task, args.GPU, args.TrainEnd, args.Grad)
+	if err != nil {
+		return err
+	}
+	reply.Completion = comp
+	return nil
+}
+
+// WaitRound blocks until the round completes.
+func (c *coordinator) WaitRound(args WaitArgs, reply *WaitReply) error {
+	end, err := c.local.WaitRound(args.Job, args.Round)
+	if err != nil {
+		return err
+	}
+	reply.End = end
+	return nil
+}
+
+// LoadCheckpoint returns a job's latest parameters.
+func (c *coordinator) LoadCheckpoint(args CkptArgs, reply *CkptReply) error {
+	p, err := c.local.LoadCheckpoint(args.Job)
+	if err != nil {
+		return err
+	}
+	reply.Params = p
+	return nil
+}
+
+// Report receives an executor's measured records; duplicates are
+// rejected.
+func (c *coordinator) Report(args ReportArgs, _ *struct{}) error {
+	c.mu.Lock()
+	if c.reported[args.GPU] {
+		c.mu.Unlock()
+		return fmt.Errorf("rpcnet: GPU %d already reported", args.GPU)
+	}
+	c.reported[args.GPU] = true
+	c.mu.Unlock()
+	c.reports <- args
+	return nil
+}
+
+// DistributedResult is RunDistributed's assembled outcome.
+type DistributedResult struct {
+	Trace         *trace.Trace
+	JobCompletion []float64
+	WeightedJCT   float64
+	Makespan      float64
+	TotalSwitch   float64
+	SwitchCount   int
+	ResidencyHits int
+	Retries       int
+}
+
+// ServeDistributed starts the coordinator for one planned run and
+// returns (server, bound address, wait). wait blocks until every GPU
+// has reported (or an executor reported failure) and assembles the
+// result.
+func ServeDistributed(addr string, in *core.Instance, plan *core.Schedule, cl *cluster.Cluster, models []*model.Model, opts DistributedOptions) (*Server, string, func() (*DistributedResult, error), error) {
+	opts = opts.withDefaults()
+	if err := in.Validate(); err != nil {
+		return nil, "", nil, err
+	}
+	if err := core.ValidateSchedule(in, plan); err != nil {
+		return nil, "", nil, fmt.Errorf("rpcnet: invalid plan: %w", err)
+	}
+	clock := testbed.NewClock(opts.TimeScale)
+	pss, local, err := testbed.NewControlPlane(in, clock, opts.Store, opts.Eta, opts.ProblemDim, opts.ProblemBatch)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	co := &coordinator{
+		in: in, seqs: plan.Sequences(in.NumGPUs), cl: cl, models: models,
+		opts: opts, epoch: clock.Epoch(), local: local,
+		reported: make(map[int]bool),
+		reports:  make(chan ReportArgs, in.NumGPUs),
+	}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(DistributedName, co); err != nil {
+		return nil, "", nil, fmt.Errorf("rpcnet: register: %w", err)
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", nil, fmt.Errorf("rpcnet: listen: %w", err)
+	}
+	s := &Server{lis: lis}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+
+	wait := func() (*DistributedResult, error) {
+		res := &DistributedResult{
+			Trace:         &trace.Trace{},
+			JobCompletion: make([]float64, len(in.Jobs)),
+		}
+		for got := 0; got < in.NumGPUs; got++ {
+			rep := <-co.reports
+			if rep.Err != "" {
+				return nil, fmt.Errorf("rpcnet: executor %d failed: %s", rep.GPU, rep.Err)
+			}
+			for _, r := range rep.Records {
+				res.Trace.Add(r)
+			}
+			res.TotalSwitch += rep.SwitchTotal
+			res.SwitchCount += rep.SwitchCount
+			res.ResidencyHits += rep.ResidencyHits
+			res.Retries += rep.Retries
+		}
+		for _, j := range in.Jobs {
+			c := pss[j.ID].Completion()
+			res.JobCompletion[j.ID] = c
+			res.WeightedJCT += j.Weight * c
+			if c > res.Makespan {
+				res.Makespan = c
+			}
+		}
+		return res, nil
+	}
+	return s, lis.Addr().String(), wait, nil
+}
+
+// execClient adapts an rpc.Client to the coordinator's service name.
+type execClient struct{ c *rpc.Client }
+
+func (c execClient) Push(t core.TaskRef, gpu int, trainEnd float64, grad []float64) (float64, error) {
+	var reply PushReply
+	if err := c.c.Call(DistributedName+".Push", PushArgs{Task: t, GPU: gpu, TrainEnd: trainEnd, Grad: grad}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Completion, nil
+}
+
+func (c execClient) WaitRound(job core.JobID, round int) (float64, error) {
+	var reply WaitReply
+	if err := c.c.Call(DistributedName+".WaitRound", WaitArgs{Job: job, Round: round}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.End, nil
+}
+
+func (c execClient) LoadCheckpoint(job core.JobID) ([]float64, error) {
+	var reply CkptReply
+	if err := c.c.Call(DistributedName+".LoadCheckpoint", CkptArgs{Job: job}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Params, nil
+}
+
+// RunExecutor is the executor-process body (cmd/hare-executor calls
+// it; tests run it in goroutines): dial the coordinator, fetch the
+// GPU's configuration, execute the sequence against the remote
+// control plane, and report the measured records.
+func RunExecutor(addr string, gpu int) error {
+	conn, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("rpcnet: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+
+	var cfg ExecutorConfigReply
+	if err := conn.Call(DistributedName+".Config", ExecutorConfigArgs{GPU: gpu}, &cfg); err != nil {
+		return fmt.Errorf("rpcnet: fetch config: %w", err)
+	}
+	gt, err := cluster.TypeByName(cfg.GPUTypeName)
+	if err != nil {
+		return err
+	}
+	models := make([]*model.Model, len(cfg.ModelNames))
+	for i, n := range cfg.ModelNames {
+		if models[i], err = model.ByName(n); err != nil {
+			return err
+		}
+	}
+	exec, err := testbed.NewRemoteExecutor(testbed.RemoteExecutorConfig{
+		GPU: gpu, GPUType: gt, Seq: cfg.Seq,
+		Instance: cfg.Instance, Models: models,
+		Scheme: cfg.Scheme, Speculative: cfg.Speculative, MemPolicy: cfg.MemPolicy,
+		Clock:      testbed.NewClockAt(time.Unix(0, cfg.EpochUnixNano), cfg.TimeScale),
+		Sync:       execClient{c: conn},
+		ProblemDim: cfg.ProblemDim, ProblemBatch: cfg.ProblemBatch,
+		FaultRate: cfg.FaultRate, FaultSeed: cfg.FaultSeed,
+	})
+	if err != nil {
+		return err
+	}
+	report := ReportArgs{GPU: gpu}
+	if runErr := exec.Run(); runErr != nil {
+		report.Err = runErr.Error()
+	} else {
+		report.Records = exec.Records
+		report.SwitchTotal = exec.SwitchTotal
+		report.SwitchCount = exec.SwitchCount
+		report.ResidencyHits = exec.ResidencyHits
+		report.Retries = exec.Retries
+	}
+	return conn.Call(DistributedName+".Report", report, &struct{}{})
+}

@@ -1,0 +1,199 @@
+// Package rpcnet is the control plane of the testbed: the stdlib
+// net/rpc substitute for the gRPC channel the paper's prototype uses
+// between the central scheduler and the executors. The scheduler side
+// exposes gradient push, round-barrier wait, checkpoint load and task
+// sequence distribution; the executor side is a testbed.SyncClient
+// whose calls travel over a real TCP connection.
+package rpcnet
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"hare/internal/core"
+	"hare/internal/testbed"
+)
+
+// ServiceName is the registered net/rpc service name.
+const ServiceName = "HareScheduler"
+
+// PushArgs carries one gradient push.
+type PushArgs struct {
+	Task     core.TaskRef
+	GPU      int
+	TrainEnd float64
+	Grad     []float64
+}
+
+// PushReply returns the task's realized completion time.
+type PushReply struct{ Completion float64 }
+
+// WaitArgs asks for a round barrier.
+type WaitArgs struct {
+	Job   core.JobID
+	Round int
+}
+
+// WaitReply returns the round's realized completion time.
+type WaitReply struct{ End float64 }
+
+// CkptArgs requests a job's latest checkpoint.
+type CkptArgs struct{ Job core.JobID }
+
+// CkptReply carries the checkpoint parameters.
+type CkptReply struct{ Params []float64 }
+
+// SeqArgs requests a GPU's task sequence.
+type SeqArgs struct{ GPU int }
+
+// SeqReply carries the sequence.
+type SeqReply struct{ Tasks []core.TaskRef }
+
+// Service is the scheduler-side RPC handler. It wraps the in-process
+// backend so the executors' remote calls hit the same parameter
+// servers and checkpoint store.
+type Service struct {
+	backend testbed.SyncClient
+	seqs    [][]core.TaskRef
+}
+
+// Push handles a gradient push.
+func (s *Service) Push(args PushArgs, reply *PushReply) error {
+	c, err := s.backend.Push(args.Task, args.GPU, args.TrainEnd, args.Grad)
+	if err != nil {
+		return err
+	}
+	reply.Completion = c
+	return nil
+}
+
+// WaitRound blocks until the round completes. net/rpc runs each call
+// in its own goroutine, so a blocking barrier does not stall other
+// executors' calls on the same connection.
+func (s *Service) WaitRound(args WaitArgs, reply *WaitReply) error {
+	end, err := s.backend.WaitRound(args.Job, args.Round)
+	if err != nil {
+		return err
+	}
+	reply.End = end
+	return nil
+}
+
+// LoadCheckpoint returns a job's latest parameters.
+func (s *Service) LoadCheckpoint(args CkptArgs, reply *CkptReply) error {
+	p, err := s.backend.LoadCheckpoint(args.Job)
+	if err != nil {
+		return err
+	}
+	reply.Params = p
+	return nil
+}
+
+// Sequence returns the planned task order of one GPU.
+func (s *Service) Sequence(args SeqArgs, reply *SeqReply) error {
+	if args.GPU < 0 || args.GPU >= len(s.seqs) {
+		return fmt.Errorf("rpcnet: unknown GPU %d", args.GPU)
+	}
+	reply.Tasks = s.seqs[args.GPU]
+	return nil
+}
+
+// Server hosts the scheduler's RPC endpoint on a TCP listener.
+type Server struct {
+	lis net.Listener
+	mu  sync.Mutex
+	wg  sync.WaitGroup
+}
+
+// Serve starts serving the backend on addr (e.g. "127.0.0.1:0") and
+// returns the server and its bound address.
+func Serve(addr string, backend testbed.SyncClient, seqs [][]core.TaskRef) (*Server, string, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName(ServiceName, &Service{backend: backend, seqs: seqs}); err != nil {
+		return nil, "", fmt.Errorf("rpcnet: register: %w", err)
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("rpcnet: listen: %w", err)
+	}
+	s := &Server{lis: lis}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return s, lis.Addr().String(), nil
+}
+
+// Close stops accepting connections. In-flight calls finish on their
+// own connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.lis.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Client is the executor-side SyncClient over a TCP connection.
+type Client struct {
+	c *rpc.Client
+}
+
+var _ testbed.SyncClient = (*Client)(nil)
+
+// Dial connects an executor to the scheduler at addr.
+func Dial(addr string) (*Client, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpcnet: dial %s: %w", addr, err)
+	}
+	return &Client{c: c}, nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.c.Close() }
+
+// Push implements testbed.SyncClient.
+func (c *Client) Push(t core.TaskRef, gpu int, trainEnd float64, grad []float64) (float64, error) {
+	var reply PushReply
+	if err := c.c.Call(ServiceName+".Push", PushArgs{Task: t, GPU: gpu, TrainEnd: trainEnd, Grad: grad}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Completion, nil
+}
+
+// WaitRound implements testbed.SyncClient.
+func (c *Client) WaitRound(job core.JobID, round int) (float64, error) {
+	var reply WaitReply
+	if err := c.c.Call(ServiceName+".WaitRound", WaitArgs{Job: job, Round: round}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.End, nil
+}
+
+// LoadCheckpoint implements testbed.SyncClient.
+func (c *Client) LoadCheckpoint(job core.JobID) ([]float64, error) {
+	var reply CkptReply
+	if err := c.c.Call(ServiceName+".LoadCheckpoint", CkptArgs{Job: job}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Params, nil
+}
+
+// FetchSequence retrieves a GPU's planned task order.
+func (c *Client) FetchSequence(gpu int) ([]core.TaskRef, error) {
+	var reply SeqReply
+	if err := c.c.Call(ServiceName+".Sequence", SeqArgs{GPU: gpu}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Tasks, nil
+}

@@ -1,0 +1,286 @@
+package rpcnet
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"hare/internal/cluster"
+	"hare/internal/core"
+	"hare/internal/model"
+	"hare/internal/sched"
+	"hare/internal/store"
+	"hare/internal/testbed"
+	"hare/internal/workload"
+)
+
+// fakeBackend implements testbed.SyncClient for protocol tests.
+type fakeBackend struct {
+	mu     sync.Mutex
+	pushes []PushArgs
+}
+
+func (f *fakeBackend) Push(t core.TaskRef, gpu int, trainEnd float64, grad []float64) (float64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.pushes = append(f.pushes, PushArgs{Task: t, GPU: gpu, TrainEnd: trainEnd, Grad: grad})
+	return trainEnd + 1, nil
+}
+
+func (f *fakeBackend) WaitRound(job core.JobID, round int) (float64, error) {
+	time.Sleep(10 * time.Millisecond) // simulate a blocking barrier
+	return float64(round) + 0.5, nil
+}
+
+func (f *fakeBackend) LoadCheckpoint(job core.JobID) ([]float64, error) {
+	return []float64{float64(job), 1, 2}, nil
+}
+
+func TestRPCRoundTrip(t *testing.T) {
+	backend := &fakeBackend{}
+	seqs := [][]core.TaskRef{{{Job: 1, Round: 0, Index: 0}}}
+	srv, addr, err := Serve("127.0.0.1:0", backend, seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	comp, err := c.Push(core.TaskRef{Job: 1, Round: 0}, 3, 7.5, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp != 8.5 {
+		t.Errorf("completion %g", comp)
+	}
+	if len(backend.pushes) != 1 || backend.pushes[0].GPU != 3 {
+		t.Errorf("push not delivered: %+v", backend.pushes)
+	}
+
+	end, err := c.WaitRound(1, 4)
+	if err != nil || end != 4.5 {
+		t.Errorf("WaitRound: %g %v", end, err)
+	}
+
+	params, err := c.LoadCheckpoint(2)
+	if err != nil || len(params) != 3 || params[0] != 2 {
+		t.Errorf("LoadCheckpoint: %v %v", params, err)
+	}
+
+	tasks, err := c.FetchSequence(0)
+	if err != nil || len(tasks) != 1 || tasks[0].Job != 1 {
+		t.Errorf("FetchSequence: %v %v", tasks, err)
+	}
+	if _, err := c.FetchSequence(9); err == nil {
+		t.Error("unknown GPU accepted")
+	}
+}
+
+func TestConcurrentBlockingCalls(t *testing.T) {
+	// WaitRound blocks server-side; concurrent calls on separate
+	// connections must proceed independently.
+	srv, addr, err := Serve("127.0.0.1:0", &fakeBackend{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	start := time.Now()
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer c.Close()
+			_, errs[i] = c.WaitRound(core.JobID(i), i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("call %d: %v", i, err)
+		}
+	}
+	// 8 blocking 10ms calls in parallel should take far less than
+	// 8×10ms even on one core.
+	if elapsed := time.Since(start); elapsed > 60*time.Millisecond {
+		t.Errorf("blocking calls serialized: %v", elapsed)
+	}
+}
+
+// TestTestbedOverRPC runs a real workload with every executor
+// dialing the scheduler over TCP — the full control-plane path.
+func TestTestbedOverRPC(t *testing.T) {
+	cl := cluster.New([]cluster.Spec{{Type: cluster.V100, Count: 2}, {Type: cluster.K80, Count: 1}}, 4)
+	specs := workload.Generate(workload.Options{
+		NumJobs: 4, RoundsScale: 0.05, MaxSync: cl.Size(), Seed: 5,
+	})
+	prof := profileFor(t, specs, cl)
+	plan, err := sched.NewHare().Schedule(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := make([]*model.Model, len(specs))
+	for i, s := range specs {
+		models[i] = model.MustByName(s.Model)
+	}
+
+	var srv *Server
+	var addr string
+	var clients []*Client
+	var mu sync.Mutex
+	opts := testbed.Options{
+		TimeScale: 1e-3,
+		Store:     store.NewMem(),
+		ClientFor: func(gpu int, local testbed.SyncClient) testbed.SyncClient {
+			mu.Lock()
+			defer mu.Unlock()
+			if srv == nil {
+				var err error
+				srv, addr, err = Serve("127.0.0.1:0", local, plan.Sequences(prof.NumGPUs))
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			c, err := Dial(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			clients = append(clients, c)
+			return c
+		},
+	}
+	res, err := testbed.Run(prof, plan, cl, models, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+		if srv != nil {
+			srv.Close()
+		}
+	}()
+	if len(res.Trace.Records) != prof.NumTasks() {
+		t.Errorf("executed %d tasks over RPC, want %d", len(res.Trace.Records), prof.NumTasks())
+	}
+	for j := range prof.Jobs {
+		if math.IsNaN(res.JobCompletion[j]) || res.JobCompletion[j] <= 0 {
+			t.Errorf("job %d completion %g", j, res.JobCompletion[j])
+		}
+	}
+}
+
+// TestDistributedExecutors runs the full distributed protocol: the
+// coordinator hosts the PSs and sequences; one executor per GPU
+// fetches its configuration over TCP, runs, and reports back. The
+// executors here run as goroutines but use exclusively the RPC path
+// (the same code cmd/hare-executor wraps).
+func TestDistributedExecutors(t *testing.T) {
+	cl := cluster.New([]cluster.Spec{{Type: cluster.V100, Count: 2}, {Type: cluster.T4, Count: 1}}, 4)
+	specs := workload.Generate(workload.Options{
+		NumJobs: 5, RoundsScale: 0.05, MaxSync: cl.Size(), Seed: 11,
+	})
+	in := profileFor(t, specs, cl)
+	plan, err := sched.NewHare().Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := make([]*model.Model, len(specs))
+	for i, s := range specs {
+		models[i] = model.MustByName(s.Model)
+	}
+	srv, addr, wait, err := ServeDistributed("127.0.0.1:0", in, plan, cl, models, DistributedOptions{
+		TimeScale: 1e-3, Speculative: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for g := 0; g < cl.Size(); g++ {
+		go func(g int) {
+			if err := RunExecutor(addr, g); err != nil {
+				t.Errorf("executor %d: %v", g, err)
+			}
+		}(g)
+	}
+	res, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace.Records) != in.NumTasks() {
+		t.Errorf("distributed run recorded %d tasks, want %d", len(res.Trace.Records), in.NumTasks())
+	}
+	for j, c := range res.JobCompletion {
+		if c <= 0 || math.IsNaN(c) {
+			t.Errorf("job %d completion %g", j, c)
+		}
+	}
+	if res.WeightedJCT <= 0 {
+		t.Errorf("weighted JCT %g", res.WeightedJCT)
+	}
+}
+
+func TestDistributedConfigValidation(t *testing.T) {
+	cl := cluster.New([]cluster.Spec{{Type: cluster.V100, Count: 1}}, 1)
+	specs := workload.Generate(workload.Options{NumJobs: 2, RoundsScale: 0.05, MaxSync: 1, Seed: 3})
+	in := profileFor(t, specs, cl)
+	plan, err := sched.NewHare().Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := []*model.Model{model.MustByName(specs[0].Model), model.MustByName(specs[1].Model)}
+	srv, addr, wait, err := ServeDistributed("127.0.0.1:0", in, plan, cl, models, DistributedOptions{TimeScale: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// Unknown GPU index rejected.
+	if err := RunExecutor(addr, 7); err == nil {
+		t.Error("bogus GPU accepted")
+	}
+	go func() {
+		if err := RunExecutor(addr, 0); err != nil {
+			t.Errorf("executor: %v", err)
+		}
+	}()
+	if _, err := wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func profileFor(t *testing.T, specs []*workload.Spec, cl *cluster.Cluster) *core.Instance {
+	t.Helper()
+	in := &core.Instance{NumGPUs: cl.Size()}
+	for i, s := range specs {
+		m := model.MustByName(s.Model)
+		in.Jobs = append(in.Jobs, s.Job)
+		tr := make([]float64, cl.Size())
+		sy := make([]float64, cl.Size())
+		for _, g := range cl.GPUs {
+			tr[g.ID] = m.BatchSeconds(g.Type.Speed, 1) * 20
+			sy[g.ID] = 0.05
+		}
+		in.Train = append(in.Train, tr)
+		in.Sync = append(in.Sync, sy)
+		_ = i
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}

@@ -1,0 +1,55 @@
+package sched
+
+import (
+	"sort"
+
+	"hare/internal/core"
+)
+
+// GavelFIFO reproduces the paper's Gavel_FIFO baseline: jobs are
+// served strictly in arrival order (head-of-line blocking, as in
+// traditional batch systems), and Gavel's heterogeneity customization
+// assigns each job to the *fastest* GPUs available when its turn
+// comes. A job gangs its Scale tasks: if fewer GPUs are idle, it
+// waits until enough become free.
+type GavelFIFO struct{}
+
+// NewGavelFIFO returns the Gavel_FIFO baseline.
+func NewGavelFIFO() *GavelFIFO { return &GavelFIFO{} }
+
+// Name implements Algorithm.
+func (*GavelFIFO) Name() string { return "Gavel_FIFO" }
+
+// Schedule implements Algorithm.
+func (*GavelFIFO) Schedule(in *core.Instance) (*core.Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	order := make([]*core.Job, len(in.Jobs))
+	copy(order, in.Jobs)
+	sort.SliceStable(order, func(a, b int) bool {
+		if order[a].Arrival != order[b].Arrival {
+			return order[a].Arrival < order[b].Arrival
+		}
+		return order[a].ID < order[b].ID
+	})
+
+	s := core.NewSchedule()
+	g := newGangState(in)
+	prevStart := 0.0
+	for _, j := range order {
+		t0, err := g.earliestForScale(j.Scale, j.Arrival)
+		if err != nil {
+			return nil, err
+		}
+		// FIFO: never start before an earlier-queued job started.
+		if t0 < prevStart {
+			t0 = prevStart
+		}
+		gpus := pickFastest(in, j, g.idleAt(t0), j.Scale)
+		end := placeGang(in, s, j, gpus, t0)
+		g.commit(gpus, end)
+		prevStart = t0
+	}
+	return s, nil
+}

@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"hare/internal/core"
+)
+
+// SchedHomo reproduces the paper's Sched_Homo baseline (Zhang et al.,
+// "Online scheduling of heterogeneous distributed machine learning
+// jobs"): it exploits inter- and intra-job parallelism to minimize
+// weighted job completion time, but it is GPU-heterogeneity-oblivious
+// — it believes every GPU runs at the fleet's mean speed — and it
+// forbids job-level preemption. Concretely: jobs are prioritized by
+// weighted-shortest-processing-time density computed with *mean* task
+// times, and each job gangs onto the first idle GPUs regardless of
+// type. The realized times on the heterogeneous fleet are what the
+// schedule actually pays — the straggler penalty the paper's Fig. 1(a)
+// illustrates.
+type SchedHomo struct{}
+
+// NewSchedHomo returns the Sched_Homo baseline.
+func NewSchedHomo() *SchedHomo { return &SchedHomo{} }
+
+// Name implements Algorithm.
+func (*SchedHomo) Name() string { return "Sched_Homo" }
+
+// meanRuntime estimates the job runtime assuming homogeneous GPUs at
+// the fleet mean speed.
+func meanRuntime(in *core.Instance, j *core.Job) float64 {
+	var mean float64
+	for m := 0; m < in.NumGPUs; m++ {
+		mean += in.Train[j.ID][m] + in.Sync[j.ID][m]
+	}
+	mean /= float64(in.NumGPUs)
+	return mean * float64(j.Rounds)
+}
+
+// Schedule implements Algorithm.
+func (*SchedHomo) Schedule(in *core.Instance) (*core.Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	for _, j := range in.Jobs {
+		if j.Scale > in.NumGPUs {
+			return nil, errScaleTooLarge(j, in.NumGPUs)
+		}
+	}
+	s := core.NewSchedule()
+	g := newGangState(in)
+	pending := append([]*core.Job(nil), in.Jobs...)
+	sort.SliceStable(pending, func(a, b int) bool {
+		if pending[a].Arrival != pending[b].Arrival {
+			return pending[a].Arrival < pending[b].Arrival
+		}
+		return pending[a].ID < pending[b].ID
+	})
+
+	now := 0.0
+	for len(pending) > 0 {
+		idle := g.idleAt(now)
+		bestIdx := -1
+		var bestKey float64
+		for i, j := range pending {
+			if j.Arrival > now+1e-9 || j.Scale > len(idle) {
+				continue
+			}
+			// Higher density schedules first; negate for min search.
+			key := -j.Weight / meanRuntime(in, j)
+			if bestIdx == -1 || key < bestKey ||
+				(key == bestKey && j.ID < pending[bestIdx].ID) {
+				bestIdx, bestKey = i, key
+			}
+		}
+		if bestIdx == -1 {
+			next := math.Inf(1)
+			for _, j := range pending {
+				if j.Arrival > now+1e-9 {
+					next = math.Min(next, j.Arrival)
+				}
+			}
+			for _, f := range g.free {
+				if f > now+1e-9 {
+					next = math.Min(next, f)
+				}
+			}
+			if math.IsInf(next, 1) {
+				panic("sched: Sched_Homo stalled with pending jobs")
+			}
+			now = next
+			continue
+		}
+		j := pending[bestIdx]
+		pending = append(pending[:bestIdx], pending[bestIdx+1:]...)
+		// Oblivious pick: first idle GPUs by index, whatever the type.
+		gpus := pickFirst(idle, j.Scale)
+		end := placeGang(in, s, j, gpus, now)
+		g.commit(gpus, end)
+	}
+	return s, nil
+}

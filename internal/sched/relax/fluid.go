@@ -1,0 +1,245 @@
+// Package relax provides solutions to relaxations of the paper's
+// Hare_Sched problem. The paper solves the mixed-integer quadratic
+// relaxation Hare_Sched_RL with a commercial solver (CPLEX/Gurobi);
+// stdlib-only, this package substitutes:
+//
+//   - Fluid: a fast deterministic fluid (processor-sharing) relaxation
+//     that honors arrivals (4), round barriers (7) and the capacity
+//     aggregate behind Queyranne's inequality (9), and yields the
+//     relaxed start times x̂_i that Algorithm 1 consumes through the
+//     middle-completion-time ordering H_i = x̂_i + ½·max_m T^c_{i,m}.
+//   - Exact: a branch-and-bound solver for tiny instances, used by
+//     tests to verify that the fluid objective lower-bounds the true
+//     optimum in practice and that Algorithm 1 stays within its
+//     α(2+α) approximation bound.
+package relax
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hare/internal/core"
+)
+
+// Solution is a relaxed schedule: per-(job, round) fluid start times
+// and fluid job completions.
+type Solution struct {
+	// RoundStart[j][r] is x̂ for every task of round r of job j: the
+	// moment fluid capacity first flows into the round.
+	RoundStart [][]float64
+	// Completion[j] is the job's fluid completion time C^fluid_n.
+	Completion []float64
+	// Objective is Σ w_n · C^fluid_n, a practical lower-bound signal
+	// for the true optimum.
+	Objective float64
+}
+
+// H returns the middle completion time of a task of round r of job j:
+// H_i = x̂_i + ½·max_m T^c_{i,m} (the paper takes the maximum over
+// machines of H_{i,m}).
+func (s *Solution) H(in *core.Instance, j core.JobID, r int) float64 {
+	var tmax float64
+	for m := 0; m < in.NumGPUs; m++ {
+		tmax = math.Max(tmax, in.Train[j][m])
+	}
+	return s.RoundStart[j][r] + 0.5*tmax
+}
+
+// phase tracks a fluid job's progress.
+type phase int
+
+const (
+	phaseWaiting phase = iota // not yet arrived
+	phaseCompute              // current round consuming capacity
+	phaseSync                 // current round synchronizing (no capacity)
+	phaseDone
+)
+
+type fluidJob struct {
+	job     *core.Job
+	tau     float64 // min_m T^c — fastest per-task training time
+	sigma   float64 // min_m T^s — fastest sync time
+	density float64 // WSPT priority w / total fastest work
+
+	state        phase
+	round        int
+	workLeft     float64 // remaining compute work of the round, in GPU·seconds
+	syncLeft     float64
+	roundStarted bool
+}
+
+// Fluid solves the fluid relaxation. The cluster is abstracted as a
+// malleable machine of capacity |M| GPU-equivalents; each job's round
+// requires Scale·τ_n GPU·seconds of work at a rate capped by Scale
+// (intra-job parallelism cannot exceed the synchronization scale), and
+// is followed by σ_n of synchronization. Capacity is allocated
+// preemptively by weighted-shortest-processing-time density, the
+// optimal single-machine fluid policy. Round starts are recorded when
+// capacity first flows into a round, matching the role x̂ plays in
+// Algorithm 1.
+func Fluid(in *core.Instance) (*Solution, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(in.Jobs)
+	jobs := make([]*fluidJob, n)
+	for i, j := range in.Jobs {
+		tau, sigma := math.Inf(1), math.Inf(1)
+		for m := 0; m < in.NumGPUs; m++ {
+			tau = math.Min(tau, in.Train[j.ID][m])
+			sigma = math.Min(sigma, in.Sync[j.ID][m])
+		}
+		total := float64(j.Rounds) * (float64(j.Scale)*tau + sigma)
+		jobs[i] = &fluidJob{
+			job:     j,
+			tau:     tau,
+			sigma:   sigma,
+			density: j.Weight / total,
+			state:   phaseWaiting,
+		}
+	}
+
+	sol := &Solution{
+		RoundStart: make([][]float64, n),
+		Completion: make([]float64, n),
+	}
+	for i, j := range in.Jobs {
+		sol.RoundStart[i] = make([]float64, j.Rounds)
+		for r := range sol.RoundStart[i] {
+			sol.RoundStart[i][r] = math.Inf(1)
+		}
+	}
+
+	// Priority order is static: WSPT density descending, ties by
+	// arrival then ID for determinism.
+	prio := make([]*fluidJob, n)
+	copy(prio, jobs)
+	sort.Slice(prio, func(a, b int) bool {
+		if prio[a].density != prio[b].density {
+			return prio[a].density > prio[b].density
+		}
+		if prio[a].job.Arrival != prio[b].job.Arrival {
+			return prio[a].job.Arrival < prio[b].job.Arrival
+		}
+		return prio[a].job.ID < prio[b].job.ID
+	})
+
+	arrivals := make([]float64, 0, n)
+	for _, j := range in.Jobs {
+		arrivals = append(arrivals, j.Arrival)
+	}
+	sort.Float64s(arrivals)
+	nextArrival := 0
+
+	const eps = 1e-12
+	t := 0.0
+	capTotal := float64(in.NumGPUs)
+	// Each event either consumes an arrival or finishes a job phase,
+	// so the loop is bounded by arrivals + jobs × rounds × 2 events.
+	maxEvents := n + 2
+	for _, j := range in.Jobs {
+		maxEvents += 2*j.Rounds + 2
+	}
+
+	for ev := 0; ev < maxEvents; ev++ {
+		// Admit arrivals at the current time.
+		for nextArrival < n && arrivals[nextArrival] <= t+eps {
+			nextArrival++
+		}
+		for _, fj := range jobs {
+			if fj.state == phaseWaiting && fj.job.Arrival <= t+eps {
+				fj.state = phaseCompute
+				fj.round = 0
+				fj.workLeft = float64(fj.job.Scale) * fj.tau
+				fj.roundStarted = false
+			}
+		}
+
+		// Allocate capacity by priority.
+		rates := make(map[core.JobID]float64)
+		capLeft := capTotal
+		for _, fj := range prio {
+			if fj.state != phaseCompute || capLeft <= eps {
+				continue
+			}
+			r := math.Min(float64(fj.job.Scale), capLeft)
+			rates[fj.job.ID] = r
+			capLeft -= r
+			if !fj.roundStarted && r > eps {
+				fj.roundStarted = true
+				sol.RoundStart[fj.job.ID][fj.round] = t
+			}
+		}
+
+		// Find the next event horizon.
+		dt := math.Inf(1)
+		for _, fj := range jobs {
+			switch fj.state {
+			case phaseCompute:
+				if r := rates[fj.job.ID]; r > eps {
+					dt = math.Min(dt, fj.workLeft/r)
+				}
+			case phaseSync:
+				dt = math.Min(dt, fj.syncLeft)
+			}
+		}
+		if nextArrival < n {
+			dt = math.Min(dt, arrivals[nextArrival]-t)
+		}
+		if math.IsInf(dt, 1) {
+			break // nothing active and no arrivals left: done
+		}
+		if dt < 0 {
+			dt = 0
+		}
+
+		// Advance.
+		t += dt
+		for _, fj := range jobs {
+			switch fj.state {
+			case phaseCompute:
+				if r := rates[fj.job.ID]; r > eps {
+					fj.workLeft -= r * dt
+					if fj.workLeft <= eps {
+						fj.workLeft = 0
+						fj.syncLeft = fj.sigma
+						fj.state = phaseSync
+					}
+				}
+			case phaseSync:
+				fj.syncLeft -= dt
+				if fj.syncLeft > eps {
+					continue
+				}
+				fj.syncLeft = 0
+				fj.round++
+				if fj.round >= fj.job.Rounds {
+					fj.state = phaseDone
+					sol.Completion[fj.job.ID] = t
+				} else {
+					fj.state = phaseCompute
+					fj.workLeft = float64(fj.job.Scale) * fj.tau
+					fj.roundStarted = false
+				}
+			}
+		}
+	}
+
+	for _, fj := range jobs {
+		if fj.state != phaseDone {
+			return nil, fmt.Errorf("relax: fluid simulation did not finish job %d (state %d)", fj.job.ID, fj.state)
+		}
+	}
+	for j := range sol.RoundStart {
+		for r, x := range sol.RoundStart[j] {
+			if math.IsInf(x, 1) {
+				return nil, fmt.Errorf("relax: round %d of job %d never started in fluid schedule", r, j)
+			}
+		}
+	}
+	for i, j := range in.Jobs {
+		sol.Objective += j.Weight * sol.Completion[i]
+	}
+	return sol, nil
+}

@@ -1,0 +1,140 @@
+// Package sched implements Hare's task scheduling algorithm
+// (Algorithm 1 of the paper) and the four baselines it is evaluated
+// against: Gavel_FIFO, SRTF, Sched_Homo and Sched_Allox. Every
+// algorithm consumes a core.Instance and produces a core.Schedule
+// that satisfies constraints (4)–(8); feasibility is enforced by
+// property tests in this package.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hare/internal/core"
+)
+
+// Algorithm is an offline scheduler.
+type Algorithm interface {
+	// Name returns the scheme's display name, matching the paper's
+	// figure legends.
+	Name() string
+	// Schedule solves the instance. Implementations must return a
+	// feasible schedule or an error (e.g. a job's synchronization
+	// scale exceeding the cluster size for gang schedulers).
+	Schedule(in *core.Instance) (*core.Schedule, error)
+}
+
+// Baselines returns the paper's four comparison schemes.
+func Baselines() []Algorithm {
+	return []Algorithm{NewGavelFIFO(), NewSRTF(), NewSchedHomo(), NewSchedAllox()}
+}
+
+// All returns Hare followed by the four baselines — the lineup of
+// every evaluation figure.
+func All() []Algorithm {
+	return append([]Algorithm{NewHare()}, Baselines()...)
+}
+
+// ByName returns the algorithm with the given display name.
+func ByName(name string) (Algorithm, error) {
+	for _, a := range All() {
+		if a.Name() == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("sched: unknown algorithm %q", name)
+}
+
+// errScaleTooLarge reports a job whose synchronization scale exceeds
+// the fleet — infeasible for any gang scheduler.
+func errScaleTooLarge(j *core.Job, numGPUs int) error {
+	return fmt.Errorf("sched: job %d (%s) needs %d GPUs but cluster has %d",
+		j.ID, j.Name, j.Scale, numGPUs)
+}
+
+// placeGang places a whole job gang-style: its Scale tasks start
+// simultaneously on the given GPUs at start, each round beginning when
+// the previous round's slowest task (train + sync) finishes. It
+// returns the job's completion time.
+func placeGang(in *core.Instance, s *core.Schedule, j *core.Job, gpus []int, start float64) float64 {
+	if len(gpus) != j.Scale {
+		panic(fmt.Sprintf("sched: job %d needs %d GPUs, got %d", j.ID, j.Scale, len(gpus)))
+	}
+	roundStart := start
+	for r := 0; r < j.Rounds; r++ {
+		var roundEnd float64
+		for k, m := range gpus {
+			s.Place(core.TaskRef{Job: j.ID, Round: r, Index: k}, m, roundStart)
+			roundEnd = math.Max(roundEnd, roundStart+in.Train[j.ID][m]+in.Sync[j.ID][m])
+		}
+		roundStart = roundEnd
+	}
+	return roundStart
+}
+
+// gangState drives the event-based job-level schedulers (FIFO, SRTF,
+// Sched_Homo): it tracks when each GPU becomes free and which jobs
+// are waiting.
+type gangState struct {
+	in   *core.Instance
+	free []float64 // φ_m: when GPU m becomes free
+}
+
+func newGangState(in *core.Instance) *gangState {
+	return &gangState{in: in, free: make([]float64, in.NumGPUs)}
+}
+
+// idleAt returns the GPUs with free-time ≤ t, in id order.
+func (g *gangState) idleAt(t float64) []int {
+	var out []int
+	for m, f := range g.free {
+		if f <= t+1e-9 {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// earliestForScale returns the earliest time at which `scale` GPUs are
+// simultaneously free (given current commitments), never earlier than
+// lower.
+func (g *gangState) earliestForScale(scale int, lower float64) (float64, error) {
+	if scale > len(g.free) {
+		return 0, fmt.Errorf("sched: job needs %d GPUs but cluster has %d", scale, len(g.free))
+	}
+	frees := append([]float64(nil), g.free...)
+	sort.Float64s(frees)
+	return math.Max(lower, frees[scale-1]), nil
+}
+
+// commit marks the job's GPUs busy until end.
+func (g *gangState) commit(gpus []int, end float64) {
+	for _, m := range gpus {
+		g.free[m] = end
+	}
+}
+
+// pickFastest selects, from candidates, the `scale` GPUs on which job
+// j trains fastest (ties by GPU id). Used by heterogeneity-aware
+// job-level schedulers (Gavel customizes FIFO to pick the fastest
+// available GPUs).
+func pickFastest(in *core.Instance, j *core.Job, candidates []int, scale int) []int {
+	c := append([]int(nil), candidates...)
+	sort.Slice(c, func(a, b int) bool {
+		ta, tb := in.Train[j.ID][c[a]], in.Train[j.ID][c[b]]
+		if ta != tb {
+			return ta < tb
+		}
+		return c[a] < c[b]
+	})
+	return c[:scale]
+}
+
+// pickFirst selects the first `scale` candidates by GPU id — the
+// heterogeneity-*oblivious* choice used by Sched_Homo.
+func pickFirst(candidates []int, scale int) []int {
+	c := append([]int(nil), candidates...)
+	sort.Ints(c)
+	return c[:scale]
+}

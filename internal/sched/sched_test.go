@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"hare/internal/core"
+	"hare/internal/stats"
+)
+
+// randomInstance builds a feasible random instance for property tests.
+func randomInstance(rng *stats.RNG, maxJobs, maxGPUs int) *core.Instance {
+	nj := 1 + rng.Intn(maxJobs)
+	nm := 1 + rng.Intn(maxGPUs)
+	in := &core.Instance{NumGPUs: nm}
+	for j := 0; j < nj; j++ {
+		job := &core.Job{
+			ID:      core.JobID(j),
+			Name:    "rnd",
+			Weight:  rng.Uniform(0.5, 4),
+			Arrival: rng.Uniform(0, 50),
+			Rounds:  1 + rng.Intn(4),
+			Scale:   1 + rng.Intn(nm),
+		}
+		in.Jobs = append(in.Jobs, job)
+		tr := make([]float64, nm)
+		sy := make([]float64, nm)
+		base := rng.Uniform(1, 20)
+		for m := 0; m < nm; m++ {
+			tr[m] = base * rng.Uniform(1, 7)
+			sy[m] = rng.Uniform(0.05, 0.9) * base
+		}
+		in.Train = append(in.Train, tr)
+		in.Sync = append(in.Sync, sy)
+	}
+	return in
+}
+
+// TestAllAlgorithmsProduceFeasibleSchedules drives every algorithm
+// over many random instances and validates constraints (4)–(8).
+func TestAllAlgorithmsProduceFeasibleSchedules(t *testing.T) {
+	rng := stats.New(7)
+	algos := append(All(), NewHareEFT())
+	for trial := 0; trial < 60; trial++ {
+		in := randomInstance(rng.Split(), 6, 5)
+		for _, a := range algos {
+			s, err := a.Schedule(in)
+			if err != nil {
+				t.Fatalf("trial %d: %s: %v", trial, a.Name(), err)
+			}
+			if err := core.ValidateSchedule(in, s); err != nil {
+				t.Fatalf("trial %d: %s produced infeasible schedule: %v", trial, a.Name(), err)
+			}
+			if w := s.WeightedJCT(in); math.IsNaN(w) || w <= 0 {
+				t.Fatalf("trial %d: %s weighted JCT = %g", trial, a.Name(), w)
+			}
+		}
+	}
+}
+
+// TestHareBeatsBaselinesOnHeterogeneousLoad checks the headline claim
+// qualitatively: on a heterogeneous instance with intra-job
+// parallelism, Hare's weighted JCT is no worse than every baseline's.
+func TestHareBeatsBaselinesOnHeterogeneousLoad(t *testing.T) {
+	rng := stats.New(11)
+	wins, trials := 0, 30
+	for trial := 0; trial < trials; trial++ {
+		in := randomInstance(rng.Split(), 8, 6)
+		hs, err := NewHare().Schedule(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hw := hs.WeightedJCT(in)
+		best := math.Inf(1)
+		for _, a := range Baselines() {
+			s, err := a.Schedule(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w := s.WeightedJCT(in); w < best {
+				best = w
+			}
+		}
+		if hw <= best*1.001 {
+			wins++
+		}
+	}
+	// Hare should match or beat the best baseline in a strong
+	// majority of random heterogeneous instances.
+	if wins < trials*6/10 {
+		t.Errorf("Hare matched/beat the best baseline in only %d/%d trials", wins, trials)
+	}
+}
+
+func TestScaleTooLargeRejected(t *testing.T) {
+	in := &core.Instance{
+		NumGPUs: 2,
+		Jobs: []*core.Job{{
+			ID: 0, Weight: 1, Rounds: 1, Scale: 3,
+		}},
+		Train: [][]float64{{1, 1}},
+		Sync:  [][]float64{{0.1, 0.1}},
+	}
+	for _, a := range []Algorithm{NewGavelFIFO(), NewSRTF(), NewSchedHomo()} {
+		if _, err := a.Schedule(in); err == nil {
+			t.Errorf("%s accepted a job wider than the cluster", a.Name())
+		}
+	}
+}

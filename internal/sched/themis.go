@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"hare/internal/core"
+)
+
+// ThemisFair is a Themis-style finish-time-fairness baseline from the
+// paper's related work (§8): at every scheduling point it runs the
+// job whose *projected* finish-time fairness ρ — realized duration
+// over idealized dedicated-cluster duration — is currently worst, so
+// no job falls arbitrarily behind the service it would get on a
+// private cluster. Like the other job-level baselines it gang-
+// schedules whole jobs without preemption; unlike Gavel's FIFO it is
+// heterogeneity-aware only through the ρ estimate's dedicated
+// denominator (placement itself picks the fastest idle GPUs, as
+// Themis's auction tends to).
+type ThemisFair struct{}
+
+// NewThemisFair returns the finish-time-fairness baseline.
+func NewThemisFair() *ThemisFair { return &ThemisFair{} }
+
+// Name implements Algorithm.
+func (*ThemisFair) Name() string { return "Themis_Fair" }
+
+// dedicated is the job's idealized duration on its fastest GPUs.
+func dedicated(in *core.Instance, j *core.Job) float64 {
+	best := math.Inf(1)
+	for m := 0; m < in.NumGPUs; m++ {
+		best = math.Min(best, in.Train[j.ID][m]+in.Sync[j.ID][m])
+	}
+	return best * float64(j.Rounds)
+}
+
+// Schedule implements Algorithm.
+func (*ThemisFair) Schedule(in *core.Instance) (*core.Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	for _, j := range in.Jobs {
+		if j.Scale > in.NumGPUs {
+			return nil, errScaleTooLarge(j, in.NumGPUs)
+		}
+	}
+	s := core.NewSchedule()
+	g := newGangState(in)
+	pending := append([]*core.Job(nil), in.Jobs...)
+	sort.SliceStable(pending, func(a, b int) bool {
+		if pending[a].Arrival != pending[b].Arrival {
+			return pending[a].Arrival < pending[b].Arrival
+		}
+		return pending[a].ID < pending[b].ID
+	})
+
+	now := 0.0
+	for len(pending) > 0 {
+		idle := g.idleAt(now)
+		bestIdx := -1
+		var bestRho float64
+		for i, j := range pending {
+			if j.Arrival > now+1e-9 || j.Scale > len(idle) {
+				continue
+			}
+			// Projected ρ if the job starts now on its fastest idle
+			// GPUs: (wait so far + realized duration) / dedicated.
+			gpus := pickFastest(in, j, idle, j.Scale)
+			var round float64
+			for _, m := range gpus {
+				round = math.Max(round, in.Train[j.ID][m]+in.Sync[j.ID][m])
+			}
+			rho := (now - j.Arrival + round*float64(j.Rounds)) / dedicated(in, j)
+			if bestIdx == -1 || rho > bestRho ||
+				(rho == bestRho && j.ID < pending[bestIdx].ID) {
+				bestIdx, bestRho = i, rho
+			}
+		}
+		if bestIdx == -1 {
+			next := math.Inf(1)
+			for _, j := range pending {
+				if j.Arrival > now+1e-9 {
+					next = math.Min(next, j.Arrival)
+				}
+			}
+			for _, f := range g.free {
+				if f > now+1e-9 {
+					next = math.Min(next, f)
+				}
+			}
+			if math.IsInf(next, 1) {
+				panic("sched: Themis_Fair stalled with pending jobs")
+			}
+			now = next
+			continue
+		}
+		j := pending[bestIdx]
+		pending = append(pending[:bestIdx], pending[bestIdx+1:]...)
+		gpus := pickFastest(in, j, idle, j.Scale)
+		end := placeGang(in, s, j, gpus, now)
+		g.commit(gpus, end)
+	}
+	return s, nil
+}

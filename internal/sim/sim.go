@@ -1,0 +1,297 @@
+// Package sim is the trace-driven discrete-event simulator (paper
+// §7.1): it replays a scheduler's per-GPU task sequences on a modeled
+// cluster, realizing task times (optionally jittered, as measured in
+// Fig. 11), enforcing the relaxed scale-fixed round barriers, and
+// charging task-switching overhead according to the selected scheme —
+// including Hare's speculative memory residency.
+//
+// The executor semantics match the paper's: each GPU consumes its
+// received task sequence in order; a task starts once the GPU is free
+// (plus any switching stall), its job has arrived, and every task of
+// the previous round has completed (training + synchronization).
+// Planned start times in the schedule are advisory only.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"hare/internal/cluster"
+	"hare/internal/core"
+	"hare/internal/gpumem"
+	"hare/internal/model"
+	"hare/internal/stats"
+	"hare/internal/switching"
+	"hare/internal/trace"
+)
+
+// Options configures one simulation run.
+type Options struct {
+	// Scheme selects the task-switching cost model. Ignored when the
+	// run has no cluster/model information.
+	Scheme switching.Scheme
+	// DisableSwitching zeroes all switching overhead (pure plan
+	// replay); used to validate plans and by scheduler-only studies.
+	DisableSwitching bool
+	// Speculative enables Hare's speculative memory manager; only
+	// meaningful with Scheme == switching.Hare.
+	Speculative bool
+	// MemPolicy selects the speculative manager's eviction policy
+	// (the paper's KeepLatest heuristic by default).
+	MemPolicy gpumem.Policy
+	// JitterFrac perturbs each realized train/sync time by ±frac
+	// (Fig. 11 measures ~2–3 % round-to-round variance). 0 disables.
+	JitterFrac float64
+	// Seed drives the jitter stream.
+	Seed int64
+	// UtilBins, when > 0, records a per-GPU utilization time series
+	// with this many bins over the makespan.
+	UtilBins int
+	// HostAwareSync scales a task's realized synchronization time
+	// down when it runs on the same host as its job's parameter
+	// server (placed with the job's first executed task): same-host
+	// gradient exchange uses IntraHostBps instead of the data-center
+	// network. Requires a cluster.
+	HostAwareSync bool
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Trace         *trace.Trace
+	JobCompletion []float64 // realized C_n per job
+	WeightedJCT   float64   // Σ w_n·C_n
+	Makespan      float64
+	// TotalSwitch is the summed switching stall, SwitchCount the
+	// number of inter-job switches.
+	TotalSwitch float64
+	SwitchCount int
+	// ResidencyHits counts switches skipped by speculative memory.
+	ResidencyHits int
+	// BusySeconds is per-GPU training time; OverheadSeconds is
+	// per-GPU switching time.
+	BusySeconds     []float64
+	OverheadSeconds []float64
+	// Utilization is BusySeconds / Makespan per GPU.
+	Utilization []float64
+	// UtilSeries, when requested, is [gpu][bin] busy fraction.
+	UtilSeries [][]float64
+}
+
+// MeanUtilization averages Utilization across GPUs.
+func (r *Result) MeanUtilization() float64 { return stats.Mean(r.Utilization) }
+
+type gpuState struct {
+	seq     []core.TaskRef
+	next    int
+	free    float64    // when the GPU finishes its current training
+	prevJob core.JobID // job of the last task run (-1 initially)
+	mem     *gpumem.Manager
+	busy    []interval // training intervals, for utilization
+	over    []interval // switching intervals
+}
+
+type interval struct{ from, to float64 }
+
+// Run replays the schedule. cl and models may be nil, in which case
+// switching costs are zero; otherwise models[j] must name job j's
+// model for switching and memory accounting.
+func Run(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, models []*model.Model, opts Options) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := core.ValidateSchedule(in, sch); err != nil {
+		return nil, fmt.Errorf("sim: invalid plan: %w", err)
+	}
+	if cl != nil && cl.Size() != in.NumGPUs {
+		return nil, fmt.Errorf("sim: cluster has %d GPUs, instance %d", cl.Size(), in.NumGPUs)
+	}
+	if models != nil && len(models) != len(in.Jobs) {
+		return nil, fmt.Errorf("sim: %d models for %d jobs", len(models), len(in.Jobs))
+	}
+	withSwitching := cl != nil && models != nil && !opts.DisableSwitching
+
+	rng := stats.New(opts.Seed)
+	gpus := make([]*gpuState, in.NumGPUs)
+	for m, seq := range sch.Sequences(in.NumGPUs) {
+		gpus[m] = &gpuState{seq: seq, prevJob: -1}
+		if withSwitching && opts.Speculative {
+			gpus[m].mem = gpumem.NewManager(cl.GPUs[m].Type.MemBytes)
+			gpus[m].mem.SetPolicy(opts.MemPolicy)
+			look := make([]gpumem.JobKey, len(seq))
+			for i, t := range seq {
+				look[i] = gpumem.JobKey(t.Job)
+			}
+			gpus[m].mem.SetLookahead(look)
+		}
+	}
+
+	// Barrier bookkeeping: remaining tasks and realized end per round.
+	remaining := make([][]int, len(in.Jobs))
+	roundEnd := make([][]float64, len(in.Jobs))
+	for _, j := range in.Jobs {
+		remaining[j.ID] = make([]int, j.Rounds)
+		roundEnd[j.ID] = make([]float64, j.Rounds)
+		for r := range remaining[j.ID] {
+			remaining[j.ID][r] = j.Scale
+		}
+	}
+	barrierOf := func(t core.TaskRef) (float64, bool) {
+		if t.Round == 0 {
+			return in.Jobs[t.Job].Arrival, true
+		}
+		if remaining[t.Job][t.Round-1] > 0 {
+			return 0, false
+		}
+		return math.Max(roundEnd[t.Job][t.Round-1], in.Jobs[t.Job].Arrival), true
+	}
+
+	res := &Result{
+		Trace:           &trace.Trace{},
+		JobCompletion:   make([]float64, len(in.Jobs)),
+		BusySeconds:     make([]float64, in.NumGPUs),
+		OverheadSeconds: make([]float64, in.NumGPUs),
+		Utilization:     make([]float64, in.NumGPUs),
+	}
+
+	// psHost anchors each job's parameter server to the host of its
+	// first executed task (host-aware sync).
+	psHost := make(map[core.JobID]int)
+
+	pendingTasks := in.NumTasks()
+	for pendingTasks > 0 {
+		// Choose the GPU whose head task can start earliest.
+		bestGPU := -1
+		var bestStart, bestSwitch float64
+		var bestHit bool
+		for m, g := range gpus {
+			if g.next >= len(g.seq) {
+				continue
+			}
+			t := g.seq[g.next]
+			barrier, ok := barrierOf(t)
+			if !ok {
+				continue // blocked on an incomplete round
+			}
+			var sw float64
+			var hit bool
+			if withSwitching && g.prevJob != t.Job {
+				var prev *model.Model
+				if g.prevJob >= 0 {
+					prev = models[g.prevJob]
+				}
+				resident := g.mem != nil && g.mem.Resident(gpumem.JobKey(t.Job))
+				b := switching.Cost(opts.Scheme, cl.GPUs[m].Type, prev, models[t.Job], resident)
+				sw, hit = b.Total(), b.ResidentHit
+			}
+			start := math.Max(g.free+sw, barrier)
+			if bestGPU == -1 || start < bestStart || (start == bestStart && m < bestGPU) {
+				bestGPU, bestStart, bestSwitch, bestHit = m, start, sw, hit
+			}
+		}
+		if bestGPU == -1 {
+			return nil, fmt.Errorf("sim: deadlock with %d tasks pending (round barrier never satisfied)", pendingTasks)
+		}
+
+		g := gpus[bestGPU]
+		t := g.seq[g.next]
+		g.next++
+		pendingTasks--
+
+		train := in.Train[t.Job][bestGPU]
+		syncT := in.Sync[t.Job][bestGPU]
+		if opts.HostAwareSync && cl != nil && cl.IntraHostBps > 0 {
+			host := cl.GPUs[bestGPU].Host
+			if h, anchored := psHost[t.Job]; !anchored {
+				// The job's first executed task anchors its PS.
+				psHost[t.Job] = host
+				syncT *= cl.NetworkBps / cl.IntraHostBps
+			} else if h == host {
+				syncT *= cl.NetworkBps / cl.IntraHostBps
+			}
+		}
+		if opts.JitterFrac > 0 {
+			train = rng.Jitter(train, opts.JitterFrac)
+			syncT = rng.Jitter(syncT, opts.JitterFrac)
+		}
+		start := bestStart
+		trainEnd := start + train
+		end := trainEnd + syncT
+
+		if bestSwitch > 0 {
+			g.over = append(g.over, interval{start - bestSwitch, start})
+			res.OverheadSeconds[bestGPU] += bestSwitch
+			res.TotalSwitch += bestSwitch
+			res.SwitchCount++
+			if bestHit {
+				res.ResidencyHits++
+			}
+		}
+		if g.mem != nil {
+			md := models[t.Job]
+			g.mem.Begin(gpumem.JobKey(t.Job), md.TrainFootprintBytes)
+			g.mem.Complete(gpumem.JobKey(t.Job), md.ParamBytes, trainEnd)
+		}
+		g.busy = append(g.busy, interval{start, trainEnd})
+		res.BusySeconds[bestGPU] += train
+		g.free = trainEnd
+		g.prevJob = t.Job
+
+		remaining[t.Job][t.Round]--
+		if end > roundEnd[t.Job][t.Round] {
+			roundEnd[t.Job][t.Round] = end
+		}
+		if end > res.JobCompletion[t.Job] {
+			res.JobCompletion[t.Job] = end
+		}
+		if end > res.Makespan {
+			res.Makespan = end
+		}
+		res.Trace.Add(trace.TaskRecord{
+			Task: t, GPU: bestGPU, Start: start,
+			Train: train, Sync: syncT, Switch: bestSwitch,
+		})
+	}
+
+	for j, c := range res.JobCompletion {
+		res.WeightedJCT += in.Jobs[j].Weight * c
+	}
+	if res.Makespan > 0 {
+		for m := range res.Utilization {
+			res.Utilization[m] = res.BusySeconds[m] / res.Makespan
+		}
+	}
+	if opts.UtilBins > 0 && res.Makespan > 0 {
+		res.UtilSeries = make([][]float64, in.NumGPUs)
+		for m, g := range gpus {
+			res.UtilSeries[m] = binIntervals(g.busy, res.Makespan, opts.UtilBins)
+		}
+	}
+	return res, nil
+}
+
+// binIntervals converts busy intervals into a busy-fraction series of
+// n bins over [0, horizon].
+func binIntervals(ivs []interval, horizon float64, n int) []float64 {
+	out := make([]float64, n)
+	w := horizon / float64(n)
+	for _, iv := range ivs {
+		lo := int(iv.from / w)
+		hi := int(iv.to / w)
+		for b := lo; b <= hi && b < n; b++ {
+			if b < 0 {
+				continue
+			}
+			bs, be := float64(b)*w, float64(b+1)*w
+			overlap := math.Min(iv.to, be) - math.Max(iv.from, bs)
+			if overlap > 0 {
+				out[b] += overlap / w
+			}
+		}
+	}
+	for b := range out {
+		if out[b] > 1 {
+			out[b] = 1
+		}
+	}
+	return out
+}

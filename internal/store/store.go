@@ -1,0 +1,172 @@
+// Package store is the checkpoint store of the testbed — the stand-in
+// for the HDFS deployment in the paper's system diagram (Fig. 9).
+// Parameter servers save per-job model checkpoints here after every
+// synchronized round; executors load them when a task of the job is
+// (re)scheduled onto a GPU whose memory no longer holds the model.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store persists named binary blobs.
+type Store interface {
+	// Save overwrites key with data.
+	Save(key string, data []byte) error
+	// Load returns the blob at key, or an error if absent.
+	Load(key string) ([]byte, error)
+	// Exists reports whether key is present.
+	Exists(key string) bool
+	// Keys lists all stored keys, sorted.
+	Keys() []string
+}
+
+// MemStore is an in-memory Store, safe for concurrent use.
+type MemStore struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *MemStore { return &MemStore{m: make(map[string][]byte)} }
+
+// Save implements Store.
+func (s *MemStore) Save(key string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = append([]byte(nil), data...)
+	return nil
+}
+
+// Load implements Store.
+func (s *MemStore) Load(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.m[key]
+	if !ok {
+		return nil, fmt.Errorf("store: key %q not found", key)
+	}
+	return append([]byte(nil), d...), nil
+}
+
+// Exists implements Store.
+func (s *MemStore) Exists(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.m[key]
+	return ok
+}
+
+// Keys implements Store.
+func (s *MemStore) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.m))
+	for k := range s.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DirStore persists blobs as files under a directory; keys map to
+// file names with '/' replaced by '__'.
+type DirStore struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// NewDir returns a DirStore rooted at dir, creating it if needed.
+func NewDir(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+func (s *DirStore) path(key string) string {
+	return filepath.Join(s.dir, strings.ReplaceAll(key, "/", "__"))
+}
+
+// Save implements Store.
+func (s *DirStore) Save(key string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp := s.path(key) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.path(key))
+}
+
+// Load implements Store.
+func (s *DirStore) Load(key string) ([]byte, error) {
+	return os.ReadFile(s.path(key))
+}
+
+// Exists implements Store.
+func (s *DirStore) Exists(key string) bool {
+	_, err := os.Stat(s.path(key))
+	return err == nil
+}
+
+// Keys implements Store.
+func (s *DirStore) Keys() []string {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range ents {
+		if !e.IsDir() && !strings.HasSuffix(e.Name(), ".tmp") {
+			out = append(out, strings.ReplaceAll(e.Name(), "__", "/"))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EncodeParams serializes a float64 parameter vector (a checkpoint).
+func EncodeParams(w []float64) []byte {
+	buf := bytes.NewBuffer(make([]byte, 0, 8+8*len(w)))
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(w)))
+	buf.Write(n[:])
+	for _, x := range w {
+		binary.LittleEndian.PutUint64(n[:], math.Float64bits(x))
+		buf.Write(n[:])
+	}
+	return buf.Bytes()
+}
+
+// DecodeParams parses a checkpoint written by EncodeParams.
+func DecodeParams(data []byte) ([]float64, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("store: checkpoint too short (%d bytes)", len(data))
+	}
+	n := binary.LittleEndian.Uint64(data[:8])
+	if uint64(len(data)-8) != 8*n {
+		return nil, fmt.Errorf("store: checkpoint declares %d params but holds %d bytes", n, len(data)-8)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8+8*i:]))
+	}
+	return out, nil
+}
+
+// CheckpointKey names a job's checkpoint after a given round.
+func CheckpointKey(jobID int, round int) string {
+	return fmt.Sprintf("ckpt/job%04d/round%06d", jobID, round)
+}
+
+// LatestKey names a job's rolling "latest" checkpoint.
+func LatestKey(jobID int) string { return fmt.Sprintf("ckpt/job%04d/latest", jobID) }

@@ -1,0 +1,86 @@
+package switching
+
+import (
+	"testing"
+
+	"hare/internal/cluster"
+	"hare/internal/model"
+)
+
+func TestEarlyCleaningOverlapBounds(t *testing.T) {
+	for _, prev := range model.Zoo() {
+		for _, next := range model.Zoo() {
+			if prev.Name == next.Name {
+				continue
+			}
+			batch := prev.BatchSeconds(cluster.V100.Speed, 1)
+			o := EarlyCleaningOverlap(prev, next, cluster.V100, batch)
+			if o < 0 || o > 1 {
+				t.Errorf("%s->%s: overlap %g outside [0,1]", prev.Name, next.Name, o)
+			}
+		}
+	}
+}
+
+func TestEarlyCleaningNoPredecessorNoOverlap(t *testing.T) {
+	next := model.MustByName("ResNet50")
+	if o := EarlyCleaningOverlap(nil, next, cluster.V100, 1); o != 0 {
+		t.Errorf("cold start overlap %g", o)
+	}
+	if o := EarlyCleaningOverlap(next, next, cluster.V100, 0); o != 0 {
+		t.Errorf("zero batch time overlap %g", o)
+	}
+}
+
+// TestDerivedOverlapNearCalibration sanity-checks the calibrated
+// constant (hareOverlapFrac = 0.5) against the first-principles
+// derivation: averaged over the zoo's model pairs on a V100, the
+// derived overlap should bracket the constant.
+func TestDerivedOverlapNearCalibration(t *testing.T) {
+	var sum float64
+	n := 0
+	for _, prev := range model.Zoo() {
+		for _, next := range model.Zoo() {
+			if prev.Name == next.Name {
+				continue
+			}
+			batch := prev.BatchSeconds(cluster.V100.Speed, 1)
+			sum += EarlyCleaningOverlap(prev, next, cluster.V100, batch)
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	t.Logf("mean derived overlap: %.2f (calibrated constant %.2f)", mean, hareOverlapFrac)
+	if mean < 0.2 || mean > 1 {
+		t.Errorf("derived overlap %.2f far from the calibrated %.2f", mean, hareOverlapFrac)
+	}
+}
+
+func TestCostDerivedBelowPipeSwitch(t *testing.T) {
+	for _, prev := range model.Zoo() {
+		for _, next := range model.Zoo() {
+			if prev.Name == next.Name {
+				continue
+			}
+			batch := prev.BatchSeconds(cluster.V100.Speed, 1)
+			d := CostDerived(Hare, cluster.V100, prev, next, false, batch).Total()
+			p := Cost(PipeSwitch, cluster.V100, prev, next, false).Total()
+			if d >= p {
+				t.Errorf("%s->%s: derived Hare %.4f not below PipeSwitch %.4f", prev.Name, next.Name, d, p)
+			}
+		}
+	}
+}
+
+func TestCostDerivedFallsThrough(t *testing.T) {
+	a, b := model.MustByName("VGG19"), model.MustByName("ResNet50")
+	// Non-Hare schemes and residency hits delegate to Cost.
+	if got, want := CostDerived(Default, cluster.V100, a, b, false, 1).Total(),
+		Cost(Default, cluster.V100, a, b, false).Total(); got != want {
+		t.Errorf("Default: %g != %g", got, want)
+	}
+	if got, want := CostDerived(Hare, cluster.V100, a, b, true, 1).Total(),
+		Cost(Hare, cluster.V100, a, b, true).Total(); got != want {
+		t.Errorf("hit: %g != %g", got, want)
+	}
+}

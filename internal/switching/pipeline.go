@@ -1,0 +1,117 @@
+package switching
+
+import (
+	"fmt"
+
+	"hare/internal/cluster"
+	"hare/internal/model"
+)
+
+// This file models the pipelined model transmission that PipeSwitch
+// (and Hare on top of it) uses at layer granularity: the model's
+// layers are grouped into transfer units; unit i+1 moves over PCIe
+// while the first mini-batch's forward pass executes the layers of
+// units ≤ i. The visible switch stall is the time until execution can
+// start *and never starves* — i.e. the pipeline fill plus any bubble
+// where execution catches up with transmission.
+//
+// The closed-form Cost model (switching.go) approximates this with a
+// calibrated SwitchUnitBytes; PipelineStall computes it exactly from
+// the layer breakdown, and tests verify the two agree to first order.
+
+// PipelinePlan describes one pipelined transfer.
+type PipelinePlan struct {
+	// Units are the transfer groups, each a contiguous run of layers.
+	Units []PipelineUnit
+	// Stall is the wall-clock delay before the first batch can start
+	// with the guarantee of no mid-batch starvation.
+	Stall float64
+	// TransferTotal is the full transmission time of the model.
+	TransferTotal float64
+	// ExecTotal is the first batch's execution time.
+	ExecTotal float64
+}
+
+// PipelineUnit is one host→device transfer group.
+type PipelineUnit struct {
+	FirstLayer, LastLayer int
+	Bytes                 int64
+	TransferSeconds       float64
+	ExecSeconds           float64
+}
+
+// GroupLayers packs a model's layers into at most maxUnits contiguous
+// transfer units of roughly equal byte size — PipeSwitch's
+// unit-grouping optimization, which amortizes per-transfer call
+// overhead without inflating the pipeline fill.
+func GroupLayers(m *model.Model, maxUnits int) []PipelineUnit {
+	if maxUnits <= 0 {
+		maxUnits = 8
+	}
+	layers := m.Layers()
+	if len(layers) < maxUnits {
+		maxUnits = len(layers)
+	}
+	target := m.ParamBytes / int64(maxUnits)
+	var units []PipelineUnit
+	cur := PipelineUnit{FirstLayer: 0}
+	for i, l := range layers {
+		cur.Bytes += l.ParamBytes
+		cur.LastLayer = i
+		if cur.Bytes >= target && len(units) < maxUnits-1 {
+			units = append(units, cur)
+			cur = PipelineUnit{FirstLayer: i + 1}
+		}
+	}
+	if cur.LastLayer >= cur.FirstLayer && cur.FirstLayer < len(layers) {
+		units = append(units, cur)
+	}
+	return units
+}
+
+// PipelineStall simulates the pipelined switch onto gpu for model m
+// with the first batch's execution time batchSeconds, distributed
+// over layers proportionally to their parameter bytes. It returns the
+// full plan. maxUnits ≤ 0 selects the default grouping.
+func PipelineStall(m *model.Model, gpu cluster.GPUType, batchSeconds float64, maxUnits int) (*PipelinePlan, error) {
+	if batchSeconds <= 0 {
+		return nil, fmt.Errorf("switching: non-positive batch time %g", batchSeconds)
+	}
+	units := GroupLayers(m, maxUnits)
+	if len(units) == 0 {
+		return nil, fmt.Errorf("switching: model %s has no layers", m.Name)
+	}
+	plan := &PipelinePlan{Units: units}
+	for i := range plan.Units {
+		u := &plan.Units[i]
+		u.TransferSeconds = float64(u.Bytes) / gpu.PCIeBytesPerSec
+		u.ExecSeconds = batchSeconds * float64(u.Bytes) / float64(m.ParamBytes)
+		plan.TransferTotal += u.TransferSeconds
+		plan.ExecTotal += u.ExecSeconds
+	}
+	// The execution of unit i may begin once units 0..i have arrived.
+	// Find the smallest start offset such that execution never
+	// starves: start = max_i (arrival(i) − execBefore(i)).
+	var arrival, execBefore, stall float64
+	for i := range plan.Units {
+		arrival += plan.Units[i].TransferSeconds
+		if d := arrival - execBefore; d > stall {
+			stall = d
+		}
+		execBefore += plan.Units[i].ExecSeconds
+	}
+	plan.Stall = stall + pipelineBaseSeconds
+	return plan, nil
+}
+
+// PipelineSpeedup reports how much the pipelined switch saves versus
+// a sequential transfer-then-execute for the first batch. Both paths
+// pay the same fixed process-wakeup latency.
+func (p *PipelinePlan) PipelineSpeedup() float64 {
+	sequential := pipelineBaseSeconds + p.TransferTotal + p.ExecTotal
+	pipelined := p.Stall + p.ExecTotal
+	if pipelined <= 0 {
+		return 1
+	}
+	return sequential / pipelined
+}

@@ -1,0 +1,115 @@
+package switching
+
+import (
+	"testing"
+
+	"hare/internal/cluster"
+	"hare/internal/model"
+)
+
+func TestGroupLayersCoverAllBytes(t *testing.T) {
+	for _, m := range model.All() {
+		for _, maxUnits := range []int{1, 4, 8, 100} {
+			units := GroupLayers(m, maxUnits)
+			if len(units) == 0 {
+				t.Fatalf("%s: no units", m.Name)
+			}
+			if len(units) > maxUnits && maxUnits >= 1 {
+				t.Errorf("%s: %d units exceed max %d", m.Name, len(units), maxUnits)
+			}
+			var total int64
+			lastEnd := -1
+			for _, u := range units {
+				if u.FirstLayer != lastEnd+1 {
+					t.Errorf("%s: unit starts at layer %d after %d", m.Name, u.FirstLayer, lastEnd)
+				}
+				lastEnd = u.LastLayer
+				total += u.Bytes
+			}
+			if lastEnd != m.NumLayers-1 {
+				t.Errorf("%s: units end at layer %d of %d", m.Name, lastEnd, m.NumLayers)
+			}
+			if total != m.ParamBytes {
+				t.Errorf("%s: units carry %d bytes of %d", m.Name, total, m.ParamBytes)
+			}
+		}
+	}
+}
+
+func TestPipelineStallBelowSequential(t *testing.T) {
+	for _, m := range model.All() {
+		batch := m.BatchSeconds(cluster.V100.Speed, 1)
+		plan, err := PipelineStall(m, cluster.V100, batch, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Stall <= 0 {
+			t.Errorf("%s: non-positive stall", m.Name)
+		}
+		if plan.Stall > plan.TransferTotal+pipelineBaseSeconds+1e-12 {
+			t.Errorf("%s: stall %.4f exceeds full transfer %.4f", m.Name, plan.Stall, plan.TransferTotal)
+		}
+		if sp := plan.PipelineSpeedup(); sp < 1 {
+			t.Errorf("%s: pipeline slower than sequential (%.3f)", m.Name, sp)
+		}
+	}
+}
+
+func TestPipelineStallSingleUnitIsSequential(t *testing.T) {
+	m := model.MustByName("VGG19")
+	batch := m.BatchSeconds(cluster.V100.Speed, 1)
+	plan, err := PipelineStall(m, cluster.V100, batch, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With one unit there is no overlap: the stall is the full
+	// transfer.
+	want := plan.TransferTotal + pipelineBaseSeconds
+	if diff := plan.Stall - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("single-unit stall %.6f, want %.6f", plan.Stall, want)
+	}
+}
+
+func TestMoreUnitsNeverHurt(t *testing.T) {
+	// Finer pipelining can only reduce (or keep) the stall when
+	// execution is slower than transfer per byte.
+	m := model.MustByName("Bert_base")
+	batch := m.BatchSeconds(cluster.V100.Speed, 1)
+	prev := -1.0
+	for _, units := range []int{1, 2, 4, 8} {
+		plan, err := PipelineStall(m, cluster.V100, batch, units)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && plan.Stall > prev+1e-9 {
+			t.Errorf("stall grew from %.5f to %.5f at %d units", prev, plan.Stall, units)
+		}
+		prev = plan.Stall
+	}
+}
+
+// TestPipelineConsistentWithClosedForm checks the calibrated
+// closed-form PipeSwitch cost tracks the explicit pipeline simulation
+// within a small factor for every model.
+func TestPipelineConsistentWithClosedForm(t *testing.T) {
+	for _, m := range model.Zoo() {
+		batch := m.BatchSeconds(cluster.V100.Speed, 1)
+		plan, err := PipelineStall(m, cluster.V100, batch, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed := Cost(PipeSwitch, cluster.V100, nil, m, false).Total()
+		ratio := closed / plan.Stall
+		if ratio < 0.2 || ratio > 8 {
+			t.Errorf("%s: closed form %.2fms vs pipeline %.2fms (ratio %.2f)",
+				m.Name, closed*1e3, plan.Stall*1e3, ratio)
+		}
+	}
+}
+
+func TestPipelineStallErrors(t *testing.T) {
+	m := model.MustByName("VGG19")
+	if _, err := PipelineStall(m, cluster.V100, 0, 0); err == nil {
+		t.Error("zero batch time accepted")
+	}
+}

@@ -1,0 +1,173 @@
+// Package switching models the cost of switching a GPU between tasks
+// of different jobs — the overhead Hare's fast task switching attacks
+// (paper §4). Three schemes are modeled:
+//
+//   - Default: the predecessor frees its GPU memory, then the
+//     successor creates a CUDA context, re-initializes the framework
+//     (cuDNN heuristics, allocator warmup) and transfers its whole
+//     model over PCIe, all sequentially — seconds per switch
+//     (Table 3's "Default" row).
+//   - PipeSwitch: contexts are pre-created in standby processes and
+//     model transfer is pipelined layer by layer with execution, so
+//     the visible stall is only the pipeline fill (the first
+//     "switch unit" of front layers/workspace) plus pointer cleanup —
+//     milliseconds.
+//   - Hare: PipeSwitch plus (a) early task cleaning — per-layer
+//     intermediate data is freed as backward completes, so the
+//     successor's pre-load overlaps the predecessor's tail — and
+//     (b) speculative memory management — if the successor's model is
+//     still resident (see internal/gpumem) the transfer is skipped
+//     entirely.
+//
+// Consecutive tasks of the *same* job share a context and weights and
+// pay no switching cost, matching the traditional exclusive-GPU
+// setting the paper contrasts against.
+package switching
+
+import (
+	"fmt"
+
+	"hare/internal/cluster"
+	"hare/internal/model"
+)
+
+// Scheme selects a switching implementation.
+type Scheme int
+
+// The three schemes of Table 3.
+const (
+	Default Scheme = iota
+	PipeSwitch
+	Hare
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Default:
+		return "Default"
+	case PipeSwitch:
+		return "PipeSwitch"
+	case Hare:
+		return "Hare"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// Schemes lists every scheme in Table 3 order.
+func Schemes() []Scheme { return []Scheme{Default, PipeSwitch, Hare} }
+
+// Fixed cost constants, calibrated to PipeSwitch's published
+// measurements and the paper's Table 3.
+const (
+	// ctxDestroySeconds and ctxCreateSeconds are CUDA context
+	// teardown/creation, paid only by the Default scheme (PipeSwitch
+	// and Hare pre-create contexts in standby processes).
+	ctxDestroySeconds = 0.40
+	ctxCreateSeconds  = 0.60
+	// pointerCleanSeconds is PipeSwitch's pointer-only cleanup of the
+	// predecessor.
+	pointerCleanSeconds = 0.0003
+	// pipelineBaseSeconds is the fixed pipeline start latency
+	// (process wakeup, first kernel launch) of a pipelined switch.
+	pipelineBaseSeconds = 0.0015
+	// perLayerSeconds is the per-layer pipeline bookkeeping (hook
+	// dispatch, transfer enqueue).
+	perLayerSeconds = 0.00002
+	// hareBaseSeconds is Hare's fixed switch latency: standby-process
+	// wakeup plus weight-pointer rebinding.
+	hareBaseSeconds = 0.0005
+	// hareOverlapFrac is the fraction of the successor's switch-unit
+	// transfer hidden under the predecessor's tail thanks to early
+	// task cleaning (memory is free before the predecessor finishes).
+	hareOverlapFrac = 0.5
+)
+
+// Breakdown itemizes one switch.
+type Breakdown struct {
+	Scheme Scheme
+	// Clean is predecessor cleanup (memory scrub or pointer drop).
+	Clean float64
+	// Context is CUDA context destroy+create (Default only).
+	Context float64
+	// Init is framework re-initialization (Default only).
+	Init float64
+	// Transfer is the visible host→device transfer stall.
+	Transfer float64
+	// ResidentHit records that speculative memory skipped the
+	// transfer entirely.
+	ResidentHit bool
+}
+
+// Total returns the switch's wall-clock cost in seconds.
+func (b Breakdown) Total() float64 {
+	return b.Clean + b.Context + b.Init + b.Transfer
+}
+
+// Cost returns the switching cost on gpu when next replaces prev.
+//
+// prev is nil for a cold start (first task on the GPU; the Default
+// scheme still pays context creation and initialization, the
+// pipelined schemes have pre-created contexts). nextResident reports
+// whether next's weights are already on the device (only Hare's
+// speculative memory manager can make it true). Same-job consecutive
+// tasks should not call Cost at all — they pay nothing.
+func Cost(s Scheme, gpu cluster.GPUType, prev, next *model.Model, nextResident bool) Breakdown {
+	if next == nil {
+		panic("switching: Cost requires a successor model")
+	}
+	switch s {
+	case Default:
+		b := Breakdown{Scheme: s}
+		if prev != nil {
+			// Scrub the predecessor's full footprint at device
+			// memory bandwidth, then tear the context down.
+			b.Clean = float64(prev.TrainFootprintBytes)/gpu.MemBWBytesPerSec + ctxDestroySeconds
+		}
+		b.Context = ctxCreateSeconds
+		b.Init = next.InitSeconds
+		b.Transfer = float64(next.ParamBytes) / gpu.PCIeBytesPerSec
+		return b
+	case PipeSwitch:
+		b := Breakdown{Scheme: s}
+		if prev != nil {
+			b.Clean = pointerCleanSeconds
+		}
+		b.Transfer = pipelineBaseSeconds +
+			float64(next.SwitchUnitBytes)/gpu.PCIeBytesPerSec +
+			perLayerSeconds*float64(next.NumLayers)
+		return b
+	case Hare:
+		b := Breakdown{Scheme: s}
+		// Early task cleaning runs during the predecessor's backward
+		// pass, so no cleanup appears on the switch's critical path.
+		if nextResident {
+			b.ResidentHit = true
+			b.Transfer = hareBaseSeconds
+			return b
+		}
+		b.Transfer = hareBaseSeconds +
+			(1-hareOverlapFrac)*float64(next.SwitchUnitBytes)/gpu.PCIeBytesPerSec +
+			perLayerSeconds*float64(next.NumLayers)
+		return b
+	}
+	panic(fmt.Sprintf("switching: unknown scheme %d", int(s)))
+}
+
+// Omega is the paper's Fig. 7 switching-cost metric for a pair of
+// alternating tasks: Ω = t_sw / (t_c^a + t_c^b), where t_sw is the
+// mean cost of one switch in the alternation and t_c are the two
+// tasks' single-batch training times on the GPU.
+func Omega(s Scheme, gpu cluster.GPUType, a, b *model.Model, batchA, batchB float64) float64 {
+	swAB := Cost(s, gpu, a, b, false).Total()
+	swBA := Cost(s, gpu, b, a, false).Total()
+	return ((swAB + swBA) / 2) / (batchA + batchB)
+}
+
+// OverheadPercent returns the Table 3 parenthetical: the switch cost
+// as a percentage of the total task time (switch + task).
+func OverheadPercent(switchSeconds, taskSeconds float64) float64 {
+	if switchSeconds+taskSeconds <= 0 {
+		return 0
+	}
+	return 100 * switchSeconds / (switchSeconds + taskSeconds)
+}

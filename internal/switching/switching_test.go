@@ -1,0 +1,154 @@
+package switching
+
+import (
+	"testing"
+
+	"hare/internal/cluster"
+	"hare/internal/model"
+)
+
+func TestSchemeOrdering(t *testing.T) {
+	// For every (prev, next) pair: Default ≫ PipeSwitch > Hare(miss)
+	// > Hare(hit).
+	zoo := model.Zoo()
+	for _, prev := range zoo {
+		for _, next := range zoo {
+			if prev.Name == next.Name {
+				continue
+			}
+			d := Cost(Default, cluster.V100, prev, next, false).Total()
+			p := Cost(PipeSwitch, cluster.V100, prev, next, false).Total()
+			h := Cost(Hare, cluster.V100, prev, next, false).Total()
+			hit := Cost(Hare, cluster.V100, prev, next, true).Total()
+			if !(d > p && p > h && h > hit) {
+				t.Errorf("%s->%s: default %.4f pipe %.4f hare %.4f hit %.4f",
+					prev.Name, next.Name, d, p, h, hit)
+			}
+			if d < 1 {
+				t.Errorf("%s->%s: default switch %.3fs, want seconds-scale", prev.Name, next.Name, d)
+			}
+			if p > 0.05 {
+				t.Errorf("%s->%s: PipeSwitch %.4fs, want ms-scale", prev.Name, next.Name, p)
+			}
+		}
+	}
+}
+
+func TestTable3Calibration(t *testing.T) {
+	// The Default column is calibrated to the paper's Table 3 within
+	// 15%: e.g. Bert_base ~9.0s, VGG19 ~3.3s (switching from an
+	// average predecessor).
+	targets := map[string]float64{
+		"VGG19": 3.29, "ResNet50": 5.96, "InceptionV3": 7.81, "Bert_base": 9.02,
+		"Transformer": 5.26, "DeepSpeech": 5.13, "FastGCN": 5.33, "GraphSAGE": 5.21,
+	}
+	zoo := model.Zoo()
+	for _, next := range zoo {
+		var sum float64
+		n := 0
+		for _, prev := range zoo {
+			if prev.Name == next.Name {
+				continue
+			}
+			sum += Cost(Default, cluster.V100, prev, next, false).Total()
+			n++
+		}
+		avg := sum / float64(n)
+		want := targets[next.Name]
+		if avg < want*0.85 || avg > want*1.15 {
+			t.Errorf("%s: default switch %.2fs, paper %.2fs", next.Name, avg, want)
+		}
+	}
+}
+
+func TestColdStart(t *testing.T) {
+	m := model.MustByName("ResNet50")
+	// With no predecessor there is nothing to clean.
+	d := Cost(Default, cluster.V100, nil, m, false)
+	if d.Clean != 0 {
+		t.Errorf("cold start cleaned %.3fs", d.Clean)
+	}
+	if d.Context == 0 || d.Init == 0 || d.Transfer == 0 {
+		t.Errorf("cold default start missing components: %+v", d)
+	}
+	p := Cost(PipeSwitch, cluster.V100, nil, m, false)
+	if p.Clean != 0 || p.Context != 0 || p.Init != 0 {
+		t.Errorf("pipelined cold start pays setup: %+v", p)
+	}
+}
+
+func TestResidentHitSkipsTransfer(t *testing.T) {
+	a, b := model.MustByName("VGG19"), model.MustByName("Bert_base")
+	hit := Cost(Hare, cluster.V100, a, b, true)
+	if !hit.ResidentHit {
+		t.Error("hit not flagged")
+	}
+	if hit.Total() > 0.001 {
+		t.Errorf("resident hit costs %.4fs, want sub-millisecond", hit.Total())
+	}
+	miss := Cost(Hare, cluster.V100, a, b, false)
+	if miss.ResidentHit {
+		t.Error("miss flagged as hit")
+	}
+}
+
+func TestDefaultCleanScalesWithPredecessor(t *testing.T) {
+	small := model.MustByName("GraphSAGE")
+	big := model.MustByName("Bert_base")
+	next := model.MustByName("ResNet50")
+	cSmall := Cost(Default, cluster.V100, small, next, false).Clean
+	cBig := Cost(Default, cluster.V100, big, next, false).Clean
+	if cBig <= cSmall {
+		t.Errorf("cleaning a %d-byte footprint (%.4fs) not costlier than %d bytes (%.4fs)",
+			big.TrainFootprintBytes, cBig, small.TrainFootprintBytes, cSmall)
+	}
+}
+
+func TestSlowerPCIeCostsMore(t *testing.T) {
+	a, b := model.MustByName("VGG19"), model.MustByName("Bert_base")
+	slow := cluster.V100
+	slow.PCIeBytesPerSec /= 4
+	if Cost(PipeSwitch, slow, a, b, false).Total() <= Cost(PipeSwitch, cluster.V100, a, b, false).Total() {
+		t.Error("quartered PCIe bandwidth did not increase the pipelined switch cost")
+	}
+}
+
+func TestOmega(t *testing.T) {
+	a, b := model.MustByName("GraphSAGE"), model.MustByName("ResNet50")
+	// Batch times on a V100.
+	ba := a.BatchSeconds(cluster.V100.Speed, 1)
+	bb := b.BatchSeconds(cluster.V100.Speed, 1)
+	if o := Omega(Default, cluster.V100, a, b, ba, bb); o < 2 {
+		t.Errorf("default Omega %.2f, want ≫ 1 (Fig. 7)", o)
+	}
+	if o := Omega(Hare, cluster.V100, a, b, ba, bb); o > 0.1 {
+		t.Errorf("Hare Omega %.3f, want ≪ 1", o)
+	}
+}
+
+func TestOverheadPercent(t *testing.T) {
+	if p := OverheadPercent(1, 9); p != 10 {
+		t.Errorf("got %g, want 10", p)
+	}
+	if p := OverheadPercent(0, 0); p != 0 {
+		t.Errorf("degenerate case %g", p)
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	if Default.String() != "Default" || PipeSwitch.String() != "PipeSwitch" || Hare.String() != "Hare" {
+		t.Error("scheme names wrong")
+	}
+	if len(Schemes()) != 3 {
+		t.Error("Schemes() incomplete")
+	}
+}
+
+func TestCostPanicsWithoutSuccessor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for nil successor")
+		}
+	}()
+	Cost(Default, cluster.V100, nil, nil, false)
+}

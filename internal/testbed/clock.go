@@ -1,0 +1,52 @@
+package testbed
+
+import (
+	"fmt"
+	"time"
+)
+
+// Clock maps simulated seconds onto wall time at a fixed scale, so a
+// workload profiled in GPU-hours replays in wall seconds while
+// preserving every relative timing. All testbed components share one
+// clock; realized timings are measured with Now, so scheduling and
+// synchronization delays show up in the results exactly as they
+// happen.
+type Clock struct {
+	start time.Time
+	// wallPerSim is wall seconds per simulated second.
+	wallPerSim float64
+}
+
+// NewClock starts a clock with the given wall-seconds-per-sim-second
+// scale (e.g. 0.001 replays 1000 simulated seconds per wall second).
+func NewClock(wallPerSim float64) *Clock {
+	return NewClockAt(time.Now(), wallPerSim)
+}
+
+// NewClockAt starts a clock with an explicit wall epoch, so clocks in
+// different processes (distributed executors) share one simulated
+// time base.
+func NewClockAt(start time.Time, wallPerSim float64) *Clock {
+	if wallPerSim <= 0 {
+		panic(fmt.Sprintf("testbed: non-positive clock scale %g", wallPerSim))
+	}
+	return &Clock{start: start, wallPerSim: wallPerSim}
+}
+
+// Epoch returns the clock's wall-time origin.
+func (c *Clock) Epoch() time.Time { return c.start }
+
+// Now returns the current simulated time in seconds.
+func (c *Clock) Now() float64 {
+	return time.Since(c.start).Seconds() / c.wallPerSim
+}
+
+// SleepUntil blocks until the simulated time reaches t (no-op when t
+// has already passed) and returns the simulated time on wakeup.
+func (c *Clock) SleepUntil(t float64) float64 {
+	d := time.Duration((t - c.Now()) * c.wallPerSim * float64(time.Second))
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return c.Now()
+}

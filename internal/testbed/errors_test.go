@@ -1,0 +1,162 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hare/internal/cluster"
+	"hare/internal/core"
+	"hare/internal/sched"
+)
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	in, cl, models := smallWorkload(t, 3, 31)
+	plan, err := sched.NewHare().Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Infeasible plan.
+	bad := core.NewSchedule()
+	for _, tr := range in.Tasks() {
+		bad.Place(tr, 0, 0)
+	}
+	if _, err := Run(in, bad, cl, models, Options{TimeScale: 1e-4}); err == nil ||
+		!strings.Contains(err.Error(), "invalid plan") {
+		t.Errorf("infeasible plan accepted: %v", err)
+	}
+	// Cluster size mismatch.
+	tiny := cluster.New([]cluster.Spec{{Type: cluster.V100, Count: 1}}, 1)
+	if _, err := Run(in, plan, tiny, models, Options{TimeScale: 1e-4}); err == nil {
+		t.Error("cluster mismatch accepted")
+	}
+	// Model count mismatch.
+	if _, err := Run(in, plan, cl, models[:1], Options{TimeScale: 1e-4}); err == nil {
+		t.Error("model mismatch accepted")
+	}
+}
+
+func TestNewRemoteExecutorValidation(t *testing.T) {
+	in, cl, models := smallWorkload(t, 2, 33)
+	plan, err := sched.NewHare().Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := NewClock(1e-3)
+	_, client, err := NewControlPlane(in, clock, nil, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := RemoteExecutorConfig{
+		GPU: 0, GPUType: cl.GPUs[0].Type, Seq: plan.Sequences(in.NumGPUs)[0],
+		Instance: in, Models: models, Clock: clock, Sync: client,
+	}
+	if _, err := NewRemoteExecutor(base); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*RemoteExecutorConfig){
+		"nil instance": func(c *RemoteExecutorConfig) { c.Instance = nil },
+		"nil clock":    func(c *RemoteExecutorConfig) { c.Clock = nil },
+		"nil sync":     func(c *RemoteExecutorConfig) { c.Sync = nil },
+		"bad gpu":      func(c *RemoteExecutorConfig) { c.GPU = 99 },
+		"short models": func(c *RemoteExecutorConfig) { c.Models = c.Models[:1] },
+	} {
+		cfg := base
+		mutate(&cfg)
+		if _, err := NewRemoteExecutor(cfg); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestClockEpochAlignment(t *testing.T) {
+	epoch := time.Now().Add(-100 * time.Millisecond)
+	c := NewClockAt(epoch, 1e-3)
+	if c.Epoch() != epoch {
+		t.Error("epoch not preserved")
+	}
+	// 100 ms wall at 1e-3 scale ≈ 100 simulated seconds.
+	if now := c.Now(); now < 90 || now > 200 {
+		t.Errorf("clock at %g sim-seconds, want ≈100", now)
+	}
+	// Two clocks with one epoch agree.
+	d := NewClockAt(epoch, 1e-3)
+	if diff := c.Now() - d.Now(); diff > 1 || diff < -1 {
+		t.Errorf("shared-epoch clocks diverge by %g", diff)
+	}
+}
+
+func TestClockPanicsOnBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero scale")
+		}
+	}()
+	NewClock(0)
+}
+
+func TestPSRejectsWrongRoundAndJob(t *testing.T) {
+	job := &core.Job{ID: 0, Name: "j", Weight: 1, Rounds: 2, Scale: 1}
+	in := &core.Instance{
+		Jobs: []*core.Job{job}, NumGPUs: 1,
+		Train: [][]float64{{1}}, Sync: [][]float64{{0}},
+	}
+	clock := NewClock(1e-3)
+	pss, _, err := NewControlPlane(in, clock, nil, 0, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := pss[0]
+	grad := make([]float64, 8)
+	// Round 1 before round 0 violates synchronization.
+	if _, err := ps.Push(core.TaskRef{Job: 0, Round: 1}, 0, 1, grad); err == nil {
+		t.Error("out-of-round gradient accepted")
+	}
+	// Wrong job.
+	if _, err := ps.Push(core.TaskRef{Job: 5, Round: 0}, 0, 1, grad); err == nil {
+		t.Error("wrong-job gradient accepted")
+	}
+	// Wrong round index queried.
+	if _, err := ps.WaitRound(9); err == nil {
+		t.Error("bogus round wait accepted")
+	}
+}
+
+func TestExecutorSurfacesPushErrors(t *testing.T) {
+	in, cl, models := smallWorkload(t, 2, 35)
+	plan, err := sched.NewHare().Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := NewClock(1e-4)
+	_, good, err := NewControlPlane(in, clock, nil, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := NewRemoteExecutor(RemoteExecutorConfig{
+		GPU: 0, GPUType: cl.GPUs[0].Type, Seq: plan.Sequences(in.NumGPUs)[0],
+		Instance: in, Models: models, Clock: clock,
+		Sync: brokenClient{SyncClient: good},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exec.Seq) == 0 {
+		t.Skip("plan left GPU 0 empty")
+	}
+	if err := exec.Run(); err == nil || !strings.Contains(err.Error(), "checkpoint unavailable") {
+		t.Errorf("executor swallowed the control-plane error: %v", err)
+	}
+}
+
+type brokenClient struct{ SyncClient }
+
+func (brokenClient) LoadCheckpoint(core.JobID) ([]float64, error) {
+	return nil, errCheckpoint
+}
+
+var errCheckpoint = &checkpointErr{}
+
+type checkpointErr struct{}
+
+func (*checkpointErr) Error() string { return "checkpoint unavailable" }

@@ -1,0 +1,140 @@
+package testbed
+
+import (
+	"fmt"
+
+	"hare/internal/cluster"
+	"hare/internal/core"
+	"hare/internal/gpumem"
+	"hare/internal/model"
+	"hare/internal/stats"
+	"hare/internal/switching"
+	"hare/internal/trace"
+)
+
+// SyncClient is the executor's view of the control plane: pushing
+// gradients, waiting on round barriers, and loading checkpoints. The
+// local backend calls parameter servers directly; the rpcnet backend
+// carries the same calls over net/rpc, mirroring the paper's
+// gRPC-based scheduler⇄executor channel.
+type SyncClient interface {
+	Push(t core.TaskRef, gpu int, trainEnd float64, grad []float64) (float64, error)
+	WaitRound(job core.JobID, round int) (float64, error)
+	LoadCheckpoint(job core.JobID) ([]float64, error)
+}
+
+// Executor replays one GPU's task sequence: it respects arrival times
+// and round barriers, pays the configured switching cost between jobs
+// (consulting its speculative memory manager under the Hare scheme),
+// loads the job's checkpoint, computes a real gradient, paces itself
+// to the profiled task time on its GPU type, and pushes the gradient
+// to the job's parameter server.
+type Executor struct {
+	GPU     int
+	GPUType cluster.GPUType
+	Seq     []core.TaskRef
+
+	in     *core.Instance
+	models []*model.Model
+	scheme switching.Scheme
+	mem    *gpumem.Manager // nil unless speculative memory is on
+	clock  *Clock
+	sync   SyncClient
+	probs  []*Problem
+	// faults injects task failures: each training attempt fails with
+	// probability faultRate and is retried from the last checkpoint.
+	faultRate float64
+	faultRNG  *stats.RNG
+
+	// Records accumulates measured task records; owned by the
+	// executor goroutine until Run returns.
+	Records []trace.TaskRecord
+	// SwitchTotal and SwitchCount accumulate switching overhead.
+	SwitchTotal   float64
+	SwitchCount   int
+	ResidencyHits int
+	// Retries counts training attempts lost to injected faults.
+	Retries int
+}
+
+// Run executes the sequence to completion.
+func (e *Executor) Run() error {
+	freeAt := 0.0
+	prevJob := core.JobID(-1)
+	for _, t := range e.Seq {
+		job := e.in.Jobs[t.Job]
+		// Round barrier (relaxed scale-fixed synchronization): only
+		// the *previous* round must be complete; same-round siblings
+		// may still be running elsewhere.
+		barrier := job.Arrival
+		if t.Round > 0 {
+			end, err := e.sync.WaitRound(t.Job, t.Round-1)
+			if err != nil {
+				return fmt.Errorf("executor %d: %w", e.GPU, err)
+			}
+			if end > barrier {
+				barrier = end
+			}
+		}
+		// Switching overhead between jobs.
+		var sw float64
+		var hit bool
+		if prevJob != t.Job {
+			var prev *model.Model
+			if prevJob >= 0 {
+				prev = e.models[prevJob]
+			}
+			resident := e.mem != nil && e.mem.Resident(gpumem.JobKey(t.Job))
+			b := switching.Cost(e.scheme, e.GPUType, prev, e.models[t.Job], resident)
+			sw, hit = b.Total(), b.ResidentHit
+		}
+		target := freeAt + sw
+		if barrier > target {
+			target = barrier
+		}
+		start := e.clock.SleepUntil(target)
+
+		if e.mem != nil {
+			e.mem.Begin(gpumem.JobKey(t.Job), e.models[t.Job].TrainFootprintBytes)
+		}
+		// Real work: load the checkpoint and compute the gradient,
+		// retrying from the checkpoint when a fault eats the attempt.
+		var grad []float64
+		attemptEnd := start
+		for {
+			params, err := e.sync.LoadCheckpoint(t.Job)
+			if err != nil {
+				return fmt.Errorf("executor %d: %w", e.GPU, err)
+			}
+			grad = e.probs[t.Job].Gradient(params, t.Round, t.Index)
+			attemptEnd = e.clock.SleepUntil(attemptEnd + e.in.Train[t.Job][e.GPU])
+			if e.faultRate <= 0 || e.faultRNG.Float64() >= e.faultRate {
+				break
+			}
+			e.Retries++ // attempt lost; its GPU time is gone
+		}
+		trainEnd := attemptEnd
+		if e.mem != nil {
+			e.mem.Complete(gpumem.JobKey(t.Job), e.models[t.Job].ParamBytes, trainEnd)
+		}
+		completion, err := e.sync.Push(t, e.GPU, trainEnd, grad)
+		if err != nil {
+			return fmt.Errorf("executor %d: %w", e.GPU, err)
+		}
+
+		e.Records = append(e.Records, trace.TaskRecord{
+			Task: t, GPU: e.GPU, Start: start,
+			Train: trainEnd - start, Sync: completion - trainEnd, Switch: sw,
+		})
+		if sw > 0 {
+			e.SwitchTotal += sw
+			e.SwitchCount++
+			if hit {
+				e.ResidencyHits++
+			}
+		}
+		freeAt = trainEnd
+		prevJob = t.Job
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package testbed
+
+import (
+	"fmt"
+	"sync"
+
+	"hare/internal/core"
+	"hare/internal/store"
+)
+
+// ParameterServer aggregates one job's gradients (paper Eq. 3): each
+// round it collects Scale gradient pushes, averages them, applies an
+// SGD step, checkpoints the updated model, and — once the slowest
+// task's synchronization completes — releases the next round's
+// barrier. Completion times are simulated-clock values measured from
+// the actual pushes, so relaxed (staggered) task execution is
+// reflected faithfully.
+type ParameterServer struct {
+	Job   *core.Job
+	prob  *Problem
+	st    store.Store
+	clock *Clock
+	eta   float64
+	// syncOf returns the job's T^s on a given GPU.
+	syncOf func(gpu int) float64
+
+	mu       sync.Mutex
+	params   []float64
+	round    int
+	grads    [][]float64
+	roundMax float64 // max task completion (train end + sync) this round
+
+	done []*roundGate
+	// LossHistory records the held-out loss after each round, for
+	// convergence assertions.
+	LossHistory []float64
+}
+
+type roundGate struct {
+	ch  chan struct{}
+	end float64
+}
+
+// NewParameterServer builds a PS for one job.
+func NewParameterServer(job *core.Job, prob *Problem, st store.Store, clock *Clock, eta float64, syncOf func(gpu int) float64) *ParameterServer {
+	ps := &ParameterServer{
+		Job: job, prob: prob, st: st, clock: clock, eta: eta, syncOf: syncOf,
+		params: prob.InitParams(),
+		done:   make([]*roundGate, job.Rounds),
+	}
+	for r := range ps.done {
+		ps.done[r] = &roundGate{ch: make(chan struct{})}
+	}
+	// Initial checkpoint so round-0 tasks can load.
+	if err := st.Save(store.LatestKey(int(job.ID)), store.EncodeParams(ps.params)); err != nil {
+		panic(fmt.Sprintf("testbed: initial checkpoint: %v", err))
+	}
+	return ps
+}
+
+// Push delivers one task's gradient. trainEnd is the simulated time
+// the task finished computing; the task's full completion adds its
+// synchronization time on its GPU. Push returns that completion time.
+// When the round's last gradient arrives the PS applies the update,
+// checkpoints, and schedules the barrier release at the round's
+// realized end.
+func (ps *ParameterServer) Push(t core.TaskRef, gpu int, trainEnd float64, grad []float64) (float64, error) {
+	if t.Job != ps.Job.ID {
+		return 0, fmt.Errorf("testbed: gradient for job %d pushed to PS of job %d", t.Job, ps.Job.ID)
+	}
+	ps.mu.Lock()
+	if t.Round != ps.round {
+		ps.mu.Unlock()
+		return 0, fmt.Errorf("testbed: job %d received round-%d gradient during round %d (synchronization violated)",
+			ps.Job.ID, t.Round, ps.round)
+	}
+	completion := trainEnd + ps.syncOf(gpu)
+	ps.grads = append(ps.grads, grad)
+	if completion > ps.roundMax {
+		ps.roundMax = completion
+	}
+	last := len(ps.grads) == ps.Job.Scale
+	var gate *roundGate
+	var end float64
+	if last {
+		avg := AggregateGradients(ps.grads)
+		ApplySGD(ps.params, avg, ps.eta)
+		ps.LossHistory = append(ps.LossHistory, ps.prob.Loss(ps.params))
+		ckpt := store.EncodeParams(ps.params)
+		if err := ps.st.Save(store.LatestKey(int(ps.Job.ID)), ckpt); err != nil {
+			ps.mu.Unlock()
+			return 0, fmt.Errorf("testbed: checkpoint save: %w", err)
+		}
+		if err := ps.st.Save(store.CheckpointKey(int(ps.Job.ID), ps.round), ckpt); err != nil {
+			ps.mu.Unlock()
+			return 0, fmt.Errorf("testbed: checkpoint save: %w", err)
+		}
+		gate = ps.done[ps.round]
+		end = ps.roundMax
+		gate.end = end
+		ps.grads = nil
+		ps.roundMax = 0
+		ps.round++
+	}
+	ps.mu.Unlock()
+
+	if last {
+		// Release the barrier once the slowest task's sync lands.
+		go func() {
+			ps.clock.SleepUntil(end)
+			close(gate.ch)
+		}()
+	}
+	return completion, nil
+}
+
+// WaitRound blocks until round r (0-based) has fully completed and
+// returns its realized completion time.
+func (ps *ParameterServer) WaitRound(r int) (float64, error) {
+	if r < 0 || r >= ps.Job.Rounds {
+		return 0, fmt.Errorf("testbed: job %d has no round %d", ps.Job.ID, r)
+	}
+	gate := ps.done[r]
+	<-gate.ch
+	return gate.end, nil
+}
+
+// Params returns a copy of the current model parameters.
+func (ps *ParameterServer) Params() []float64 {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return append([]float64(nil), ps.params...)
+}
+
+// Completion returns the realized completion time of the job's final
+// round; it must be called after the job finished.
+func (ps *ParameterServer) Completion() float64 {
+	return ps.done[ps.Job.Rounds-1].end
+}

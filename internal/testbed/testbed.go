@@ -1,0 +1,297 @@
+package testbed
+
+import (
+	"fmt"
+	"sync"
+
+	"hare/internal/cluster"
+	"hare/internal/core"
+	"hare/internal/gpumem"
+	"hare/internal/model"
+	"hare/internal/stats"
+	"hare/internal/store"
+	"hare/internal/switching"
+	"hare/internal/trace"
+)
+
+// Options configures a testbed run.
+type Options struct {
+	// TimeScale is wall seconds per simulated second. The default
+	// (0.001) replays 1000 simulated seconds per wall second. Lower
+	// is faster but coarser; clock jitter shows up as the small
+	// testbed-vs-simulator gap the paper reports.
+	TimeScale float64
+	// Scheme selects the task-switching model (default: Hare).
+	Scheme switching.Scheme
+	// Speculative enables the per-GPU speculative memory manager.
+	Speculative bool
+	// MemPolicy selects the manager's eviction policy.
+	MemPolicy gpumem.Policy
+	// Store receives checkpoints; an in-memory store by default.
+	Store store.Store
+	// ProblemDim and ProblemBatch size the synthetic SGD problems.
+	// Defaults: 32 and 8.
+	ProblemDim, ProblemBatch int
+	// Eta is the SGD learning rate (default 0.3).
+	Eta float64
+	// FaultRate injects task failures: each training attempt is lost
+	// (and retried from the checkpoint) with this probability.
+	FaultRate float64
+	// FaultSeed drives the fault stream.
+	FaultSeed int64
+	// ClientFor, when set, supplies the SyncClient each executor uses
+	// — the hook through which the net/rpc control plane is injected.
+	// Defaults to direct in-process calls.
+	ClientFor func(gpu int, local SyncClient) SyncClient
+}
+
+func (o Options) withDefaults() Options {
+	if o.TimeScale <= 0 {
+		o.TimeScale = 0.001
+	}
+	if o.ProblemDim <= 0 {
+		o.ProblemDim = 32
+	}
+	if o.ProblemBatch <= 0 {
+		o.ProblemBatch = 8
+	}
+	if o.Eta <= 0 {
+		o.Eta = 0.3
+	}
+	if o.Store == nil {
+		o.Store = store.NewMem()
+	}
+	return o
+}
+
+// Result is the measured outcome of a testbed run.
+type Result struct {
+	Trace         *trace.Trace
+	JobCompletion []float64
+	WeightedJCT   float64
+	Makespan      float64
+	TotalSwitch   float64
+	SwitchCount   int
+	ResidencyHits int
+	// Retries counts training attempts lost to injected faults.
+	Retries int
+	// FinalLosses[j] is job j's held-out loss after its last round;
+	// InitialLosses[j] after its first.
+	InitialLosses []float64
+	FinalLosses   []float64
+}
+
+// localClient is the in-process SyncClient: direct PS and store calls.
+type localClient struct {
+	pss []*ParameterServer
+	st  store.Store
+}
+
+func (c *localClient) Push(t core.TaskRef, gpu int, trainEnd float64, grad []float64) (float64, error) {
+	return c.pss[t.Job].Push(t, gpu, trainEnd, grad)
+}
+
+func (c *localClient) WaitRound(job core.JobID, round int) (float64, error) {
+	return c.pss[job].WaitRound(round)
+}
+
+func (c *localClient) LoadCheckpoint(job core.JobID) ([]float64, error) {
+	data, err := c.st.Load(store.LatestKey(int(job)))
+	if err != nil {
+		return nil, err
+	}
+	return store.DecodeParams(data)
+}
+
+// NewControlPlane builds the scheduler-side state — one parameter
+// server per job, all wired to the checkpoint store and the shared
+// clock — and returns the servers plus the in-process SyncClient that
+// fronts them. The distributed coordinator (internal/rpcnet) exposes
+// the same client over TCP.
+func NewControlPlane(in *core.Instance, clock *Clock, st store.Store, eta float64, problemDim, problemBatch int) ([]*ParameterServer, SyncClient, error) {
+	if err := in.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if st == nil {
+		st = store.NewMem()
+	}
+	if eta <= 0 {
+		eta = 0.3
+	}
+	if problemDim <= 0 {
+		problemDim = 32
+	}
+	if problemBatch <= 0 {
+		problemBatch = 8
+	}
+	pss := make([]*ParameterServer, len(in.Jobs))
+	for _, j := range in.Jobs {
+		prob := NewProblem(problemDim, problemBatch, int64(j.ID)+1)
+		jid := j.ID
+		pss[j.ID] = NewParameterServer(j, prob, st, clock, eta,
+			func(gpu int) float64 { return in.Sync[jid][gpu] })
+	}
+	return pss, &localClient{pss: pss, st: st}, nil
+}
+
+// RemoteExecutorConfig assembles an Executor outside testbed.Run —
+// the distributed path, where the configuration arrived over RPC.
+type RemoteExecutorConfig struct {
+	GPU          int
+	GPUType      cluster.GPUType
+	Seq          []core.TaskRef
+	Instance     *core.Instance
+	Models       []*model.Model
+	Scheme       switching.Scheme
+	Speculative  bool
+	MemPolicy    gpumem.Policy
+	Clock        *Clock
+	Sync         SyncClient
+	ProblemDim   int
+	ProblemBatch int
+	FaultRate    float64
+	FaultSeed    int64
+}
+
+// NewRemoteExecutor builds an Executor from a shipped configuration.
+func NewRemoteExecutor(cfg RemoteExecutorConfig) (*Executor, error) {
+	if cfg.Instance == nil || cfg.Clock == nil || cfg.Sync == nil {
+		return nil, fmt.Errorf("testbed: remote executor needs instance, clock and sync client")
+	}
+	if err := cfg.Instance.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Models) != len(cfg.Instance.Jobs) {
+		return nil, fmt.Errorf("testbed: %d models for %d jobs", len(cfg.Models), len(cfg.Instance.Jobs))
+	}
+	if cfg.GPU < 0 || cfg.GPU >= cfg.Instance.NumGPUs {
+		return nil, fmt.Errorf("testbed: GPU %d outside the %d-GPU instance", cfg.GPU, cfg.Instance.NumGPUs)
+	}
+	if cfg.ProblemDim <= 0 {
+		cfg.ProblemDim = 32
+	}
+	if cfg.ProblemBatch <= 0 {
+		cfg.ProblemBatch = 8
+	}
+	probs := make([]*Problem, len(cfg.Instance.Jobs))
+	for _, j := range cfg.Instance.Jobs {
+		probs[j.ID] = NewProblem(cfg.ProblemDim, cfg.ProblemBatch, int64(j.ID)+1)
+	}
+	var mem *gpumem.Manager
+	if cfg.Speculative {
+		mem = gpumem.NewManager(cfg.GPUType.MemBytes)
+		mem.SetPolicy(cfg.MemPolicy)
+		look := make([]gpumem.JobKey, len(cfg.Seq))
+		for i, t := range cfg.Seq {
+			look[i] = gpumem.JobKey(t.Job)
+		}
+		mem.SetLookahead(look)
+	}
+	return &Executor{
+		GPU: cfg.GPU, GPUType: cfg.GPUType, Seq: cfg.Seq,
+		in: cfg.Instance, models: cfg.Models, scheme: cfg.Scheme, mem: mem,
+		clock: cfg.Clock, sync: cfg.Sync, probs: probs,
+		faultRate: cfg.FaultRate,
+		faultRNG:  stats.New(cfg.FaultSeed ^ int64(cfg.GPU)*0x9e3779b9),
+	}, nil
+}
+
+// Run executes a planned schedule on the in-process testbed and
+// returns the *measured* timings.
+func Run(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, models []*model.Model, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := core.ValidateSchedule(in, sch); err != nil {
+		return nil, fmt.Errorf("testbed: invalid plan: %w", err)
+	}
+	if cl.Size() != in.NumGPUs {
+		return nil, fmt.Errorf("testbed: cluster has %d GPUs, instance %d", cl.Size(), in.NumGPUs)
+	}
+	if len(models) != len(in.Jobs) {
+		return nil, fmt.Errorf("testbed: %d models for %d jobs", len(models), len(in.Jobs))
+	}
+
+	clock := NewClock(opts.TimeScale)
+	pss, base, err := NewControlPlane(in, clock, opts.Store, opts.Eta, opts.ProblemDim, opts.ProblemBatch)
+	if err != nil {
+		return nil, err
+	}
+	probs := make([]*Problem, len(in.Jobs))
+	for _, j := range in.Jobs {
+		probs[j.ID] = NewProblem(opts.ProblemDim, opts.ProblemBatch, int64(j.ID)+1)
+	}
+
+	seqs := sch.Sequences(in.NumGPUs)
+	execs := make([]*Executor, in.NumGPUs)
+	for m := 0; m < in.NumGPUs; m++ {
+		var mem *gpumem.Manager
+		if opts.Speculative {
+			mem = gpumem.NewManager(cl.GPUs[m].Type.MemBytes)
+			mem.SetPolicy(opts.MemPolicy)
+			look := make([]gpumem.JobKey, len(seqs[m]))
+			for i, t := range seqs[m] {
+				look[i] = gpumem.JobKey(t.Job)
+			}
+			mem.SetLookahead(look)
+		}
+		var client SyncClient = base
+		if opts.ClientFor != nil {
+			client = opts.ClientFor(m, base)
+		}
+		execs[m] = &Executor{
+			GPU: m, GPUType: cl.GPUs[m].Type, Seq: seqs[m],
+			in: in, models: models, scheme: opts.Scheme, mem: mem,
+			clock: clock, sync: client, probs: probs,
+			faultRate: opts.FaultRate,
+			faultRNG:  stats.New(opts.FaultSeed ^ int64(m)*0x9e3779b9),
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, in.NumGPUs)
+	for m, e := range execs {
+		wg.Add(1)
+		go func(m int, e *Executor) {
+			defer wg.Done()
+			errs[m] = e.Run()
+		}(m, e)
+	}
+	wg.Wait()
+	for m, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("testbed: executor %d failed: %w", m, err)
+		}
+	}
+
+	res := &Result{
+		Trace:         &trace.Trace{},
+		JobCompletion: make([]float64, len(in.Jobs)),
+		InitialLosses: make([]float64, len(in.Jobs)),
+		FinalLosses:   make([]float64, len(in.Jobs)),
+	}
+	for _, e := range execs {
+		for _, r := range e.Records {
+			res.Trace.Add(r)
+		}
+		res.TotalSwitch += e.SwitchTotal
+		res.SwitchCount += e.SwitchCount
+		res.ResidencyHits += e.ResidencyHits
+		res.Retries += e.Retries
+	}
+	for _, j := range in.Jobs {
+		c := pss[j.ID].Completion()
+		res.JobCompletion[j.ID] = c
+		res.WeightedJCT += j.Weight * c
+		if c > res.Makespan {
+			res.Makespan = c
+		}
+		hist := pss[j.ID].LossHistory
+		if len(hist) > 0 {
+			res.InitialLosses[j.ID] = hist[0]
+			res.FinalLosses[j.ID] = hist[len(hist)-1]
+		}
+	}
+	return res, nil
+}

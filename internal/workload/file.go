@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"hare/internal/core"
+	"hare/internal/model"
+)
+
+// File-defined workloads: instead of the statistical generator, a
+// user can hand the tools an explicit job list as JSON — the shape a
+// production submission log exports to. Example:
+//
+//	[
+//	  {"model": "ResNet50", "rounds": 40, "scale": 2, "weight": 2.0,
+//	   "arrival": 0, "batch_scale": 1.0, "tag": "vision-train"},
+//	  {"model": "Bert_base", "rounds": 80, "scale": 4, "arrival": 120}
+//	]
+
+// FileJob is one job entry in a workload file.
+type FileJob struct {
+	Model      string  `json:"model"`
+	Rounds     int     `json:"rounds"`
+	Scale      int     `json:"scale"`
+	Weight     float64 `json:"weight,omitempty"`      // default 1
+	Arrival    float64 `json:"arrival,omitempty"`     // seconds, default 0
+	BatchScale float64 `json:"batch_scale,omitempty"` // default 1
+	Tag        string  `json:"tag,omitempty"`
+}
+
+// ParseSpecs converts file entries into generator specs, validating
+// each against the model zoo and the fleet size (0 = unchecked).
+func ParseSpecs(entries []FileJob, fleetSize int) ([]*Spec, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("workload: file defines no jobs")
+	}
+	specs := make([]*Spec, len(entries))
+	for i, e := range entries {
+		md, err := model.ByName(e.Model)
+		if err != nil {
+			return nil, fmt.Errorf("workload: job %d: %w", i, err)
+		}
+		if e.Rounds <= 0 {
+			return nil, fmt.Errorf("workload: job %d: rounds %d", i, e.Rounds)
+		}
+		if e.Scale <= 0 || (fleetSize > 0 && e.Scale > fleetSize) {
+			return nil, fmt.Errorf("workload: job %d: scale %d outside [1, %d]", i, e.Scale, fleetSize)
+		}
+		if e.Arrival < 0 {
+			return nil, fmt.Errorf("workload: job %d: negative arrival %g", i, e.Arrival)
+		}
+		weight := e.Weight
+		if weight <= 0 {
+			weight = 1
+		}
+		batch := e.BatchScale
+		if batch <= 0 {
+			batch = 1
+		}
+		name := e.Tag
+		if name == "" {
+			name = fmt.Sprintf("job-%d(%s)", i, md.Name)
+		}
+		specs[i] = &Spec{
+			Job: &core.Job{
+				ID: core.JobID(i), Name: name, Model: md.Name,
+				Weight: weight, Arrival: e.Arrival,
+				Rounds: e.Rounds, Scale: e.Scale,
+			},
+			Model:      md.Name,
+			Batch:      batch,
+			Sync:       e.Scale,
+			ClassOfJob: md.Class,
+		}
+	}
+	return specs, nil
+}
+
+// LoadSpecs reads a JSON workload file (an array of FileJob).
+func LoadSpecs(path string, fleetSize int) ([]*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: read %s: %w", path, err)
+	}
+	var entries []FileJob
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("workload: parse %s: %w", path, err)
+	}
+	return ParseSpecs(entries, fleetSize)
+}
+
+// SaveSpecs writes specs back out as a workload file, so generated
+// populations can be inspected, edited and replayed.
+func SaveSpecs(path string, specs []*Spec) error {
+	entries := make([]FileJob, len(specs))
+	for i, s := range specs {
+		entries[i] = FileJob{
+			Model: s.Model, Rounds: s.Job.Rounds, Scale: s.Job.Scale,
+			Weight: s.Job.Weight, Arrival: s.Job.Arrival,
+			BatchScale: s.Batch, Tag: s.Job.Name,
+		}
+	}
+	data, err := json.MarshalIndent(entries, "", " ")
+	if err != nil {
+		return fmt.Errorf("workload: marshal: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseSpecsValid(t *testing.T) {
+	specs, err := ParseSpecs([]FileJob{
+		{Model: "ResNet50", Rounds: 10, Scale: 2, Weight: 2, Arrival: 5, Tag: "a"},
+		{Model: "GraphSAGE", Rounds: 3, Scale: 1},
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("%d specs", len(specs))
+	}
+	if specs[0].Job.Weight != 2 || specs[0].Job.Arrival != 5 || specs[0].Job.Name != "a" {
+		t.Errorf("spec 0: %+v", specs[0].Job)
+	}
+	// Defaults applied.
+	if specs[1].Job.Weight != 1 || specs[1].Batch != 1 {
+		t.Errorf("spec 1 defaults: weight %g batch %g", specs[1].Job.Weight, specs[1].Batch)
+	}
+	if specs[1].Job.ID != 1 {
+		t.Errorf("IDs not dense: %d", specs[1].Job.ID)
+	}
+}
+
+func TestParseSpecsErrors(t *testing.T) {
+	cases := []struct {
+		jobs []FileJob
+		want string
+	}{
+		{nil, "no jobs"},
+		{[]FileJob{{Model: "nope", Rounds: 1, Scale: 1}}, "unknown model"},
+		{[]FileJob{{Model: "VGG19", Rounds: 0, Scale: 1}}, "rounds"},
+		{[]FileJob{{Model: "VGG19", Rounds: 1, Scale: 9}}, "scale"},
+		{[]FileJob{{Model: "VGG19", Rounds: 1, Scale: 1, Arrival: -2}}, "arrival"},
+	}
+	for i, c := range cases {
+		_, err := ParseSpecs(c.jobs, 4)
+		if err == nil {
+			t.Errorf("case %d accepted", i)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("case %d: error %q missing %q", i, err, c.want)
+		}
+	}
+}
+
+func TestSpecsFileRoundTrip(t *testing.T) {
+	gen := Generate(Options{NumJobs: 12, Seed: 3, MaxSync: 4})
+	path := filepath.Join(t.TempDir(), "workload.json")
+	if err := SaveSpecs(path, gen); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSpecs(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(gen) {
+		t.Fatalf("loaded %d, want %d", len(got), len(gen))
+	}
+	for i := range gen {
+		if got[i].Model != gen[i].Model ||
+			got[i].Job.Rounds != gen[i].Job.Rounds ||
+			got[i].Job.Scale != gen[i].Job.Scale ||
+			got[i].Job.Weight != gen[i].Job.Weight ||
+			got[i].Job.Arrival != gen[i].Job.Arrival {
+			t.Errorf("job %d changed: %+v vs %+v", i, got[i].Job, gen[i].Job)
+		}
+	}
+}
+
+func TestLoadSpecsBadFile(t *testing.T) {
+	if _, err := LoadSpecs(filepath.Join(t.TempDir(), "missing.json"), 4); err == nil {
+		t.Error("missing file accepted")
+	}
+}

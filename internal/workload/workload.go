@@ -1,0 +1,177 @@
+// Package workload generates DML job populations for experiments: the
+// Table 2 model mix (25 % CV, 25 % NLP, 25 % Speech, 25 % Rec by
+// default), per-job round counts, synchronization scales, weights, and
+// arrival times. All generation is deterministic in the seed.
+package workload
+
+import (
+	"fmt"
+
+	"hare/internal/core"
+	"hare/internal/model"
+	"hare/internal/stats"
+)
+
+// Spec is one generated job: core metadata plus the model/batch
+// parameters the profiler needs. It implements profile.JobSpec.
+type Spec struct {
+	Job        *core.Job
+	Model      string
+	Batch      float64 // batch-size multiplier vs. the model default (B/B0)
+	Sync       int     // |D_r|
+	ClassOfJob model.Class
+}
+
+// ModelName implements profile.JobSpec.
+func (s *Spec) ModelName() string { return s.Model }
+
+// BatchScale implements profile.JobSpec.
+func (s *Spec) BatchScale() float64 { return s.Batch }
+
+// SyncScale implements profile.JobSpec.
+func (s *Spec) SyncScale() int { return s.Sync }
+
+// Mix is the probability weight of each workload class. Weights need
+// not sum to 1; they are normalized at sampling time.
+type Mix map[model.Class]float64
+
+// DefaultMix is Table 2's default: every class at 25 %.
+func DefaultMix() Mix {
+	return Mix{model.CV: 0.25, model.NLP: 0.25, model.Speech: 0.25, model.Rec: 0.25}
+}
+
+// Boost returns a copy of the mix with class c's weight set to frac
+// and the other classes sharing the remainder in their original
+// proportions — the knob turned by the paper's Fig. 17 sweep.
+func (m Mix) Boost(c model.Class, frac float64) Mix {
+	if frac < 0 || frac > 1 {
+		panic(fmt.Sprintf("workload: boost fraction %g outside [0,1]", frac))
+	}
+	var otherTotal float64
+	for cl, w := range m {
+		if cl != c {
+			otherTotal += w
+		}
+	}
+	out := make(Mix, len(m))
+	for cl, w := range m {
+		if cl == c {
+			out[cl] = frac
+		} else if otherTotal > 0 {
+			out[cl] = w / otherTotal * (1 - frac)
+		}
+	}
+	return out
+}
+
+// Options configures the generator.
+type Options struct {
+	// NumJobs is the number of jobs to generate.
+	NumJobs int
+	// Mix is the class mix; DefaultMix when nil.
+	Mix Mix
+	// Arrivals supplies the n job arrival times, sorted ascending.
+	// When nil, all jobs arrive at time 0.
+	Arrivals []float64
+	// BatchScale multiplies every model's default batch size
+	// (Fig. 19's B/B0 knob). Defaults to 1.
+	BatchScale float64
+	// RoundsScale multiplies every model's base round count; it
+	// shrinks workloads for fast tests. Defaults to 1.
+	RoundsScale float64
+	// MaxSync caps the per-job synchronization scale (e.g. at the
+	// cluster size). 0 means no cap.
+	MaxSync int
+	// Seed drives all sampling.
+	Seed int64
+}
+
+// Generate produces a deterministic job population. Job IDs are dense
+// in arrival order. Per-job randomization: the model is sampled from
+// the class mix (uniform within the class), rounds vary ±30 % around
+// the model's base, the sync scale varies between 1× and 2× the
+// model's base, and weights are uniform on [1, 4] — matching the
+// paper's weighted-JCT objective where weights encode job priority.
+func Generate(opts Options) []*Spec {
+	if opts.NumJobs <= 0 {
+		panic(fmt.Sprintf("workload: NumJobs must be positive, got %d", opts.NumJobs))
+	}
+	mix := opts.Mix
+	if mix == nil {
+		mix = DefaultMix()
+	}
+	if opts.BatchScale == 0 {
+		opts.BatchScale = 1
+	}
+	if opts.RoundsScale == 0 {
+		opts.RoundsScale = 1
+	}
+	if opts.Arrivals != nil && len(opts.Arrivals) != opts.NumJobs {
+		panic(fmt.Sprintf("workload: %d arrivals for %d jobs", len(opts.Arrivals), opts.NumJobs))
+	}
+
+	rng := stats.New(opts.Seed)
+	classes := model.Classes()
+	weights := make([]float64, len(classes))
+	for i, c := range classes {
+		weights[i] = mix[c]
+	}
+
+	specs := make([]*Spec, opts.NumJobs)
+	for i := 0; i < opts.NumJobs; i++ {
+		class := classes[rng.WeightedChoice(weights)]
+		candidates := model.ByClass(class)
+		md := candidates[rng.Intn(len(candidates))]
+
+		rounds := int(float64(md.RoundsBase) * opts.RoundsScale * rng.Uniform(0.7, 1.3))
+		if rounds < 1 {
+			rounds = 1
+		}
+		scale := md.ScaleBase + rng.Intn(md.ScaleBase+1)
+		if opts.MaxSync > 0 && scale > opts.MaxSync {
+			scale = opts.MaxSync
+		}
+		if scale < 1 {
+			scale = 1
+		}
+		arrival := 0.0
+		if opts.Arrivals != nil {
+			arrival = opts.Arrivals[i]
+		}
+		job := &core.Job{
+			ID:      core.JobID(i),
+			Name:    fmt.Sprintf("job-%d(%s)", i, md.Name),
+			Model:   md.Name,
+			Weight:  rng.Uniform(1, 4),
+			Arrival: arrival,
+			Rounds:  rounds,
+			Scale:   scale,
+		}
+		specs[i] = &Spec{
+			Job:        job,
+			Model:      md.Name,
+			Batch:      opts.BatchScale,
+			Sync:       scale,
+			ClassOfJob: class,
+		}
+	}
+	return specs
+}
+
+// Jobs extracts the core.Job slice from specs, in order.
+func Jobs(specs []*Spec) []*core.Job {
+	out := make([]*core.Job, len(specs))
+	for i, s := range specs {
+		out[i] = s.Job
+	}
+	return out
+}
+
+// ClassCounts tallies how many jobs of each class were generated.
+func ClassCounts(specs []*Spec) map[model.Class]int {
+	out := make(map[model.Class]int)
+	for _, s := range specs {
+		out[s.ClassOfJob]++
+	}
+	return out
+}
