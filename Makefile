@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test vet race bench-obs check fmt
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Observability overhead: the nil-recorder path (BenchmarkObsDisabled)
+# must stay within noise of the uninstrumented BenchmarkSimulatorReplay.
+bench-obs:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorReplay|BenchmarkObs' -benchtime 10x .
+
+check:
+	./scripts/check.sh
+
+fmt:
+	gofmt -l -w .

@@ -389,6 +389,60 @@ func BenchmarkSimulatorReplay(b *testing.B) {
 	}
 }
 
+// obsBenchSetup builds the workload and plan shared by the obs
+// overhead benchmarks, matching BenchmarkSimulatorReplay.
+func obsBenchSetup(b *testing.B) (*Instance, *Schedule, *Cluster, []*Model) {
+	b.Helper()
+	cl := HeterogeneousCluster(HighHeterogeneity, 24)
+	_, in, models, err := BuildWorkload(WorkloadConfig{
+		Jobs: 60, Seed: 5, HorizonSeconds: 600, RoundsScale: 0.1,
+	}, cl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := sched.NewHare().Schedule(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in, plan, cl, models
+}
+
+// BenchmarkObsDisabled replays the instrumented simulator path with a
+// nil recorder — the acceptance bar is that it stays within noise
+// (≤2%) of BenchmarkSimulatorReplay, the uninstrumented baseline, so
+// observability hooks cost nothing when nobody listens.
+func BenchmarkObsDisabled(b *testing.B) {
+	in, plan, cl, models := obsBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(in, plan, cl, models, SimOptions{
+			Scheme: switching.Hare, Speculative: true,
+			Recorder: nil, Metrics: nil,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObsEnabledRing measures the same replay with full event
+// emission into a ring sink plus live counters — the hared
+// steady-state configuration.
+func BenchmarkObsEnabledRing(b *testing.B) {
+	in, plan, cl, models := obsBenchSetup(b)
+	ring := NewRingSink(4096)
+	reg := NewMetricsRegistry()
+	rec := NewRecorder(ring)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(in, plan, cl, models, SimOptions{
+			Scheme: switching.Hare, Speculative: true,
+			Recorder: rec, Metrics: reg,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkHungarian(b *testing.B) {
 	rng := stats.New(9)
 	const n, m = 60, 120

@@ -20,6 +20,7 @@ import (
 	"hare/internal/experiments"
 	"hare/internal/metrics"
 	"hare/internal/model"
+	"hare/internal/obs"
 	"hare/internal/switching"
 )
 
@@ -30,6 +31,8 @@ var (
 	gpus       = flag.Int("gpus", 0, "GPU count override (0 = experiment default)")
 	seed       = flag.Int64("seed", 42, "random seed")
 	listOnly   = flag.Bool("list", false, "list experiment IDs and exit")
+	traceOut   = flag.String("trace-out", "", "write a chrome://tracing trace of all simulator replays to this JSON file")
+	eventsOut  = flag.String("events-out", "", "write structured events from all simulator replays to this JSONL file")
 )
 
 type runner struct {
@@ -55,6 +58,11 @@ func main() {
 		WithSwitching: true,
 		Speculative:   true,
 	}
+	var collect *obs.CollectSink
+	if *traceOut != "" || *eventsOut != "" {
+		collect = obs.NewCollectSink()
+		cfg.Recorder = obs.NewRecorder(collect)
+	}
 	want := strings.ToLower(*experiment)
 	ran := 0
 	for _, r := range runners {
@@ -73,6 +81,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "harebench: unknown experiment %q (use -list)\n", *experiment)
 		os.Exit(2)
 	}
+	if collect != nil {
+		events := collect.Events()
+		if *traceOut != "" {
+			if err := obs.SaveChromeTrace(*traceOut, events); err != nil {
+				fmt.Fprintf(os.Stderr, "harebench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("chrome trace (%d events) saved to %s — open in chrome://tracing\n", len(events), *traceOut)
+		}
+		if *eventsOut != "" {
+			if err := saveEventsJSONL(*eventsOut, events); err != nil {
+				fmt.Fprintf(os.Stderr, "harebench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("events saved to %s\n", *eventsOut)
+		}
+	}
+}
+
+// saveEventsJSONL writes captured events as JSON lines.
+func saveEventsJSONL(path string, events []obs.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	sink := obs.NewJSONLSink(f)
+	for _, e := range events {
+		sink.Record(e)
+	}
+	if err := sink.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func allRunners() []runner {

@@ -1,25 +1,33 @@
 // Command harectl talks to a running hared daemon: submit jobs, run
-// the pending batch, and inspect job statuses.
+// the pending batch, and inspect job statuses. The tail and stats
+// commands read the daemon's HTTP debug listener instead of its RPC
+// port (see internal/obs and hared -debug-addr).
 //
 //	harectl submit -model ResNet50 -rounds 20 -scale 2 -weight 2
 //	harectl submit -model GraphSAGE -rounds 10 -scale 1 -tag exp7
 //	harectl run
 //	harectl status
 //	harectl status -id 3
+//	harectl tail -n 50 -type job-switch
+//	harectl stats
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 
 	"hare/internal/manager"
 	"hare/internal/metrics"
+	"hare/internal/obs"
 )
 
 func main() {
 	root := flag.NewFlagSet("harectl", flag.ExitOnError)
 	addr := root.String("addr", "127.0.0.1:7461", "hared address")
+	debugAddr := root.String("debug-addr", "127.0.0.1:7462", "hared HTTP debug address (tail, stats)")
 	root.Usage = usage
 	if len(os.Args) < 2 {
 		usage()
@@ -36,6 +44,16 @@ func main() {
 		os.Exit(2)
 	}
 	cmd, cmdArgs := rest[0], rest[1:]
+
+	// tail and stats hit the HTTP debug listener, not the RPC port.
+	switch cmd {
+	case "tail":
+		tail(*debugAddr, cmdArgs)
+		return
+	case "stats":
+		stats(*debugAddr)
+		return
+	}
 
 	c, err := manager.Dial(*addr)
 	if err != nil {
@@ -58,12 +76,15 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: harectl [-addr host:port] <command>
+	fmt.Fprintln(os.Stderr, `usage: harectl [-addr host:port] [-debug-addr host:port] <command>
 
 commands:
   submit -model NAME -rounds N -scale K [-weight W] [-batch B] [-tag T]
   run                 execute the pending batch
-  status [-id N]      show job states`)
+  status [-id N]      show job states and per-GPU utilization
+  tail [-n N] [-type T] [-json]
+                      show recent events from the daemon's ring buffer
+  stats               dump the daemon's metrics (text exposition)`)
 }
 
 func submit(c *manager.Client, args []string) {
@@ -110,6 +131,7 @@ func status(c *manager.Client, args []string) {
 		fatal(err)
 	}
 	var jobs []manager.JobStatus
+	var gpuStats []manager.GPUStat
 	if *id >= 0 {
 		st, err := c.Status(*id)
 		if err != nil {
@@ -117,11 +139,11 @@ func status(c *manager.Client, args []string) {
 		}
 		jobs = []manager.JobStatus{st}
 	} else {
-		var err error
-		jobs, err = c.Statuses()
+		reply, err := c.ClusterStatuses()
 		if err != nil {
 			fatal(err)
 		}
+		jobs, gpuStats = reply.Jobs, reply.GPUs
 	}
 	var rows [][]string
 	for _, j := range jobs {
@@ -138,6 +160,81 @@ func status(c *manager.Client, args []string) {
 		})
 	}
 	fmt.Print(metrics.Table([]string{"id", "model", "state", "completion", "note"}, rows))
+	if len(gpuStats) > 0 {
+		fmt.Println("\nlast batch, per GPU:")
+		var grows [][]string
+		for _, g := range gpuStats {
+			util := "-"
+			if total := g.Busy + g.Overhead; total > 0 {
+				util = fmt.Sprintf("%.1f%%", 100*g.Busy/total)
+			}
+			grows = append(grows, []string{
+				fmt.Sprintf("%d", g.GPU),
+				fmt.Sprintf("%d", g.Tasks),
+				metrics.FormatSeconds(g.Busy),
+				metrics.FormatSeconds(g.Overhead),
+				util,
+			})
+		}
+		fmt.Print(metrics.Table([]string{"gpu", "tasks", "busy", "overhead", "busy%"}, grows))
+	}
+}
+
+// tail prints recent events from the daemon's ring buffer.
+func tail(debugAddr string, args []string) {
+	fs := flag.NewFlagSet("tail", flag.ExitOnError)
+	n := fs.Int("n", 20, "number of events")
+	typ := fs.String("type", "", "filter by event type name (e.g. job-switch)")
+	raw := fs.Bool("json", false, "print raw JSONL instead of formatted lines")
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	url := fmt.Sprintf("http://%s/events?n=%d", debugAddr, *n)
+	if *typ != "" {
+		url += "&type=" + *typ
+	}
+	body := get(url)
+	defer body.Close()
+	if *raw {
+		if _, err := io.Copy(os.Stdout, body); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	events, err := obs.ReadJSONL(body)
+	if err != nil {
+		fatal(err)
+	}
+	if len(events) == 0 {
+		fmt.Println("no events (is the daemon running with -debug-addr, and has a batch executed?)")
+		return
+	}
+	for _, e := range events {
+		fmt.Println(e.Format())
+	}
+}
+
+// stats dumps the daemon's metrics in text exposition format.
+func stats(debugAddr string) {
+	body := get(fmt.Sprintf("http://%s/metrics", debugAddr))
+	defer body.Close()
+	if _, err := io.Copy(os.Stdout, body); err != nil {
+		fatal(err)
+	}
+}
+
+// get fetches a debug URL, failing on transport or HTTP errors.
+func get(url string) io.ReadCloser {
+	resp, err := http.Get(url)
+	if err != nil {
+		fatal(fmt.Errorf("%w (is hared running with -debug-addr?)", err))
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		fatal(fmt.Errorf("GET %s: %s: %s", url, resp.Status, msg))
+	}
+	return resp.Body
 }
 
 func fatal(err error) {

@@ -23,10 +23,13 @@ import (
 
 	"hare/internal/cluster"
 	"hare/internal/manager"
+	"hare/internal/obs"
 )
 
 var (
 	addr      = flag.String("addr", "127.0.0.1:7461", "listen address")
+	debugAddr = flag.String("debug-addr", "127.0.0.1:7462", "HTTP debug listener for /metrics and /events (\"\" disables)")
+	ringSize  = flag.Int("event-ring", 4096, "recent-event ring capacity for /events")
 	gpus      = flag.Int("gpus", 15, "fleet size (ignored with -testbed-fleet)")
 	tbFleet   = flag.Bool("testbed-fleet", false, "use the paper's 15-GPU testbed fleet")
 	het       = flag.String("het", "high", "heterogeneity level: low, mid, high")
@@ -41,13 +44,30 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// Observability plane: every batch's events land in a ring the
+	// debug listener serves; counters live in one shared registry.
+	var (
+		reg  *obs.Registry
+		ring *obs.RingSink
+		rec  *obs.Recorder
+	)
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		ring = obs.NewRingSink(*ringSize)
+		rec = obs.NewRecorder(ring)
+	}
+
 	var backend manager.Backend
 	if *useSim {
-		backend = &manager.SimBackend{}
+		backend = &manager.SimBackend{Recorder: rec, Metrics: reg}
 	} else {
-		backend = &manager.TestbedBackend{TimeScale: *timescale}
+		backend = &manager.TestbedBackend{TimeScale: *timescale, Recorder: rec}
 	}
-	m := manager.New(cl, manager.Options{Backend: backend, BatchesPerTask: *batches})
+	m := manager.New(cl, manager.Options{
+		Backend: backend, BatchesPerTask: *batches,
+		Recorder: rec, Metrics: reg,
+	})
 	srv, bound, err := manager.Serve(*addr, m)
 	if err != nil {
 		fatal(err)
@@ -55,6 +75,14 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("hared: managing %s\n", cl)
 	fmt.Printf("hared: listening on %s (submit with harectl)\n", bound)
+	if *debugAddr != "" {
+		dbg, dbgBound, err := obs.ServeDebug(*debugAddr, reg, ring)
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Printf("hared: debug endpoints on http://%s (metrics, events)\n", dbgBound)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -36,6 +36,8 @@ var (
 	savePlan  = flag.String("save-plan", "", "write the planned schedule to this JSON file")
 	loadPlan  = flag.String("load-plan", "", "replay a previously saved plan instead of scheduling")
 	workload  = flag.String("workload", "", "JSON workload file (overrides -jobs/-scale/-horizon)")
+	traceOut  = flag.String("trace-out", "", "write a chrome://tracing trace of the run to this JSON file")
+	eventsOut = flag.String("events-out", "", "write the run's structured events to this JSONL file")
 )
 
 func main() {
@@ -68,6 +70,19 @@ func main() {
 		algos = []hare.Algorithm{a}
 	}
 
+	// Event capture: -trace-out / -events-out observe the (single)
+	// selected scheduler's run.
+	var collect *hare.CollectSink
+	var rec *hare.Recorder
+	if *traceOut != "" || *eventsOut != "" {
+		if len(algos) != 1 {
+			fatal(fmt.Errorf("-trace-out/-events-out need a single scheduler (drop -compare)"))
+		}
+		collect = hare.NewCollectSink()
+		rec = hare.NewRecorder(collect)
+		hare.SetSchedulerRecorder(algos[0], rec)
+	}
+
 	var rows [][]string
 	for _, a := range algos {
 		var plan *hare.Schedule
@@ -96,6 +111,7 @@ func main() {
 		}
 		res, err := hare.Simulate(in, plan, cl, models, hare.SimOptions{
 			Scheme: scheme, Speculative: speculative, Seed: *seed,
+			Recorder: rec,
 		})
 		if err != nil {
 			fatal(fmt.Errorf("simulate %s: %w", a.Name(), err))
@@ -119,6 +135,39 @@ func main() {
 	fmt.Print(metrics.Table(
 		[]string{"scheduler", "weighted JCT", "makespan", "mean util", "switch time", "switches", "mean rho", "max wait"},
 		rows))
+
+	if collect != nil {
+		events := collect.Events()
+		if *traceOut != "" {
+			if err := hare.SaveChromeTrace(*traceOut, events); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("chrome trace (%d events) saved to %s — open in chrome://tracing\n", len(events), *traceOut)
+		}
+		if *eventsOut != "" {
+			if err := saveEventsJSONL(*eventsOut, events); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("events saved to %s\n", *eventsOut)
+		}
+	}
+}
+
+// saveEventsJSONL writes captured events as JSON lines.
+func saveEventsJSONL(path string, events []hare.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	sink := hare.NewJSONLSink(f)
+	for _, e := range events {
+		sink.Record(e)
+	}
+	if err := sink.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func buildCluster() (*hare.Cluster, error) {

@@ -33,10 +33,12 @@ package hare
 
 import (
 	"fmt"
+	"io"
 
 	"hare/internal/cluster"
 	"hare/internal/core"
 	"hare/internal/model"
+	"hare/internal/obs"
 	"hare/internal/profile"
 	"hare/internal/sched"
 	"hare/internal/sim"
@@ -287,6 +289,71 @@ func RunTestbed(in *Instance, plan *Schedule, cl *Cluster, models []*Model, opts
 // constraints (4)–(8).
 func Validate(in *Instance, plan *Schedule) error {
 	return core.ValidateSchedule(in, plan)
+}
+
+// Observability (see internal/obs and docs/OBSERVABILITY.md): a
+// structured event bus with pluggable sinks, a metrics registry with
+// text exposition, and a Chrome trace-event exporter keyed by GPU
+// lane.
+type (
+	// Event is one structured runtime event (task start/finish,
+	// barrier wait, job switch, memory admit/evict/hit, scheduler
+	// decision, job submit/complete).
+	Event = obs.Event
+	// EventType discriminates events.
+	EventType = obs.Type
+	// EventSink receives emitted events.
+	EventSink = obs.Sink
+	// Recorder fans events out to its sinks; a nil *Recorder is a
+	// valid no-op, so instrumented paths cost nothing when tracing is
+	// off.
+	Recorder = obs.Recorder
+	// RingSink keeps the most recent events in a fixed ring.
+	RingSink = obs.RingSink
+	// CollectSink keeps every event (tests and exports).
+	CollectSink = obs.CollectSink
+	// JSONLSink streams events as JSON lines.
+	JSONLSink = obs.JSONLSink
+	// MetricsRegistry holds counters, gauges and histograms.
+	MetricsRegistry = obs.Registry
+)
+
+// NewRecorder builds a recorder over the given sinks.
+func NewRecorder(sinks ...obs.Sink) *Recorder { return obs.NewRecorder(sinks...) }
+
+// NewRingSink keeps the last capacity events.
+func NewRingSink(capacity int) *RingSink { return obs.NewRingSink(capacity) }
+
+// NewCollectSink keeps every event.
+func NewCollectSink() *CollectSink { return obs.NewCollectSink() }
+
+// NewJSONLSink streams events to w as JSON lines.
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// WriteChromeTrace renders events as a Chrome trace-event JSON array
+// (load in chrome://tracing or Perfetto), one lane per GPU.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	return obs.WriteChromeTrace(w, events)
+}
+
+// SaveChromeTrace writes a Chrome trace-event file.
+func SaveChromeTrace(path string, events []Event) error {
+	return obs.SaveChromeTrace(path, events)
+}
+
+// SetSchedulerRecorder attaches a recorder to an algorithm that
+// supports decision tracing (Hare and Hare-online); it reports whether
+// the algorithm accepted it.
+func SetSchedulerRecorder(a Algorithm, r *Recorder) bool {
+	type recordable interface{ SetRecorder(*obs.Recorder) }
+	if ra, ok := a.(recordable); ok {
+		ra.SetRecorder(r)
+		return true
+	}
+	return false
 }
 
 // SwitchBreakdown itemizes one task switch (cleanup, context,

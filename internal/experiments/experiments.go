@@ -14,6 +14,7 @@ import (
 	"hare/internal/core"
 	"hare/internal/metrics"
 	"hare/internal/model"
+	"hare/internal/obs"
 	"hare/internal/profile"
 	"hare/internal/sched"
 	"hare/internal/sim"
@@ -46,6 +47,12 @@ type Config struct {
 	Scheme switching.Scheme
 	// Speculative enables speculative memory during simulation.
 	Speculative bool
+	// Recorder, when set, receives structured events from every
+	// simulator replay an experiment performs (harebench's
+	// -trace-out/-events-out flags); nil disables instrumentation.
+	Recorder *obs.Recorder
+	// Metrics, when set, receives the simulator's counters.
+	Metrics *obs.Registry
 }
 
 // Defaults fills in the paper's full-scale settings.
@@ -132,6 +139,8 @@ func runSchemes(cfg Config, in *core.Instance, cl *cluster.Cluster, models []*mo
 			Scheme:           scheme,
 			Speculative:      cfg.Speculative && scheme == switching.Hare,
 			Seed:             cfg.Seed + 7,
+			Recorder:         cfg.Recorder,
+			Metrics:          cfg.Metrics,
 		}
 		res, err := sim.Run(in, s, cl, models, opts)
 		if err != nil {

@@ -18,6 +18,8 @@ package gpumem
 import (
 	"fmt"
 	"sort"
+
+	"hare/internal/obs"
 )
 
 // JobKey identifies a resident model by the job that owns it. Two
@@ -74,6 +76,13 @@ type Manager struct {
 
 	// Counters for experiments.
 	hits, misses, evictions int
+
+	// rec, when set, receives admit/evict/hit events stamped with gpu
+	// and the run clock (lastNow tracks the latest time a caller
+	// reported; see BeginAt/Complete).
+	rec     *obs.Recorder
+	gpu     int
+	lastNow float64
 }
 
 // NewManager returns a manager for a device with the given capacity
@@ -91,6 +100,14 @@ func NewManager(capacity int64) *Manager {
 
 // SetPolicy switches the eviction policy; call before traffic starts.
 func (m *Manager) SetPolicy(p Policy) { m.policy = p }
+
+// SetRecorder attaches an observability recorder; events carry gpu as
+// their device lane. A nil recorder (the default) keeps the manager
+// silent and cost-free.
+func (m *Manager) SetRecorder(r *obs.Recorder, gpu int) {
+	m.rec = r
+	m.gpu = gpu
+}
 
 // Policy returns the active eviction policy.
 func (m *Manager) Policy() Policy { return m.policy }
@@ -133,13 +150,27 @@ func (m *Manager) Resident(k JobKey) bool {
 // the footprint fits. Begin panics if the footprint alone exceeds
 // device capacity — the scheduler must never place such a task.
 func (m *Manager) Begin(k JobKey, footprintBytes int64) (hit bool) {
+	return m.BeginAt(k, footprintBytes, m.lastNow)
+}
+
+// BeginAt is Begin with an explicit run-clock time, which stamps the
+// emitted hit/evict events. The simulator and executors call it with
+// the task's start time.
+func (m *Manager) BeginAt(k JobKey, footprintBytes int64, now float64) (hit bool) {
 	if footprintBytes > m.capacity {
 		panic(fmt.Sprintf("gpumem: task footprint %d exceeds capacity %d", footprintBytes, m.capacity))
 	}
+	m.lastNow = now
 	if r, ok := m.models[k]; ok {
 		hit = true
 		m.hits++
 		m.used -= r.weightBytes
+		if m.rec.Enabled() {
+			m.rec.Emit(obs.Event{
+				Type: obs.EvMemHit, Time: now, GPU: m.gpu, Job: int(k),
+				Bytes: r.weightBytes, Hit: true,
+			})
+		}
 		delete(m.models, k)
 	} else {
 		m.misses++
@@ -147,13 +178,13 @@ func (m *Manager) Begin(k JobKey, footprintBytes int64) (hit bool) {
 	m.cursor++ // this Begin consumes one sequence position
 	// The next task has absolute priority (paper heuristic): evict
 	// until it fits.
-	m.evictFor(footprintBytes)
+	m.evictFor(footprintBytes, now)
 	m.active = footprintBytes
 	return hit
 }
 
 // evictFor removes resident models until need bytes fit beside them.
-func (m *Manager) evictFor(need int64) {
+func (m *Manager) evictFor(need int64, now float64) {
 	if m.used+need <= m.capacity {
 		return
 	}
@@ -169,6 +200,12 @@ func (m *Manager) evictFor(need int64) {
 		m.used -= v.weightBytes
 		delete(m.models, v.key)
 		m.evictions++
+		if m.rec.Enabled() {
+			m.rec.Emit(obs.Event{
+				Type: obs.EvMemEvict, Time: now, GPU: m.gpu, Job: int(v.key),
+				Bytes: v.weightBytes,
+			})
+		}
 	}
 }
 
@@ -195,6 +232,7 @@ func (m *Manager) evictsBefore(a, b *resident) bool {
 // made by policy. now orders future KeepLatest evictions.
 func (m *Manager) Complete(k JobKey, weightBytes int64, now float64) {
 	m.active = 0
+	m.lastNow = now
 	if weightBytes <= 0 {
 		return
 	}
@@ -203,13 +241,19 @@ func (m *Manager) Complete(k JobKey, weightBytes int64, now float64) {
 		delete(m.models, k)
 	}
 	if m.used+weightBytes > m.capacity {
-		m.evictFor(weightBytes)
+		m.evictFor(weightBytes, now)
 		if m.used+weightBytes > m.capacity {
 			return // cannot keep; drop silently (not an error)
 		}
 	}
 	m.models[k] = &resident{key: k, weightBytes: weightBytes, completedAt: now}
 	m.used += weightBytes
+	if m.rec.Enabled() {
+		m.rec.Emit(obs.Event{
+			Type: obs.EvMemAdmit, Time: now, GPU: m.gpu, Job: int(k),
+			Bytes: weightBytes,
+		})
+	}
 }
 
 // Used returns the bytes held by speculatively resident models.

@@ -22,6 +22,7 @@ import (
 	"hare/internal/cluster"
 	"hare/internal/core"
 	"hare/internal/model"
+	"hare/internal/obs"
 	"hare/internal/profile"
 	"hare/internal/sched"
 	"hare/internal/sim"
@@ -105,6 +106,8 @@ type TestbedBackend struct {
 	TimeScale float64
 	// Store receives checkpoints (in-memory by default).
 	Store store.Store
+	// Recorder receives execution-path events; nil disables them.
+	Recorder *obs.Recorder
 }
 
 // Execute implements Backend.
@@ -115,6 +118,7 @@ func (b *TestbedBackend) Execute(in *core.Instance, plan *core.Schedule, cl *clu
 	}
 	res, err := testbed.Run(in, plan, cl, models, testbed.Options{
 		TimeScale: ts, Scheme: switching.Hare, Speculative: true, Store: b.Store,
+		Recorder: b.Recorder,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -126,12 +130,17 @@ func (b *TestbedBackend) Execute(in *core.Instance, plan *core.Schedule, cl *clu
 // (instant; used for capacity planning and tests).
 type SimBackend struct {
 	Seed int64
+	// Recorder receives execution-path events; nil disables them.
+	Recorder *obs.Recorder
+	// Metrics receives the simulator's counters; nil disables them.
+	Metrics *obs.Registry
 }
 
 // Execute implements Backend.
 func (b *SimBackend) Execute(in *core.Instance, plan *core.Schedule, cl *cluster.Cluster, models []*model.Model) ([]float64, *trace.Trace, error) {
 	res, err := sim.Run(in, plan, cl, models, sim.Options{
 		Scheme: switching.Hare, Speculative: true, Seed: b.Seed,
+		Recorder: b.Recorder, Metrics: b.Metrics,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -147,6 +156,27 @@ type Options struct {
 	Backend Backend
 	// BatchesPerTask sets the profiler's task granularity.
 	BatchesPerTask int
+	// Recorder receives job-lifecycle events (submit/complete); nil
+	// disables them. Backends carry their own Recorder for the
+	// execution path.
+	Recorder *obs.Recorder
+	// Metrics receives the manager's counters and gauges; nil
+	// disables them.
+	Metrics *obs.Registry
+}
+
+// GPUStat aggregates one GPU's activity over the last executed batch,
+// from the backend's measured trace records.
+type GPUStat struct {
+	// GPU is the fleet index.
+	GPU int
+	// Busy is training seconds (productive GPU time).
+	Busy float64
+	// Overhead is non-training seconds: task switching plus gradient
+	// synchronization.
+	Overhead float64
+	// Tasks is the number of tasks the GPU ran.
+	Tasks int
 }
 
 // Manager is the central scheduler service.
@@ -156,6 +186,15 @@ type Manager struct {
 	algo  sched.Algorithm
 	back  Backend
 	clock func() float64 // virtual submission clock, seconds
+	rec   *obs.Recorder
+
+	// metric handles; all nil-safe no-ops when Options.Metrics is nil.
+	cSubmitted *obs.Counter
+	cCompleted *obs.Counter
+	cBatches   *obs.Counter
+	cFailed    *obs.Counter
+	gPending   *obs.Gauge
+	gHorizon   *obs.Gauge
 
 	mu      sync.Mutex
 	nextID  int
@@ -166,6 +205,8 @@ type Manager struct {
 	// makespan.
 	horizon float64
 	batches int
+	// gpuStats holds per-GPU aggregates from the last executed batch.
+	gpuStats []GPUStat
 }
 
 type pendingJob struct {
@@ -182,12 +223,25 @@ func New(cl *cluster.Cluster, opts Options) *Manager {
 	if opts.Backend == nil {
 		opts.Backend = &SimBackend{}
 	}
+	if opts.Recorder.Enabled() {
+		if ra, ok := opts.Algorithm.(interface{ SetRecorder(*obs.Recorder) }); ok {
+			ra.SetRecorder(opts.Recorder)
+		}
+	}
 	m := &Manager{
 		cl:     cl,
 		prof:   profile.New(profile.Options{BatchesPerTask: opts.BatchesPerTask}),
 		algo:   opts.Algorithm,
 		back:   opts.Backend,
 		status: make(map[int]*JobStatus),
+		rec:    opts.Recorder,
+
+		cSubmitted: opts.Metrics.Counter("hare_manager_jobs_submitted_total"),
+		cCompleted: opts.Metrics.Counter("hare_manager_jobs_completed_total"),
+		cBatches:   opts.Metrics.Counter("hare_manager_batches_total"),
+		cFailed:    opts.Metrics.Counter("hare_manager_jobs_failed_total"),
+		gPending:   opts.Metrics.Gauge("hare_manager_pending_jobs"),
+		gHorizon:   opts.Metrics.Gauge("hare_manager_horizon_seconds"),
 	}
 	m.clock = func() float64 { return m.horizon }
 	return m
@@ -206,6 +260,14 @@ func (m *Manager) Submit(req JobRequest) (int, error) {
 	m.status[id] = &JobStatus{
 		ID: id, Tag: req.Tag, Model: req.Model,
 		State: StateQueued, SubmittedAt: m.clock(),
+	}
+	m.cSubmitted.Inc()
+	m.gPending.Set(float64(len(m.pending)))
+	if m.rec.Enabled() {
+		m.rec.Emit(obs.Event{
+			Type: obs.EvJobSubmit, Time: m.clock(), GPU: -1, Job: id,
+			Round: req.Rounds, Index: req.Scale, Note: req.Model,
+		})
 	}
 	return id, nil
 }
@@ -265,9 +327,11 @@ func (m *Manager) ExecuteBatch() (*BatchResult, error) {
 		m.status[pj.id].State = StateRunning
 	}
 	m.mu.Unlock()
+	m.gPending.Set(0)
 	if len(batch) == 0 {
 		return nil, nil
 	}
+	m.cBatches.Inc()
 
 	fail := func(err error) (*BatchResult, error) {
 		m.mu.Lock()
@@ -276,6 +340,7 @@ func (m *Manager) ExecuteBatch() (*BatchResult, error) {
 			m.status[pj.id].Error = err.Error()
 		}
 		m.mu.Unlock()
+		m.cFailed.Add(float64(len(batch)))
 		return nil, err
 	}
 
@@ -318,6 +383,7 @@ func (m *Manager) ExecuteBatch() (*BatchResult, error) {
 	}
 
 	res := &BatchResult{Batch: batchNo, Jobs: len(batch), Trace: tr}
+	stats := gpuStatsFromTrace(tr, m.cl.Size())
 	m.mu.Lock()
 	for i, pj := range batch {
 		st := m.status[pj.id]
@@ -331,8 +397,52 @@ func (m *Manager) ExecuteBatch() (*BatchResult, error) {
 	if res.Makespan > m.horizon {
 		m.horizon = res.Makespan
 	}
+	m.gpuStats = stats
+	horizon := m.horizon
 	m.mu.Unlock()
+	m.cCompleted.Add(float64(len(batch)))
+	m.gHorizon.Set(horizon)
+	if m.rec.Enabled() {
+		for i, pj := range batch {
+			m.rec.Emit(obs.Event{
+				Type: obs.EvJobComplete, Time: completions[i], GPU: -1,
+				Job: pj.id, Round: batchNo, Note: pj.req.Model,
+			})
+		}
+	}
 	return res, nil
+}
+
+// gpuStatsFromTrace folds measured task records into per-GPU busy
+// (training) and overhead (switch + sync) seconds.
+func gpuStatsFromTrace(tr *trace.Trace, numGPUs int) []GPUStat {
+	stats := make([]GPUStat, numGPUs)
+	for g := range stats {
+		stats[g].GPU = g
+	}
+	if tr == nil {
+		return stats
+	}
+	for _, r := range tr.Records {
+		if r.GPU < 0 || r.GPU >= numGPUs {
+			continue
+		}
+		s := &stats[r.GPU]
+		s.Busy += r.Train
+		s.Overhead += r.Switch + r.Sync
+		s.Tasks++
+	}
+	return stats
+}
+
+// GPUStats returns per-GPU aggregates from the last executed batch
+// (empty before any batch ran).
+func (m *Manager) GPUStats() []GPUStat {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]GPUStat, len(m.gpuStats))
+	copy(out, m.gpuStats)
+	return out
 }
 
 // ProfilerStats exposes the profile database's reuse counters.

@@ -20,8 +20,12 @@ type SubmitReply struct{ ID int }
 // StatusArgs selects a job.
 type StatusArgs struct{ ID int }
 
-// StatusesReply lists every known job.
-type StatusesReply struct{ Jobs []JobStatus }
+// StatusesReply lists every known job plus per-GPU aggregates from
+// the last executed batch (GPUs is empty before any batch ran).
+type StatusesReply struct {
+	Jobs []JobStatus
+	GPUs []GPUStat
+}
 
 // ExecuteReply summarizes the batch that ran.
 type ExecuteReply struct {
@@ -59,9 +63,10 @@ func (s *Service) Status(args StatusArgs, reply *JobStatus) error {
 	return nil
 }
 
-// Statuses reports every job.
+// Statuses reports every job and the last batch's per-GPU stats.
 func (s *Service) Statuses(_ struct{}, reply *StatusesReply) error {
 	reply.Jobs = s.m.Statuses()
+	reply.GPUs = s.m.GPUStats()
 	return nil
 }
 
@@ -157,11 +162,21 @@ func (c *Client) Status(id int) (JobStatus, error) {
 
 // Statuses fetches every job's state.
 func (c *Client) Statuses() ([]JobStatus, error) {
-	var reply StatusesReply
-	if err := c.c.Call(RPCName+".Statuses", struct{}{}, &reply); err != nil {
+	reply, err := c.ClusterStatuses()
+	if err != nil {
 		return nil, err
 	}
 	return reply.Jobs, nil
+}
+
+// ClusterStatuses fetches the full status reply: every job plus the
+// last batch's per-GPU busy/overhead aggregates.
+func (c *Client) ClusterStatuses() (StatusesReply, error) {
+	var reply StatusesReply
+	if err := c.c.Call(RPCName+".Statuses", struct{}{}, &reply); err != nil {
+		return StatusesReply{}, err
+	}
+	return reply, nil
 }
 
 // Execute runs the pending batch and reports its outcome.

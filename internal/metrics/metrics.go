@@ -96,8 +96,16 @@ func Table(header []string, rows [][]string) string {
 	return b.String()
 }
 
-// FormatSeconds renders a duration with a sensible unit.
+// FormatSeconds renders a duration with a sensible unit. Negative
+// durations keep their sign with the magnitude's unit; NaN renders as
+// "NaN" rather than falling into a unit bucket.
 func FormatSeconds(s float64) string {
+	if math.IsNaN(s) {
+		return "NaN"
+	}
+	if s < 0 {
+		return "-" + FormatSeconds(-s)
+	}
 	switch {
 	case s < 1e-3:
 		return fmt.Sprintf("%.1fµs", s*1e6)

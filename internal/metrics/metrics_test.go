@@ -68,11 +68,18 @@ func TestFormatSeconds(t *testing.T) {
 		3.5:   "3.50s",
 		180:   "3.0min",
 		7300:  "2.03h",
+		0:     "0.0µs",
+		-3.5:  "-3.50s",
+		-180:  "-3.0min",
+		-5e-7: "-0.5µs",
 	}
 	for in, want := range cases {
 		if got := FormatSeconds(in); got != want {
 			t.Errorf("FormatSeconds(%g) = %q, want %q", in, got, want)
 		}
+	}
+	if got := FormatSeconds(math.NaN()); got != "NaN" {
+		t.Errorf("FormatSeconds(NaN) = %q, want NaN", got)
 	}
 }
 

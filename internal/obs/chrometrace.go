@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Chrome trace-event exporter: converts an event stream into the JSON
+// Array Format that chrome://tracing and https://ui.perfetto.dev load.
+// Lanes are keyed by GPU — process "execution" has one thread per
+// device, so a run reads like a Gantt chart with exact timestamps;
+// scheduler decisions and job lifecycle land in their own processes so
+// they can be toggled independently in the viewer.
+
+// Process IDs of the exported lanes. They are stable across runs and
+// seeds: execution threads are GPU IDs, job threads are job IDs.
+const (
+	ChromePidExecution = 0 // task/sync/switch/wait/mem spans, tid = GPU
+	ChromePidScheduler = 1 // Algorithm 1 decisions, tid = chosen GPU
+	ChromePidJobs      = 2 // submit/complete instants, tid = job
+)
+
+// chromeEvent is one entry of the trace-event JSON array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const usec = 1e6 // seconds → trace-event microseconds
+
+// WriteChromeTrace renders events as trace-event JSON. Events are
+// emitted in ascending-ts order (stable within equal timestamps), so
+// every lane's timeline is monotone. EvTaskStart events are skipped —
+// the matching EvTaskFinish carries the whole span.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	var out []chromeEvent
+	type lane struct{ pid, tid int }
+	lanes := make(map[lane]bool)
+	touch := func(pid, tid int) {
+		lanes[lane{pid, tid}] = true
+	}
+
+	for _, e := range events {
+		switch e.Type {
+		case EvTaskStart:
+			continue
+		case EvTaskFinish:
+			start := e.Time - e.Train - e.Sync
+			touch(ChromePidExecution, e.GPU)
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("j%d r%d.%d", e.Job, e.Round, e.Index),
+				Cat:  "train", Ph: "X",
+				Ts: start * usec, Dur: e.Train * usec,
+				Pid: ChromePidExecution, Tid: e.GPU,
+				Args: map[string]any{"job": e.Job, "round": e.Round, "index": e.Index, "model": e.Note},
+			})
+			if e.Sync > 0 {
+				out = append(out, chromeEvent{
+					Name: fmt.Sprintf("sync j%d r%d", e.Job, e.Round),
+					Cat:  "sync", Ph: "X",
+					Ts: (start + e.Train) * usec, Dur: e.Sync * usec,
+					Pid: ChromePidExecution, Tid: e.GPU,
+				})
+			}
+		case EvJobSwitch:
+			touch(ChromePidExecution, e.GPU)
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("switch j%d>j%d", e.From, e.Job),
+				Cat:  "switch", Ph: "X",
+				Ts: e.Time * usec, Dur: e.Dur * usec,
+				Pid: ChromePidExecution, Tid: e.GPU,
+				Args: map[string]any{
+					"clean": e.Clean, "context": e.Context, "init": e.Init,
+					"transfer": e.Transfer, "residency_hit": e.Hit,
+				},
+			})
+		case EvBarrierWait:
+			touch(ChromePidExecution, e.GPU)
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("wait %s j%d r%d", e.Note, e.Job, e.Round),
+				Cat:  "wait", Ph: "X",
+				Ts: e.Time * usec, Dur: e.Dur * usec,
+				Pid: ChromePidExecution, Tid: e.GPU,
+			})
+		case EvMemAdmit, EvMemEvict, EvMemHit:
+			touch(ChromePidExecution, e.GPU)
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("%s j%d", e.Type, e.Job),
+				Cat:  "mem", Ph: "i",
+				Ts:  e.Time * usec,
+				Pid: ChromePidExecution, Tid: e.GPU, S: "t",
+				Args: map[string]any{"bytes": e.Bytes},
+			})
+		case EvSchedDecision:
+			touch(ChromePidScheduler, e.GPU)
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("place j%d r%d.%d", e.Job, e.Round, e.Index),
+				Cat:  "sched", Ph: "i",
+				Ts:  e.Time * usec,
+				Pid: ChromePidScheduler, Tid: e.GPU, S: "t",
+				Args: map[string]any{"H": e.H, "gpu": e.GPU},
+			})
+		case EvJobSubmit, EvJobComplete:
+			touch(ChromePidJobs, e.Job)
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("%s j%d", e.Type, e.Job),
+				Cat:  "job", Ph: "i",
+				Ts:  e.Time * usec,
+				Pid: ChromePidJobs, Tid: e.Job, S: "p",
+				Args: map[string]any{"note": e.Note},
+			})
+		}
+	}
+
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
+
+	// Lane metadata first: process and thread names make the viewer
+	// read "GPU 3" instead of "tid 3".
+	meta := []chromeEvent{
+		{Name: "process_name", Ph: "M", Pid: ChromePidExecution, Args: map[string]any{"name": "execution"}},
+		{Name: "process_name", Ph: "M", Pid: ChromePidScheduler, Args: map[string]any{"name": "scheduler"}},
+		{Name: "process_name", Ph: "M", Pid: ChromePidJobs, Args: map[string]any{"name": "jobs"}},
+	}
+	var laneList []lane
+	for l := range lanes {
+		laneList = append(laneList, l)
+	}
+	sort.Slice(laneList, func(i, j int) bool {
+		if laneList[i].pid != laneList[j].pid {
+			return laneList[i].pid < laneList[j].pid
+		}
+		return laneList[i].tid < laneList[j].tid
+	})
+	for _, l := range laneList {
+		name := fmt.Sprintf("GPU %d", l.tid)
+		if l.pid == ChromePidJobs {
+			name = fmt.Sprintf("job %d", l.tid)
+		}
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: l.pid, Tid: l.tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: append(meta, out...), DisplayTimeUnit: "ms"})
+}
+
+// SaveChromeTrace writes the trace-event JSON to path.
+func SaveChromeTrace(path string, events []Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: create %s: %w", path, err)
+	}
+	if err := WriteChromeTrace(f, events); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: write chrome trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: close %s: %w", path, err)
+	}
+	return nil
+}

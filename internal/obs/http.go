@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// Live introspection endpoints: a tiny HTTP debug listener that hared
+// mounts next to its RPC port. Everything is read-only.
+//
+//	GET /metrics            counters/gauges/histograms, text exposition
+//	GET /events?n=100       most recent events, JSONL (newest last)
+//	GET /events?type=...    filter by event type name
+//	GET /                   plain-text index
+//
+// `harectl stats` and `harectl tail` are thin clients of these routes.
+
+// Handler serves the debug routes for a registry and a ring of recent
+// events. Either may be nil, in which case its route reports empty
+// data rather than erroring.
+func Handler(reg *Registry, ring *RingSink) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "hare debug endpoints:")
+		fmt.Fprintln(w, "  /metrics            metrics text exposition")
+		fmt.Fprintln(w, "  /events?n=N&type=T  recent events, one JSON object per line")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := reg.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		var events []Event
+		if ring != nil {
+			events = ring.Snapshot()
+		}
+		if tn := r.URL.Query().Get("type"); tn != "" {
+			want, err := TypeByName(tn)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			kept := events[:0]
+			for _, e := range events {
+				if e.Type == want {
+					kept = append(kept, e)
+				}
+			}
+			events = kept
+		}
+		if ns := r.URL.Query().Get("n"); ns != "" {
+			n, err := strconv.Atoi(ns)
+			if err != nil || n < 0 {
+				http.Error(w, fmt.Sprintf("bad n %q", ns), http.StatusBadRequest)
+				return
+			}
+			if n < len(events) {
+				events = events[len(events)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, e := range events {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+	})
+	return mux
+}
+
+// DebugServer is a running debug listener.
+type DebugServer struct {
+	lis  net.Listener
+	srv  *http.Server
+	done sync.WaitGroup
+}
+
+// ServeDebug starts the debug listener on addr ("127.0.0.1:0" for an
+// ephemeral port) and returns the server plus its bound address.
+func ServeDebug(addr string, reg *Registry, ring *RingSink) (*DebugServer, string, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &DebugServer{lis: lis, srv: &http.Server{Handler: Handler(reg, ring)}}
+	s.done.Add(1)
+	go func() {
+		defer s.done.Done()
+		_ = s.srv.Serve(lis) // returns http.ErrServerClosed on Close
+	}()
+	return s, lis.Addr().String(), nil
+}
+
+// Close stops the listener.
+func (s *DebugServer) Close() error {
+	err := s.srv.Close()
+	s.done.Wait()
+	return err
+}

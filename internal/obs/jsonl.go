@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// JSONLSink streams events to a writer as one JSON object per line —
+// the interchange format behind `haresim -events-out` and `harectl
+// tail`. Lines are buffered; call Close (or Flush) to push them out.
+type JSONLSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	c   io.Closer // underlying file, if we opened it
+	err error     // first write error, reported at Close
+}
+
+// NewJSONLSink wraps an open writer. The caller keeps ownership of w;
+// Close only flushes.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{bw: bufio.NewWriter(w)}
+}
+
+// CreateJSONL opens (truncating) a JSONL event file that Close will
+// also close.
+func CreateJSONL(path string) (*JSONLSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: create %s: %w", path, err)
+	}
+	return &JSONLSink{bw: bufio.NewWriter(f), c: f}, nil
+}
+
+// Record implements Sink. Encoding errors are sticky and surface at
+// Close — Record cannot fail without making every emit site fallible.
+func (s *JSONLSink) Record(e Event) {
+	data, err := json.Marshal(e)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		if s.err == nil {
+			s.err = err
+		}
+		return
+	}
+	if s.err == nil {
+		data = append(data, '\n')
+		if _, err := s.bw.Write(data); err != nil {
+			s.err = err
+		}
+	}
+}
+
+// Flush pushes buffered lines to the underlying writer.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.bw.Flush()
+}
+
+// Close flushes and, when the sink opened its own file, closes it. It
+// returns the first error seen by any Record call.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ferr := s.bw.Flush()
+	var cerr error
+	if s.c != nil {
+		cerr = s.c.Close()
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// ReadJSONL decodes a stream of JSONL-encoded events (the format
+// Record writes), skipping blank lines.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var out []Event
+	for line := 1; sc.Scan(); line++ {
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("obs: events line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: read events: %w", err)
+	}
+	return out, nil
+}

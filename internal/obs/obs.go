@@ -1,0 +1,310 @@
+// Package obs is the runtime observability layer: a low-overhead
+// structured event bus plus a counters/gauges/histograms registry.
+// Final numbers (weighted JCT, makespan, utilization) live in
+// internal/metrics; obs records *how* a run unfolded — why Algorithm 1
+// ordered tasks the way it did, when round barriers stalled a GPU,
+// which switches the speculative memory manager turned into residency
+// hits — so that scheduling policies can be debugged and tuned the way
+// Gavel-style systems do, from per-decision traces.
+//
+// Everything is nil-safe: a nil *Recorder, *Registry, *Counter, *Gauge
+// or *Histogram is a valid no-op, so uninstrumented runs pay nothing.
+// Hot paths additionally guard emission with Recorder.Enabled() (or a
+// plain nil check) so event structs are not even built when nobody
+// listens; BenchmarkObsDisabled verifies that the nil-recorder
+// simulator path stays within noise of the uninstrumented baseline.
+package obs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Type enumerates the event taxonomy. The events mirror the paper's
+// moving parts: tasks and round barriers (§3's relaxed scale-fixed
+// synchronization), inter-job switches with their stall breakdown
+// (§4's fast task switching), speculative memory traffic (§5), and
+// the scheduler's per-task decisions (Algorithm 1).
+type Type uint8
+
+const (
+	// EvTaskStart marks training start of a task on a GPU.
+	EvTaskStart Type = iota
+	// EvTaskFinish marks task completion (training + synchronization);
+	// Train and Sync carry the realized component times and Dur their
+	// sum, so Time-Dur recovers the start.
+	EvTaskFinish
+	// EvBarrierWait records GPU idleness before a task could start:
+	// Dur seconds spent waiting on the previous round's barrier (Note
+	// "round") or on the job's arrival (Note "arrival").
+	EvBarrierWait
+	// EvJobSwitch is one inter-job switch: GPU moved from job From to
+	// job Job, stalling Dur seconds, itemized into Clean / Context /
+	// Init / Transfer (see switching.Breakdown). Hit marks a
+	// speculative-residency hit that skipped the transfer.
+	EvJobSwitch
+	// EvMemAdmit records the speculative manager keeping a model's
+	// weights (Bytes) resident after a task completed.
+	EvMemAdmit
+	// EvMemEvict records a resident model (Bytes) evicted to make room.
+	EvMemEvict
+	// EvMemHit records a task finding its weights already resident.
+	EvMemHit
+	// EvSchedDecision is one Algorithm 1 placement: the scheduler chose
+	// GPU for the task, whose relaxation middle-completion-time H
+	// ordered it; Time is the planned start.
+	EvSchedDecision
+	// EvJobSubmit marks a job entering the manager's queue.
+	EvJobSubmit
+	// EvJobComplete marks a job's realized completion.
+	EvJobComplete
+)
+
+func (t Type) String() string {
+	switch t {
+	case EvTaskStart:
+		return "task-start"
+	case EvTaskFinish:
+		return "task-finish"
+	case EvBarrierWait:
+		return "barrier-wait"
+	case EvJobSwitch:
+		return "job-switch"
+	case EvMemAdmit:
+		return "mem-admit"
+	case EvMemEvict:
+		return "mem-evict"
+	case EvMemHit:
+		return "mem-hit"
+	case EvSchedDecision:
+		return "sched-decision"
+	case EvJobSubmit:
+		return "job-submit"
+	case EvJobComplete:
+		return "job-complete"
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// TypeByName resolves an event type from its String form.
+func TypeByName(name string) (Type, error) {
+	for t := EvTaskStart; t <= EvJobComplete; t++ {
+		if t.String() == name {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("obs: unknown event type %q", name)
+}
+
+// Event is one structured record. It is a flat value type — no
+// pointers, no allocation on emit — with type-specific fields left
+// zero when they do not apply. GPU, Job and From use -1 for "not
+// applicable".
+type Event struct {
+	Type Type    `json:"type"`
+	Time float64 `json:"time"` // seconds on the run's clock
+	GPU  int     `json:"gpu"`  // device lane, -1 when not GPU-scoped
+	Job  int     `json:"job"`  // job ID, -1 when not job-scoped
+	// Round and Index locate the task within its job.
+	Round int `json:"round,omitempty"`
+	Index int `json:"index,omitempty"`
+	// Dur is the span length in seconds (task, wait, or stall).
+	Dur float64 `json:"dur,omitempty"`
+	// From is the predecessor job of a switch (-1 = cold start).
+	From int `json:"from,omitempty"`
+	// Train / Sync split a task-finish duration into its components.
+	Train float64 `json:"train,omitempty"`
+	Sync  float64 `json:"sync,omitempty"`
+	// Clean / Context / Init / Transfer itemize a switch stall.
+	Clean    float64 `json:"clean,omitempty"`
+	Context  float64 `json:"context,omitempty"`
+	Init     float64 `json:"init,omitempty"`
+	Transfer float64 `json:"transfer,omitempty"`
+	// H is the relaxation's middle completion time behind a scheduler
+	// decision (Algorithm 1's sort key).
+	H float64 `json:"h,omitempty"`
+	// Bytes sizes memory traffic (admit/evict/hit).
+	Bytes int64 `json:"bytes,omitempty"`
+	// Hit marks a speculative residency hit.
+	Hit bool `json:"hit,omitempty"`
+	// Note is a short human label (model name, wait reason, scheme).
+	Note string `json:"note,omitempty"`
+}
+
+// Format renders the event as one compact human-readable line, the
+// form `harectl tail` and the JSONL tooling print.
+func (e Event) Format() string {
+	loc := ""
+	switch {
+	case e.GPU >= 0 && e.Job >= 0:
+		loc = fmt.Sprintf(" gpu%d j%d/r%d.%d", e.GPU, e.Job, e.Round, e.Index)
+	case e.GPU >= 0:
+		loc = fmt.Sprintf(" gpu%d", e.GPU)
+	case e.Job >= 0:
+		loc = fmt.Sprintf(" j%d", e.Job)
+	}
+	detail := ""
+	switch e.Type {
+	case EvTaskFinish:
+		detail = fmt.Sprintf(" train=%.3fs sync=%.3fs", e.Train, e.Sync)
+	case EvBarrierWait:
+		detail = fmt.Sprintf(" wait=%.3fs (%s)", e.Dur, e.Note)
+	case EvJobSwitch:
+		detail = fmt.Sprintf(" from=j%d stall=%.4fs", e.From, e.Dur)
+		if e.Hit {
+			detail += " (residency hit)"
+		}
+	case EvMemAdmit, EvMemEvict, EvMemHit:
+		detail = fmt.Sprintf(" %dB", e.Bytes)
+	case EvSchedDecision:
+		detail = fmt.Sprintf(" H=%.2f", e.H)
+	}
+	note := ""
+	if e.Note != "" && e.Type != EvBarrierWait {
+		note = " " + e.Note
+	}
+	return fmt.Sprintf("%12.3f %-14s%s%s%s", e.Time, e.Type, loc, detail, note)
+}
+
+// Sink consumes emitted events. Implementations must be safe for
+// concurrent Record calls — executors emit from one goroutine per GPU.
+type Sink interface {
+	Record(e Event)
+}
+
+// Recorder fans events out to its sinks. The zero value and nil are
+// both valid no-ops; construct with NewRecorder to attach sinks.
+//
+// The sink slice is fixed at construction, so Emit takes no lock of
+// its own — concurrency control lives in the sinks, keeping the
+// fan-out path a plain loop.
+type Recorder struct {
+	sinks []Sink
+}
+
+// NewRecorder builds a recorder over the given sinks (nil sinks are
+// dropped). With no sinks it still accepts events, discarding them.
+func NewRecorder(sinks ...Sink) *Recorder {
+	r := &Recorder{}
+	for _, s := range sinks {
+		if s != nil {
+			r.sinks = append(r.sinks, s)
+		}
+	}
+	return r
+}
+
+// Enabled reports whether emitting can have any effect. Hot paths
+// check it (or compare the recorder against nil) before building an
+// Event, so the disabled path costs one predictable branch.
+func (r *Recorder) Enabled() bool { return r != nil && len(r.sinks) > 0 }
+
+// Emit records an event into every sink. Safe on a nil receiver.
+func (r *Recorder) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	for _, s := range r.sinks {
+		s.Record(e)
+	}
+}
+
+// RingSink keeps the most recent capacity events in a fixed ring —
+// the always-on, bounded-memory sink behind hared's /events endpoint.
+type RingSink struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	total   uint64
+	dropped uint64
+}
+
+// NewRingSink returns a ring holding the last capacity events
+// (minimum 1).
+func NewRingSink(capacity int) *RingSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingSink{buf: make([]Event, 0, capacity)}
+}
+
+// Record implements Sink.
+func (s *RingSink) Record(e Event) {
+	s.mu.Lock()
+	if len(s.buf) < cap(s.buf) {
+		s.buf = append(s.buf, e)
+	} else {
+		s.buf[s.next] = e
+		s.dropped++
+	}
+	s.next = (s.next + 1) % cap(s.buf)
+	s.total++
+	s.mu.Unlock()
+}
+
+// Snapshot returns the retained events oldest-first without clearing.
+func (s *RingSink) Snapshot() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ordered()
+}
+
+// Drain returns the retained events oldest-first and empties the ring.
+func (s *RingSink) Drain() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.ordered()
+	s.buf = s.buf[:0]
+	s.next = 0
+	return out
+}
+
+// ordered assembles oldest-first under the held lock.
+func (s *RingSink) ordered() []Event {
+	out := make([]Event, 0, len(s.buf))
+	if len(s.buf) == cap(s.buf) {
+		out = append(out, s.buf[s.next:]...)
+		out = append(out, s.buf[:s.next]...)
+	} else {
+		out = append(out, s.buf...)
+	}
+	return out
+}
+
+// Total returns how many events were ever recorded.
+func (s *RingSink) Total() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Dropped returns how many events were overwritten before being read.
+func (s *RingSink) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// CollectSink retains every event unboundedly — for tests and for
+// one-shot runs that export a full trace afterwards.
+type CollectSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewCollectSink returns an empty collector.
+func NewCollectSink() *CollectSink { return &CollectSink{} }
+
+// Record implements Sink.
+func (s *CollectSink) Record(e Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// Events returns a copy of everything recorded, in emission order.
+func (s *CollectSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}

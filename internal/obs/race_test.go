@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentEmitAndDrain exercises the event bus the way the
+// testbed does — one emitting goroutine per GPU — with a reader
+// draining concurrently, the shape hared's /events endpoint sees.
+// Run with -race.
+func TestConcurrentEmitAndDrain(t *testing.T) {
+	const (
+		emitters  = 8
+		perEmit   = 500
+		ringSlots = 64
+	)
+	ring := NewRingSink(ringSlots)
+	collect := NewCollectSink()
+	rec := NewRecorder(ring, collect)
+
+	var emitWG sync.WaitGroup
+	for g := 0; g < emitters; g++ {
+		emitWG.Add(1)
+		go func(g int) {
+			defer emitWG.Done()
+			for i := 0; i < perEmit; i++ {
+				rec.Emit(Event{Type: EvTaskFinish, Time: float64(i), GPU: g, Job: i % 4})
+			}
+		}(g)
+	}
+
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	drained := 0
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			batch := ring.Drain()
+			drained += len(batch)
+			// Drained batches must be internally oldest-first.
+			for i := 1; i < len(batch); i++ {
+				if batch[i].GPU == batch[i-1].GPU && batch[i].Time < batch[i-1].Time {
+					t.Errorf("drain out of order for gpu %d: %g after %g",
+						batch[i].GPU, batch[i].Time, batch[i-1].Time)
+					return
+				}
+			}
+			select {
+			case <-stop:
+				drained += len(ring.Drain())
+				return
+			default:
+			}
+		}
+	}()
+
+	emitWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	want := emitters * perEmit
+	if total := ring.Total(); total != uint64(want) {
+		t.Errorf("ring Total = %d, want %d", total, want)
+	}
+	if got := len(collect.Events()); got != want {
+		t.Errorf("collect sink kept %d events, want %d", got, want)
+	}
+	// Everything was either handed to the reader or overwritten.
+	if dropped := ring.Dropped(); drained+int(dropped) != want {
+		t.Errorf("drained %d + dropped %d != emitted %d", drained, dropped, want)
+	}
+}

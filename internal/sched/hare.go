@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"hare/internal/core"
+	"hare/internal/obs"
 	"hare/internal/sched/relax"
 )
 
@@ -44,7 +45,14 @@ type Hare struct {
 	Pick GPUPick
 	// name overrides the display name (used by ablation variants).
 	name string
+	// rec, when set, traces every placement decision: the task, its
+	// relaxation sort key H_i, the chosen GPU and the planned start.
+	rec *obs.Recorder
 }
+
+// SetRecorder attaches an observability recorder; each Schedule call
+// then emits one EvSchedDecision per task placement.
+func (h *Hare) SetRecorder(r *obs.Recorder) { h.rec = r }
 
 // NewHare returns the Hare scheduler. It uses the earliest-finish
 // GPU pick: the paper's relaxation carries per-GPU assignment
@@ -145,6 +153,13 @@ func (h *Hare) Schedule(in *core.Instance) (*core.Schedule, error) {
 		// Lines 13–16.
 		start := math.Max(ti, phi[m])
 		s.Place(t, m, start)
+		if h.rec.Enabled() {
+			h.rec.Emit(obs.Event{
+				Type: obs.EvSchedDecision, Time: start, GPU: m,
+				Job: int(t.Job), Round: t.Round, Index: t.Index,
+				H: ot.h, Note: h.Pick.String(),
+			})
+		}
 		phi[m] = start + in.Train[t.Job][m]
 		end := start + in.Train[t.Job][m] + in.Sync[t.Job][m]
 		if end > barrier[t.Job][t.Round] {

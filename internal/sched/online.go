@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"hare/internal/core"
+	"hare/internal/obs"
 	"hare/internal/sched/relax"
 )
 
@@ -22,7 +23,13 @@ import (
 type OnlineHare struct {
 	// Pick is the line-12 GPU choice, as in Hare.
 	Pick GPUPick
+	// rec, when set, traces committed placement decisions, epoch by
+	// epoch (re-planned, uncommitted placements are not reported).
+	rec *obs.Recorder
 }
+
+// SetRecorder attaches an observability recorder.
+func (o *OnlineHare) SetRecorder(r *obs.Recorder) { o.rec = r }
 
 // NewOnlineHare returns the online variant.
 func NewOnlineHare() *OnlineHare { return &OnlineHare{Pick: PickEarliestFinish} }
@@ -122,6 +129,7 @@ func (o *OnlineHare) planEpoch(in *core.Instance, s *core.Schedule, phi []float6
 		task  core.TaskRef // sub-instance coordinates
 		gpu   int
 		start float64
+		h     float64
 	}
 	pi := sub.Tasks()
 	sort.SliceStable(pi, func(a, b int) bool {
@@ -158,7 +166,7 @@ func (o *OnlineHare) planEpoch(in *core.Instance, s *core.Schedule, phi []float6
 		if end > barrier[t.Job][t.Round] {
 			barrier[t.Job][t.Round] = end
 		}
-		plan = append(plan, placed{task: t, gpu: m, start: start})
+		plan = append(plan, placed{task: t, gpu: m, start: start, h: sol.H(sub, t.Job, t.Round)})
 	}
 
 	// Commit the rounds that have *begun* before the next arrival:
@@ -182,6 +190,13 @@ func (o *OnlineHare) planEpoch(in *core.Instance, s *core.Schedule, phi []float6
 		realJob := subID[p.task.Job]
 		realRound := states[realJob].committed + p.task.Round
 		s.Place(core.TaskRef{Job: realJob, Round: realRound, Index: p.task.Index}, p.gpu, p.start)
+		if o.rec.Enabled() {
+			o.rec.Emit(obs.Event{
+				Type: obs.EvSchedDecision, Time: p.start, GPU: p.gpu,
+				Job: int(realJob), Round: realRound, Index: p.task.Index,
+				H: p.h, Note: "online/" + o.Pick.String(),
+			})
+		}
 		if phi[p.gpu] < p.start+in.Train[realJob][p.gpu] {
 			phi[p.gpu] = p.start + in.Train[realJob][p.gpu]
 		}

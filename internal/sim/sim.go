@@ -20,6 +20,7 @@ import (
 	"hare/internal/core"
 	"hare/internal/gpumem"
 	"hare/internal/model"
+	"hare/internal/obs"
 	"hare/internal/stats"
 	"hare/internal/switching"
 	"hare/internal/trace"
@@ -53,6 +54,14 @@ type Options struct {
 	// gradient exchange uses IntraHostBps instead of the data-center
 	// network. Requires a cluster.
 	HostAwareSync bool
+	// Recorder receives structured events (task start/finish, barrier
+	// waits, inter-job switches with stall breakdown, gpumem traffic).
+	// nil — the default — keeps the replay loop uninstrumented; see
+	// BenchmarkObsDisabled for the zero-overhead guarantee.
+	Recorder *obs.Recorder
+	// Metrics, when set, accumulates run counters (tasks, switches,
+	// stall seconds, residency hits, barrier-wait seconds).
+	Metrics *obs.Registry
 }
 
 // Result summarizes one simulation run.
@@ -111,12 +120,25 @@ func Run(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, models []*m
 	withSwitching := cl != nil && models != nil && !opts.DisableSwitching
 
 	rng := stats.New(opts.Seed)
+	rec := opts.Recorder
+	observed := rec.Enabled()
+	// Counters are resolved once up front; on a nil registry they are
+	// nil and every Add is a no-op.
+	var (
+		cTasks    = opts.Metrics.Counter("hare_sim_tasks_total")
+		cSwitches = opts.Metrics.Counter("hare_sim_switches_total")
+		cStall    = opts.Metrics.Counter("hare_sim_switch_stall_seconds_total")
+		cHits     = opts.Metrics.Counter("hare_sim_residency_hits_total")
+		cWait     = opts.Metrics.Counter("hare_sim_barrier_wait_seconds_total")
+		cTrain    = opts.Metrics.Counter("hare_sim_train_seconds_total")
+	)
 	gpus := make([]*gpuState, in.NumGPUs)
 	for m, seq := range sch.Sequences(in.NumGPUs) {
 		gpus[m] = &gpuState{seq: seq, prevJob: -1}
 		if withSwitching && opts.Speculative {
 			gpus[m].mem = gpumem.NewManager(cl.GPUs[m].Type.MemBytes)
 			gpus[m].mem.SetPolicy(opts.MemPolicy)
+			gpus[m].mem.SetRecorder(rec, m)
 			look := make([]gpumem.JobKey, len(seq))
 			for i, t := range seq {
 				look[i] = gpumem.JobKey(t.Job)
@@ -163,6 +185,7 @@ func Run(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, models []*m
 		bestGPU := -1
 		var bestStart, bestSwitch float64
 		var bestHit bool
+		var bestB switching.Breakdown
 		for m, g := range gpus {
 			if g.next >= len(g.seq) {
 				continue
@@ -174,18 +197,19 @@ func Run(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, models []*m
 			}
 			var sw float64
 			var hit bool
+			var b switching.Breakdown
 			if withSwitching && g.prevJob != t.Job {
 				var prev *model.Model
 				if g.prevJob >= 0 {
 					prev = models[g.prevJob]
 				}
 				resident := g.mem != nil && g.mem.Resident(gpumem.JobKey(t.Job))
-				b := switching.Cost(opts.Scheme, cl.GPUs[m].Type, prev, models[t.Job], resident)
+				b = switching.Cost(opts.Scheme, cl.GPUs[m].Type, prev, models[t.Job], resident)
 				sw, hit = b.Total(), b.ResidentHit
 			}
 			start := math.Max(g.free+sw, barrier)
 			if bestGPU == -1 || start < bestStart || (start == bestStart && m < bestGPU) {
-				bestGPU, bestStart, bestSwitch, bestHit = m, start, sw, hit
+				bestGPU, bestStart, bestSwitch, bestHit, bestB = m, start, sw, hit, b
 			}
 		}
 		if bestGPU == -1 {
@@ -217,22 +241,66 @@ func Run(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, models []*m
 		trainEnd := start + train
 		end := trainEnd + syncT
 
+		// Idle time beyond the GPU's readiness (and the switch stall)
+		// is waiting on the job: its previous round's barrier, or its
+		// arrival — the stall relaxed scale-fixed sync exists to shrink.
+		if wait := start - bestSwitch - g.free; wait > 0 {
+			cWait.Add(wait)
+			if observed {
+				reason := "round"
+				if t.Round == 0 {
+					reason = "arrival"
+				}
+				rec.Emit(obs.Event{
+					Type: obs.EvBarrierWait, Time: g.free, GPU: bestGPU,
+					Job: int(t.Job), Round: t.Round, Index: t.Index,
+					Dur: wait, Note: reason,
+				})
+			}
+		}
 		if bestSwitch > 0 {
 			g.over = append(g.over, interval{start - bestSwitch, start})
 			res.OverheadSeconds[bestGPU] += bestSwitch
 			res.TotalSwitch += bestSwitch
 			res.SwitchCount++
+			cSwitches.Inc()
+			cStall.Add(bestSwitch)
 			if bestHit {
 				res.ResidencyHits++
+				cHits.Inc()
 			}
+			if observed {
+				rec.Emit(obs.Event{
+					Type: obs.EvJobSwitch, Time: start - bestSwitch, GPU: bestGPU,
+					Job: int(t.Job), From: int(g.prevJob), Dur: bestSwitch,
+					Clean: bestB.Clean, Context: bestB.Context, Init: bestB.Init,
+					Transfer: bestB.Transfer, Hit: bestHit,
+				})
+			}
+		}
+		if observed {
+			rec.Emit(obs.Event{
+				Type: obs.EvTaskStart, Time: start, GPU: bestGPU,
+				Job: int(t.Job), Round: t.Round, Index: t.Index,
+			})
 		}
 		if g.mem != nil {
 			md := models[t.Job]
-			g.mem.Begin(gpumem.JobKey(t.Job), md.TrainFootprintBytes)
+			g.mem.BeginAt(gpumem.JobKey(t.Job), md.TrainFootprintBytes, start)
 			g.mem.Complete(gpumem.JobKey(t.Job), md.ParamBytes, trainEnd)
 		}
 		g.busy = append(g.busy, interval{start, trainEnd})
 		res.BusySeconds[bestGPU] += train
+		cTasks.Inc()
+		cTrain.Add(train)
+		if observed {
+			rec.Emit(obs.Event{
+				Type: obs.EvTaskFinish, Time: end, GPU: bestGPU,
+				Job: int(t.Job), Round: t.Round, Index: t.Index,
+				Dur: end - start, Train: train, Sync: syncT,
+				Note: in.Jobs[t.Job].Model,
+			})
+		}
 		g.free = trainEnd
 		g.prevJob = t.Job
 

@@ -7,6 +7,7 @@ import (
 	"hare/internal/core"
 	"hare/internal/gpumem"
 	"hare/internal/model"
+	"hare/internal/obs"
 	"hare/internal/stats"
 	"hare/internal/switching"
 	"hare/internal/trace"
@@ -45,6 +46,9 @@ type Executor struct {
 	// probability faultRate and is retried from the last checkpoint.
 	faultRate float64
 	faultRNG  *stats.RNG
+	// rec receives structured events from this executor's goroutine;
+	// nil keeps the loop silent.
+	rec *obs.Recorder
 
 	// Records accumulates measured task records; owned by the
 	// executor goroutine until Run returns.
@@ -79,14 +83,15 @@ func (e *Executor) Run() error {
 		// Switching overhead between jobs.
 		var sw float64
 		var hit bool
+		var bd switching.Breakdown
 		if prevJob != t.Job {
 			var prev *model.Model
 			if prevJob >= 0 {
 				prev = e.models[prevJob]
 			}
 			resident := e.mem != nil && e.mem.Resident(gpumem.JobKey(t.Job))
-			b := switching.Cost(e.scheme, e.GPUType, prev, e.models[t.Job], resident)
-			sw, hit = b.Total(), b.ResidentHit
+			bd = switching.Cost(e.scheme, e.GPUType, prev, e.models[t.Job], resident)
+			sw, hit = bd.Total(), bd.ResidentHit
 		}
 		target := freeAt + sw
 		if barrier > target {
@@ -94,8 +99,33 @@ func (e *Executor) Run() error {
 		}
 		start := e.clock.SleepUntil(target)
 
+		if e.rec.Enabled() {
+			if wait := start - sw - freeAt; wait > 0 {
+				reason := "round"
+				if t.Round == 0 {
+					reason = "arrival"
+				}
+				e.rec.Emit(obs.Event{
+					Type: obs.EvBarrierWait, Time: freeAt, GPU: e.GPU,
+					Job: int(t.Job), Round: t.Round, Index: t.Index,
+					Dur: wait, Note: reason,
+				})
+			}
+			if sw > 0 {
+				e.rec.Emit(obs.Event{
+					Type: obs.EvJobSwitch, Time: start - sw, GPU: e.GPU,
+					Job: int(t.Job), From: int(prevJob), Dur: sw,
+					Clean: bd.Clean, Context: bd.Context, Init: bd.Init,
+					Transfer: bd.Transfer, Hit: hit,
+				})
+			}
+			e.rec.Emit(obs.Event{
+				Type: obs.EvTaskStart, Time: start, GPU: e.GPU,
+				Job: int(t.Job), Round: t.Round, Index: t.Index,
+			})
+		}
 		if e.mem != nil {
-			e.mem.Begin(gpumem.JobKey(t.Job), e.models[t.Job].TrainFootprintBytes)
+			e.mem.BeginAt(gpumem.JobKey(t.Job), e.models[t.Job].TrainFootprintBytes, start)
 		}
 		// Real work: load the checkpoint and compute the gradient,
 		// retrying from the checkpoint when a fault eats the attempt.
@@ -126,6 +156,14 @@ func (e *Executor) Run() error {
 			Task: t, GPU: e.GPU, Start: start,
 			Train: trainEnd - start, Sync: completion - trainEnd, Switch: sw,
 		})
+		if e.rec.Enabled() {
+			e.rec.Emit(obs.Event{
+				Type: obs.EvTaskFinish, Time: completion, GPU: e.GPU,
+				Job: int(t.Job), Round: t.Round, Index: t.Index,
+				Dur: completion - start, Train: trainEnd - start, Sync: completion - trainEnd,
+				Note: e.in.Jobs[t.Job].Model,
+			})
+		}
 		if sw > 0 {
 			e.SwitchTotal += sw
 			e.SwitchCount++

@@ -8,6 +8,7 @@ import (
 	"hare/internal/core"
 	"hare/internal/gpumem"
 	"hare/internal/model"
+	"hare/internal/obs"
 	"hare/internal/stats"
 	"hare/internal/store"
 	"hare/internal/switching"
@@ -43,6 +44,10 @@ type Options struct {
 	// — the hook through which the net/rpc control plane is injected.
 	// Defaults to direct in-process calls.
 	ClientFor func(gpu int, local SyncClient) SyncClient
+	// Recorder receives structured events from every executor
+	// goroutine (its sinks serialize concurrent emits); nil disables
+	// instrumentation.
+	Recorder *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -151,6 +156,10 @@ type RemoteExecutorConfig struct {
 	ProblemBatch int
 	FaultRate    float64
 	FaultSeed    int64
+	// Recorder is local-only (it does not travel over RPC); the
+	// distributed path leaves it nil unless the executor host attaches
+	// its own.
+	Recorder *obs.Recorder
 }
 
 // NewRemoteExecutor builds an Executor from a shipped configuration.
@@ -181,6 +190,7 @@ func NewRemoteExecutor(cfg RemoteExecutorConfig) (*Executor, error) {
 	if cfg.Speculative {
 		mem = gpumem.NewManager(cfg.GPUType.MemBytes)
 		mem.SetPolicy(cfg.MemPolicy)
+		mem.SetRecorder(cfg.Recorder, cfg.GPU)
 		look := make([]gpumem.JobKey, len(cfg.Seq))
 		for i, t := range cfg.Seq {
 			look[i] = gpumem.JobKey(t.Job)
@@ -193,6 +203,7 @@ func NewRemoteExecutor(cfg RemoteExecutorConfig) (*Executor, error) {
 		clock: cfg.Clock, sync: cfg.Sync, probs: probs,
 		faultRate: cfg.FaultRate,
 		faultRNG:  stats.New(cfg.FaultSeed ^ int64(cfg.GPU)*0x9e3779b9),
+		rec:       cfg.Recorder,
 	}, nil
 }
 
@@ -230,6 +241,7 @@ func Run(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, models []*m
 		if opts.Speculative {
 			mem = gpumem.NewManager(cl.GPUs[m].Type.MemBytes)
 			mem.SetPolicy(opts.MemPolicy)
+			mem.SetRecorder(opts.Recorder, m)
 			look := make([]gpumem.JobKey, len(seqs[m]))
 			for i, t := range seqs[m] {
 				look[i] = gpumem.JobKey(t.Job)
@@ -246,6 +258,7 @@ func Run(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, models []*m
 			clock: clock, sync: client, probs: probs,
 			faultRate: opts.FaultRate,
 			faultRNG:  stats.New(opts.FaultSeed ^ int64(m)*0x9e3779b9),
+			rec:       opts.Recorder,
 		}
 	}
 

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Full pre-merge check: vet, build, race-enabled tests, and the
+# observability zero-overhead benchmark (BenchmarkObsDisabled must sit
+# within noise of BenchmarkSimulatorReplay — compare the ns/op columns).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> obs overhead benchmark"
+go test -run '^$' -bench 'BenchmarkSimulatorReplay|BenchmarkObs' -benchtime 10x .
+
+echo "OK"
