@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-obs check fmt
+.PHONY: all build test vet race bench bench-obs check fmt
 
 all: build
 
@@ -15,6 +15,11 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# Full benchmark suite with allocation stats, archived as
+# BENCH_<date>.json for cross-commit comparison (docs/PERFORMANCE.md).
+bench:
+	./scripts/bench.sh
 
 # Observability overhead: the nil-recorder path (BenchmarkObsDisabled)
 # must stay within noise of the uninstrumented BenchmarkSimulatorReplay.

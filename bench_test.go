@@ -193,6 +193,24 @@ func BenchmarkFig14GPUSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkFig14GPUSweepParallel runs the same sweep with the worker
+// pool sized to the machine; compare its ns/op against
+// BenchmarkFig14GPUSweep for the parallel engine's speedup (the rows
+// are identical — TestParallelMatchesSerialFig14 pins that).
+func BenchmarkFig14GPUSweepParallel(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Parallel = -1 // GOMAXPROCS
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig14GPUSweep(cfg, []int{16, 24})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportHareVsBest(b, rows)
+		}
+	}
+}
+
 func BenchmarkFig15JobSweep(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
@@ -382,6 +400,32 @@ func BenchmarkSimulatorReplay(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(in, plan, cl, models, sim.Options{
+			Scheme: switching.Hare, Speculative: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorReplayReference replays the same plan with the
+// original O(tasks·GPUs) rescan loop; the gap to
+// BenchmarkSimulatorReplay is what the incremental candidate engine
+// buys (docs/PERFORMANCE.md records the numbers).
+func BenchmarkSimulatorReplayReference(b *testing.B) {
+	cl := HeterogeneousCluster(HighHeterogeneity, 24)
+	_, in, models, err := BuildWorkload(WorkloadConfig{
+		Jobs: 60, Seed: 5, HorizonSeconds: 600, RoundsScale: 0.1,
+	}, cl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := sched.NewHare().Schedule(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunReference(in, plan, cl, models, sim.Options{
 			Scheme: switching.Hare, Speculative: true,
 		}); err != nil {
 			b.Fatal(err)

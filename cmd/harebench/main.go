@@ -33,6 +33,9 @@ var (
 	listOnly   = flag.Bool("list", false, "list experiment IDs and exit")
 	traceOut   = flag.String("trace-out", "", "write a chrome://tracing trace of all simulator replays to this JSON file")
 	eventsOut  = flag.String("events-out", "", "write structured events from all simulator replays to this JSONL file")
+	parallel   = flag.Int("parallel", 1, "worker goroutines per experiment (1 = serial, <=0 = GOMAXPROCS); results are identical either way")
+	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with 'go tool pprof')")
+	memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
 
 type runner struct {
@@ -43,13 +46,25 @@ type runner struct {
 
 func main() {
 	flag.Parse()
+	// run does the work so its defers (profile flushing) execute
+	// before os.Exit.
+	os.Exit(run())
+}
+
+func run() int {
 	runners := allRunners()
 	if *listOnly {
 		for _, r := range runners {
 			fmt.Printf("%-8s %s\n", r.id, r.desc)
 		}
-		return
+		return 0
 	}
+	stop, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "harebench: %v\n", err)
+		return 1
+	}
+	defer stop()
 	cfg := experiments.Config{
 		Seed:          *seed,
 		RoundsScale:   *scale,
@@ -57,6 +72,10 @@ func main() {
 		GPUs:          *gpus,
 		WithSwitching: true,
 		Speculative:   true,
+		Parallel:      *parallel,
+	}
+	if *parallel <= 0 {
+		cfg.Parallel = -1 // experiments.Config: negative = GOMAXPROCS
 	}
 	var collect *obs.CollectSink
 	if *traceOut != "" || *eventsOut != "" {
@@ -72,32 +91,33 @@ func main() {
 		fmt.Printf("== %s: %s ==\n", r.id, r.desc)
 		if err := r.run(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "harebench: %s: %v\n", r.id, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println()
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "harebench: unknown experiment %q (use -list)\n", *experiment)
-		os.Exit(2)
+		return 2
 	}
 	if collect != nil {
 		events := collect.Events()
 		if *traceOut != "" {
 			if err := obs.SaveChromeTrace(*traceOut, events); err != nil {
 				fmt.Fprintf(os.Stderr, "harebench: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Printf("chrome trace (%d events) saved to %s — open in chrome://tracing\n", len(events), *traceOut)
 		}
 		if *eventsOut != "" {
 			if err := saveEventsJSONL(*eventsOut, events); err != nil {
 				fmt.Fprintf(os.Stderr, "harebench: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Printf("events saved to %s\n", *eventsOut)
 		}
 	}
+	return 0
 }
 
 // saveEventsJSONL writes captured events as JSON lines.

@@ -18,6 +18,7 @@ import (
 
 	"hare"
 	"hare/internal/metrics"
+	"hare/internal/obs"
 	"hare/internal/switching"
 )
 
@@ -38,10 +39,22 @@ var (
 	workload  = flag.String("workload", "", "JSON workload file (overrides -jobs/-scale/-horizon)")
 	traceOut  = flag.String("trace-out", "", "write a chrome://tracing trace of the run to this JSON file")
 	eventsOut = flag.String("events-out", "", "write the run's structured events to this JSONL file")
+	cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with 'go tool pprof')")
+	memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
+
+// stopProfiles flushes any active pprof profiles; fatal exits run
+// through it so a failing profiled run still writes its CPU profile.
+var stopProfiles = func() {}
 
 func main() {
 	flag.Parse()
+	stop, err := obs.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop
+	defer stopProfiles()
 	cl, err := buildCluster()
 	if err != nil {
 		fatal(err)
@@ -187,5 +200,6 @@ func buildCluster() (*hare.Cluster, error) {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "haresim:", err)
+	stopProfiles()
 	os.Exit(1)
 }

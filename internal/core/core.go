@@ -202,19 +202,32 @@ func (s *Schedule) Place(t TaskRef, gpu int, start float64) {
 // Sequences returns, for each GPU, the tasks assigned to it ordered by
 // planned start time (ties broken by task identity for determinism).
 func (s *Schedule) Sequences(numGPUs int) [][]TaskRef {
-	seq := make([][]TaskRef, numGPUs)
-	for t, p := range s.Placements {
-		seq[p.GPU] = append(seq[p.GPU], t)
+	// Sort (task, start) pairs rather than looking each comparison's
+	// placements up in the map: the simulator replays one schedule per
+	// run and this is on its setup critical path (see
+	// docs/PERFORMANCE.md).
+	type placed struct {
+		t     TaskRef
+		start float64
 	}
-	for m := range seq {
-		tasks := seq[m]
+	byGPU := make([][]placed, numGPUs)
+	for t, p := range s.Placements {
+		byGPU[p.GPU] = append(byGPU[p.GPU], placed{t: t, start: p.Start})
+	}
+	seq := make([][]TaskRef, numGPUs)
+	for m := range byGPU {
+		tasks := byGPU[m]
 		sort.Slice(tasks, func(a, b int) bool {
-			pa, pb := s.Placements[tasks[a]], s.Placements[tasks[b]]
-			if pa.Start != pb.Start {
-				return pa.Start < pb.Start
+			if tasks[a].start != tasks[b].start {
+				return tasks[a].start < tasks[b].start
 			}
-			return lessTask(tasks[a], tasks[b])
+			return lessTask(tasks[a].t, tasks[b].t)
 		})
+		out := make([]TaskRef, len(tasks))
+		for i, p := range tasks {
+			out[i] = p.t
+		}
+		seq[m] = out
 	}
 	return seq
 }

@@ -73,6 +73,138 @@ func (q *Queue[T]) Peek() (at float64, item T, ok bool) {
 // Len reports the number of queued events.
 func (q *Queue[T]) Len() int { return len(q.h) }
 
+// IndexedHeap is a min-heap over a fixed universe of integer ids
+// 0..n-1, keyed by a float64 priority with deterministic tie-breaking
+// on the smaller id. Unlike MinHeap it supports O(log n) update and
+// removal *by id* — the shape incremental simulators need: when one
+// GPU's candidate start changes, only that entry moves, and the
+// smallest-id-wins tie-break reproduces a linear scan's "first best
+// index" selection exactly.
+type IndexedHeap struct {
+	ids []int     // heap-ordered ids
+	pos []int     // pos[id] = index into ids, or -1 when absent
+	pri []float64 // pri[id] = current priority (valid while present)
+}
+
+// NewIndexedHeap returns an empty heap over ids 0..n-1.
+func NewIndexedHeap(n int) *IndexedHeap {
+	h := &IndexedHeap{
+		ids: make([]int, 0, n),
+		pos: make([]int, n),
+		pri: make([]float64, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// Len reports the number of ids currently in the heap.
+func (h *IndexedHeap) Len() int { return len(h.ids) }
+
+// Contains reports whether id is currently in the heap.
+func (h *IndexedHeap) Contains(id int) bool { return h.pos[id] >= 0 }
+
+// Set inserts id with the given priority, or updates its priority if
+// already present.
+func (h *IndexedHeap) Set(id int, priority float64) {
+	h.pri[id] = priority
+	if i := h.pos[id]; i >= 0 {
+		if !h.up(i) {
+			h.down(i)
+		}
+		return
+	}
+	h.pos[id] = len(h.ids)
+	h.ids = append(h.ids, id)
+	h.up(len(h.ids) - 1)
+}
+
+// Remove deletes id from the heap; absent ids are a no-op.
+func (h *IndexedHeap) Remove(id int) {
+	i := h.pos[id]
+	if i < 0 {
+		return
+	}
+	last := len(h.ids) - 1
+	h.swap(i, last)
+	h.ids = h.ids[:last]
+	h.pos[id] = -1
+	if i < last {
+		if !h.up(i) {
+			h.down(i)
+		}
+	}
+}
+
+// Min returns the id with the smallest (priority, id) without
+// removing it. ok is false when the heap is empty.
+func (h *IndexedHeap) Min() (id int, priority float64, ok bool) {
+	if len(h.ids) == 0 {
+		return 0, 0, false
+	}
+	id = h.ids[0]
+	return id, h.pri[id], true
+}
+
+// PopMin removes and returns the id with the smallest (priority, id).
+func (h *IndexedHeap) PopMin() (id int, priority float64, ok bool) {
+	id, priority, ok = h.Min()
+	if ok {
+		h.Remove(id)
+	}
+	return id, priority, ok
+}
+
+func (h *IndexedHeap) less(a, b int) bool {
+	ia, ib := h.ids[a], h.ids[b]
+	if h.pri[ia] != h.pri[ib] {
+		return h.pri[ia] < h.pri[ib]
+	}
+	return ia < ib
+}
+
+func (h *IndexedHeap) swap(a, b int) {
+	h.ids[a], h.ids[b] = h.ids[b], h.ids[a]
+	h.pos[h.ids[a]] = a
+	h.pos[h.ids[b]] = b
+}
+
+// up sifts position i toward the root, reporting whether it moved.
+func (h *IndexedHeap) up(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+// down sifts position i toward the leaves.
+func (h *IndexedHeap) down(i int) {
+	n := len(h.ids)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}
+
 // MinHeap is a generic min-heap of items keyed by a float64 priority
 // with deterministic FIFO tie-breaking.
 type MinHeap[T any] struct {

@@ -1,6 +1,7 @@
 package eventq
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -100,6 +101,108 @@ func TestQueueInterleavedPushPop(t *testing.T) {
 	}
 	if pushed == 0 || popped == 0 {
 		t.Fatal("degenerate interleaving")
+	}
+}
+
+func TestIndexedHeapOrdering(t *testing.T) {
+	h := NewIndexedHeap(5)
+	h.Set(3, 2.0)
+	h.Set(1, 1.0)
+	h.Set(4, 3.0)
+	if id, pri, ok := h.Min(); !ok || id != 1 || pri != 1.0 {
+		t.Fatalf("min (%d,%g,%v)", id, pri, ok)
+	}
+	// Update moves an entry both ways.
+	h.Set(4, 0.5)
+	if id, _, _ := h.Min(); id != 4 {
+		t.Errorf("decrease-key did not float: min %d", id)
+	}
+	h.Set(4, 9)
+	if id, _, _ := h.Min(); id != 1 {
+		t.Errorf("increase-key did not sink: min %d", id)
+	}
+	var got []int
+	for h.Len() > 0 {
+		id, _, _ := h.PopMin()
+		got = append(got, id)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 4 {
+		t.Errorf("pop order %v", got)
+	}
+}
+
+func TestIndexedHeapTieBreaksBySmallestID(t *testing.T) {
+	// Equal priorities must pop in id order — the exact tie-break of
+	// the simulator's old linear scan (first best GPU index wins),
+	// regardless of insertion order.
+	h := NewIndexedHeap(8)
+	for _, id := range []int{5, 2, 7, 0, 3} {
+		h.Set(id, 1.5)
+	}
+	want := []int{0, 2, 3, 5, 7}
+	for i, w := range want {
+		id, _, ok := h.PopMin()
+		if !ok || id != w {
+			t.Fatalf("pop %d: got %d, want %d", i, id, w)
+		}
+	}
+}
+
+func TestIndexedHeapRemove(t *testing.T) {
+	h := NewIndexedHeap(4)
+	for id := 0; id < 4; id++ {
+		h.Set(id, float64(id))
+	}
+	h.Remove(0)
+	h.Remove(2)
+	h.Remove(2) // absent: no-op
+	if h.Contains(0) || h.Contains(2) || !h.Contains(1) {
+		t.Error("membership wrong after removals")
+	}
+	if id, _, _ := h.PopMin(); id != 1 {
+		t.Errorf("min %d after removing 0", id)
+	}
+	if id, _, _ := h.PopMin(); id != 3 {
+		t.Errorf("min %d", id)
+	}
+	if _, _, ok := h.PopMin(); ok {
+		t.Error("pop on empty returned ok")
+	}
+}
+
+// TestIndexedHeapRandomizedAgainstScan cross-checks the heap's min
+// against a brute-force scan under random insert/update/remove
+// traffic.
+func TestIndexedHeapRandomizedAgainstScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const n = 40
+	h := NewIndexedHeap(n)
+	pri := make(map[int]float64)
+	for step := 0; step < 5000; step++ {
+		id := rng.Intn(n)
+		switch rng.Intn(3) {
+		case 0, 1:
+			p := math.Floor(rng.Float64()*8) / 4 // coarse grid forces ties
+			h.Set(id, p)
+			pri[id] = p
+		case 2:
+			h.Remove(id)
+			delete(pri, id)
+		}
+		wantID, wantPri, wantOK := -1, 0.0, false
+		for i := 0; i < n; i++ { // scan in id order: ties keep smallest id
+			if p, ok := pri[i]; ok && (!wantOK || p < wantPri) {
+				wantID, wantPri, wantOK = i, p, true
+			}
+		}
+		gotID, gotPri, gotOK := h.Min()
+		if gotOK != wantOK || (wantOK && (gotID != wantID || gotPri != wantPri)) {
+			t.Fatalf("step %d: heap min (%d,%g,%v), scan min (%d,%g,%v)",
+				step, gotID, gotPri, gotOK, wantID, wantPri, wantOK)
+		}
+		if h.Len() != len(pri) {
+			t.Fatalf("step %d: len %d, want %d", step, h.Len(), len(pri))
+		}
 	}
 }
 

@@ -73,6 +73,10 @@ func Fig12Testbed(cfg Config, opts Fig12Options) ([]Fig12Row, error) {
 		}
 	}
 
+	// The testbed replays in scaled wall-clock time with its own
+	// worker goroutines; running schemes one at a time keeps its
+	// timing (and the fidelity gap it measures) honest, so this loop
+	// stays serial regardless of cfg.Parallel.
 	rows := make([]Fig12Row, 0, len(algos))
 	for _, a := range algos {
 		sr, err := findResult(simRes, a.Name())
@@ -166,18 +170,23 @@ func Fig14GPUSweep(cfg Config, gpuCounts []int) ([]SweepRow, error) {
 	if len(gpuCounts) == 0 {
 		gpuCounts = []int{80, 120, 160, 200, 240}
 	}
-	var rows []SweepRow
-	for _, n := range gpuCounts {
+	rows := make([]SweepRow, len(gpuCounts))
+	err := cfg.pool.forEach(len(gpuCounts), func(i int) error {
+		n := gpuCounts[i]
 		cl := cluster.Heterogeneous(cluster.HighHeterogeneity, n)
 		in, _, models, err := buildWorkload(cfg, cl, cfg.Jobs, nil, 1)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		results, err := runSchemes(cfg, in, cl, models, sched.All())
 		if err != nil {
-			return nil, fmt.Errorf("fig14 n=%d: %w", n, err)
+			return fmt.Errorf("fig14 n=%d: %w", n, err)
 		}
-		rows = append(rows, SweepRow{X: float64(n), Label: fmt.Sprintf("%d GPUs", n), Results: results})
+		rows[i] = SweepRow{X: float64(n), Label: fmt.Sprintf("%d GPUs", n), Results: results}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -190,17 +199,22 @@ func Fig15JobSweep(cfg Config, jobCounts []int) ([]SweepRow, error) {
 		jobCounts = []int{100, 150, 200, 250, 300}
 	}
 	cl := cluster.Heterogeneous(cluster.HighHeterogeneity, cfg.GPUs)
-	var rows []SweepRow
-	for _, n := range jobCounts {
+	rows := make([]SweepRow, len(jobCounts))
+	err := cfg.pool.forEach(len(jobCounts), func(i int) error {
+		n := jobCounts[i]
 		in, _, models, err := buildWorkload(cfg, cl, n, nil, 1)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		results, err := runSchemes(cfg, in, cl, models, sched.All())
 		if err != nil {
-			return nil, fmt.Errorf("fig15 n=%d: %w", n, err)
+			return fmt.Errorf("fig15 n=%d: %w", n, err)
 		}
-		rows = append(rows, SweepRow{X: float64(n), Label: fmt.Sprintf("%d jobs", n), Results: results})
+		rows[i] = SweepRow{X: float64(n), Label: fmt.Sprintf("%d jobs", n), Results: results}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -213,18 +227,23 @@ func Fig16Heterogeneity(cfg Config) ([]SweepRow, error) {
 	levels := []cluster.HeterogeneityLevel{
 		cluster.LowHeterogeneity, cluster.MidHeterogeneity, cluster.HighHeterogeneity,
 	}
-	var rows []SweepRow
-	for i, lv := range levels {
+	rows := make([]SweepRow, len(levels))
+	err := cfg.pool.forEach(len(levels), func(i int) error {
+		lv := levels[i]
 		cl := cluster.Heterogeneous(lv, cfg.GPUs)
 		in, _, models, err := buildWorkload(cfg, cl, cfg.Jobs, nil, 1)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		results, err := runSchemes(cfg, in, cl, models, sched.All())
 		if err != nil {
-			return nil, fmt.Errorf("fig16 %s: %w", lv, err)
+			return fmt.Errorf("fig16 %s: %w", lv, err)
 		}
-		rows = append(rows, SweepRow{X: float64(i), Label: lv.String(), Results: results})
+		rows[i] = SweepRow{X: float64(i), Label: lv.String(), Results: results}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -238,22 +257,35 @@ func Fig17JobMix(cfg Config, fractions []float64) (map[model.Class][]SweepRow, e
 		fractions = []float64{0.25, 0.40, 0.55, 0.70}
 	}
 	cl := cluster.Heterogeneous(cluster.HighHeterogeneity, cfg.GPUs)
-	out := make(map[model.Class][]SweepRow, 4)
-	for _, class := range model.Classes() {
-		var rows []SweepRow
-		for _, f := range fractions {
-			mix := workload.DefaultMix().Boost(class, f)
-			in, _, models, err := buildWorkload(cfg, cl, cfg.Jobs, mix, 1)
-			if err != nil {
-				return nil, err
-			}
-			results, err := runSchemes(cfg, in, cl, models, sched.All())
-			if err != nil {
-				return nil, fmt.Errorf("fig17 %s f=%g: %w", class, f, err)
-			}
-			rows = append(rows, SweepRow{X: f, Label: fmt.Sprintf("%s=%.0f%%", class, f*100), Results: results})
+	classes := model.Classes()
+	// The (class, fraction) grid is flattened into one fan-out and the
+	// map is assembled afterwards: goroutines only ever write disjoint
+	// perClass[ci][fi] cells, never the map itself.
+	perClass := make([][]SweepRow, len(classes))
+	for ci := range perClass {
+		perClass[ci] = make([]SweepRow, len(fractions))
+	}
+	err := cfg.pool.forEach(len(classes)*len(fractions), func(i int) error {
+		ci, fi := i/len(fractions), i%len(fractions)
+		class, f := classes[ci], fractions[fi]
+		mix := workload.DefaultMix().Boost(class, f)
+		in, _, models, err := buildWorkload(cfg, cl, cfg.Jobs, mix, 1)
+		if err != nil {
+			return err
 		}
-		out[class] = rows
+		results, err := runSchemes(cfg, in, cl, models, sched.All())
+		if err != nil {
+			return fmt.Errorf("fig17 %s f=%g: %w", class, f, err)
+		}
+		perClass[ci][fi] = SweepRow{X: f, Label: fmt.Sprintf("%s=%.0f%%", class, f*100), Results: results}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[model.Class][]SweepRow, len(classes))
+	for ci, class := range classes {
+		out[class] = perClass[ci]
 	}
 	return out, nil
 }
@@ -266,18 +298,23 @@ func Fig18Bandwidth(cfg Config, gbps []float64) ([]SweepRow, error) {
 	if len(gbps) == 0 {
 		gbps = []float64{10, 15, 20, 25}
 	}
-	var rows []SweepRow
-	for _, g := range gbps {
+	rows := make([]SweepRow, len(gbps))
+	err := cfg.pool.forEach(len(gbps), func(i int) error {
+		g := gbps[i]
 		cl := cluster.Heterogeneous(cluster.HighHeterogeneity, cfg.GPUs).WithNetwork(g * 1e9)
 		in, _, models, err := buildWorkload(cfg, cl, cfg.Jobs, nil, 1)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		results, err := runSchemes(cfg, in, cl, models, sched.All())
 		if err != nil {
-			return nil, fmt.Errorf("fig18 %gGbps: %w", g, err)
+			return fmt.Errorf("fig18 %gGbps: %w", g, err)
 		}
-		rows = append(rows, SweepRow{X: g, Label: fmt.Sprintf("%gGbps", g), Results: results})
+		rows[i] = SweepRow{X: g, Label: fmt.Sprintf("%gGbps", g), Results: results}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -294,18 +331,24 @@ func Fig19BatchSize(cfg Config, scales []float64) ([]SweepRow, error) {
 	}
 	cl := cluster.Heterogeneous(cluster.HighHeterogeneity, cfg.GPUs)
 	baseRounds := cfg.RoundsScale
-	var rows []SweepRow
-	for _, bs := range scales {
-		cfg.RoundsScale = baseRounds / bs
-		in, _, models, err := buildWorkload(cfg, cl, cfg.Jobs, nil, bs)
+	rows := make([]SweepRow, len(scales))
+	err := cfg.pool.forEach(len(scales), func(i int) error {
+		bs := scales[i]
+		c := cfg // per-point copy: RoundsScale differs across points
+		c.RoundsScale = baseRounds / bs
+		in, _, models, err := buildWorkload(c, cl, c.Jobs, nil, bs)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		results, err := runSchemes(cfg, in, cl, models, sched.All())
+		results, err := runSchemes(c, in, cl, models, sched.All())
 		if err != nil {
-			return nil, fmt.Errorf("fig19 b=%g: %w", bs, err)
+			return fmt.Errorf("fig19 b=%g: %w", bs, err)
 		}
-		rows = append(rows, SweepRow{X: bs, Label: fmt.Sprintf("%gxB0", bs), Results: results})
+		rows[i] = SweepRow{X: bs, Label: fmt.Sprintf("%gxB0", bs), Results: results}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

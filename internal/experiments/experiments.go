@@ -50,9 +50,24 @@ type Config struct {
 	// Recorder, when set, receives structured events from every
 	// simulator replay an experiment performs (harebench's
 	// -trace-out/-events-out flags); nil disables instrumentation.
+	// The obs sinks and registry are safe for concurrent emission,
+	// but with Parallel > 1 events from different replays interleave
+	// nondeterministically — run serially when a stable event order
+	// matters.
 	Recorder *obs.Recorder
 	// Metrics, when set, receives the simulator's counters.
 	Metrics *obs.Registry
+	// Parallel fans independent runs — sweep points, seeds, and
+	// per-scheme schedule+replay pairs — out across this many worker
+	// goroutines. 0 (the zero value) and 1 run serially; negative
+	// takes GOMAXPROCS. Results are identical to a serial run: every
+	// experiment is a pure function of its Config and rows are
+	// collected by index (see parallel.go).
+	Parallel int
+
+	// pool is the worker pool Defaults derives from Parallel; nested
+	// experiment layers share it through the copied Config.
+	pool *workerPool
 }
 
 // Defaults fills in the paper's full-scale settings.
@@ -76,6 +91,11 @@ func (c Config) Defaults() Config {
 		// ahead) appear; longer horizons drain the queue and compress
 		// every scheme toward the arrival process.
 		c.HorizonSeconds = 900 * c.RoundsScale
+	}
+	if c.pool == nil {
+		if w := c.Workers(); w > 1 {
+			c.pool = newWorkerPool(w)
+		}
 	}
 	return c
 }
@@ -126,12 +146,16 @@ type SchemeResult struct {
 // simulator. Baselines pay the default switching cost when they
 // preempt between jobs (they rarely do — they hold GPUs job-level);
 // Hare pays its fast-switching cost including speculative residency.
+// The schedulers treat the shared Instance as read-only and every
+// replay builds private state, so scheme runs fan out over cfg.pool;
+// results land by index to keep the lineup order.
 func runSchemes(cfg Config, in *core.Instance, cl *cluster.Cluster, models []*model.Model, algos []sched.Algorithm) ([]SchemeResult, error) {
-	out := make([]SchemeResult, 0, len(algos))
-	for _, a := range algos {
+	out := make([]SchemeResult, len(algos))
+	err := cfg.pool.forEach(len(algos), func(i int) error {
+		a := algos[i]
 		s, err := a.Schedule(in)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", a.Name(), err)
+			return fmt.Errorf("experiments: %s: %w", a.Name(), err)
 		}
 		scheme := schemeFor(a.Name())
 		opts := sim.Options{
@@ -144,18 +168,21 @@ func runSchemes(cfg Config, in *core.Instance, cl *cluster.Cluster, models []*mo
 		}
 		res, err := sim.Run(in, s, cl, models, opts)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: simulate %s: %w", a.Name(), err)
+			return fmt.Errorf("experiments: simulate %s: %w", a.Name(), err)
 		}
-		rep := metrics.NewJCTReport(in, res.JobCompletion)
-		out = append(out, SchemeResult{
+		out[i] = SchemeResult{
 			Scheme:      a.Name(),
 			WeightedJCT: res.WeightedJCT,
 			Makespan:    res.Makespan,
 			MeanUtil:    res.MeanUtilization(),
 			TotalSwitch: res.TotalSwitch,
-			Report:      rep,
+			Report:      metrics.NewJCTReport(in, res.JobCompletion),
 			Fairness:    metrics.NewFairnessReport(in, res.Trace),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

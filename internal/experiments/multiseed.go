@@ -35,6 +35,27 @@ func MultiSeed(cfg Config, seeds int, run func(Config) ([]SweepRow, error)) ([]M
 		seeds = 3
 	}
 	cfg = cfg.Defaults()
+
+	// Seeds are fully independent sweeps, so they fan out first; each
+	// derived Config carries the shared pool, so a sweep's own points
+	// keep fanning out on whatever workers the other seeds leave idle.
+	// Aggregation below walks perSeed in seed order, making the output
+	// independent of completion order.
+	perSeed := make([][]SweepRow, seeds)
+	err := cfg.pool.forEach(seeds, func(s int) error {
+		c := cfg
+		c.Seed = cfg.Seed + int64(s)*1009
+		rows, err := run(c)
+		if err != nil {
+			return fmt.Errorf("experiments: seed %d: %w", c.Seed, err)
+		}
+		perSeed[s] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	// samples[label][scheme] collects weighted JCTs across seeds,
 	// with insertion order preserved for stable output.
 	type cell struct{ values []float64 }
@@ -43,12 +64,7 @@ func MultiSeed(cfg Config, seeds int, run func(Config) ([]SweepRow, error)) ([]M
 	var schemeOrder []string
 
 	for s := 0; s < seeds; s++ {
-		c := cfg
-		c.Seed = cfg.Seed + int64(s)*1009
-		rows, err := run(c)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: seed %d: %w", c.Seed, err)
-		}
+		rows := perSeed[s]
 		for _, row := range rows {
 			if samples[row.Label] == nil {
 				samples[row.Label] = make(map[string]*cell)

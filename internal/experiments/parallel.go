@@ -1,0 +1,91 @@
+package experiments
+
+// The parallel experiment engine: every experiment is a pure function
+// of its (seeded) Config, so sweep points, seeds, and per-scheme
+// schedule+replay runs are independent and can fan out across
+// goroutines. Results are always written into pre-sized slices by
+// index, so aggregation order — and therefore every emitted row — is
+// byte-identical to a serial run regardless of completion order
+// (TestParallelMatchesSerial pins this).
+//
+// Concurrency is bounded by a token pool shared across nesting levels
+// (a sweep point's runSchemes reuses the same pool that fans out the
+// points themselves). Submission is try-acquire: when no token is
+// free the work runs inline on the submitting goroutine, which keeps
+// nested fan-out deadlock-free without oversubscribing the machine.
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workerPool bounds the number of experiment goroutines in flight.
+// The zero of *workerPool (nil) runs everything inline and serially.
+type workerPool struct {
+	tokens chan struct{}
+}
+
+// newWorkerPool returns a pool of n workers (n ≥ 1).
+func newWorkerPool(n int) *workerPool {
+	if n < 1 {
+		n = 1
+	}
+	p := &workerPool{tokens: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		p.tokens <- struct{}{}
+	}
+	return p
+}
+
+// forEach runs f(0) … f(n-1), fanning out onto spare pool workers. A
+// nil pool runs serially and short-circuits on the first error —
+// exactly the pre-engine loop. A non-nil pool runs every index and
+// returns the lowest-index error, so the parallel engine fails with
+// the same error a serial run would have hit first.
+func (p *workerPool) forEach(n int, f func(i int) error) error {
+	if p == nil || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case <-p.tokens:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { p.tokens <- struct{}{} }()
+				errs[i] = f(i)
+			}(i)
+		default:
+			// Pool exhausted (or fully nested): do the work here.
+			errs[i] = f(i)
+		}
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Workers resolves the configured parallelism: 0 (the zero value) and
+// 1 are serial, N > 1 is a pool of N, and negative values take
+// GOMAXPROCS — "as parallel as the hardware allows".
+func (c Config) Workers() int {
+	switch {
+	case c.Parallel < 0:
+		return runtime.GOMAXPROCS(0)
+	case c.Parallel == 0:
+		return 1
+	default:
+		return c.Parallel
+	}
+}

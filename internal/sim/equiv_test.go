@@ -1,0 +1,218 @@
+package sim
+
+// Equivalence and golden-determinism tests for the incremental replay
+// engine: Run (indexed-heap candidate tracking + memoized switching
+// costs) must be byte-identical to RunReference (the original
+// full-rescan loop), and both must keep reproducing the seed-42
+// outputs captured from the pre-rewrite implementation.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"testing"
+
+	"hare/internal/cluster"
+	"hare/internal/core"
+	"hare/internal/gpumem"
+	"hare/internal/model"
+	"hare/internal/profile"
+	"hare/internal/sched"
+	"hare/internal/stats"
+	"hare/internal/switching"
+	"hare/internal/trace"
+	"hare/internal/workload"
+)
+
+// goldenWorkload reproduces hare.BuildWorkload(WorkloadConfig{Jobs:
+// 40, Seed: 42, HorizonSeconds: 300, RoundsScale: 0.1}) on a 24-GPU
+// high-heterogeneity fleet — the workload the golden values below
+// were captured on (it is also BenchmarkSimulatorReplay's shape).
+func goldenWorkload(t testing.TB) (*core.Instance, *cluster.Cluster, []*model.Model) {
+	t.Helper()
+	cl := cluster.Heterogeneous(cluster.HighHeterogeneity, 24)
+	arrivals := trace.Arrivals(40, 300, 43)
+	specs := workload.Generate(workload.Options{
+		NumJobs:     40,
+		Arrivals:    arrivals,
+		BatchScale:  1,
+		RoundsScale: 0.1,
+		MaxSync:     cl.Size(),
+		Seed:        44,
+	})
+	prof := profile.New(profile.Options{Seed: 45})
+	jobSpecs := make([]profile.JobSpec, len(specs))
+	for i, s := range specs {
+		jobSpecs[i] = s
+	}
+	in, err := prof.BuildInstance(workload.Jobs(specs), jobSpecs, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := make([]*model.Model, len(specs))
+	for i, s := range specs {
+		models[i] = model.MustByName(s.Model)
+	}
+	return in, cl, models
+}
+
+// traceHash fingerprints every realized field of every task record,
+// printed at full float64 precision, so any drift in the replay's
+// arithmetic or ordering changes the hash.
+func traceHash(tr *trace.Trace) uint64 {
+	h := fnv.New64a()
+	for _, r := range tr.Records {
+		fmt.Fprintf(h, "%v|%d|%.17g|%.17g|%.17g|%.17g\n",
+			r.Task, r.GPU, r.Start, r.Train, r.Sync, r.Switch)
+	}
+	return h.Sum64()
+}
+
+// equivOptions is the option matrix the engines are compared under:
+// every feature that touches the inner loop (switching schemes,
+// speculative memory, jitter, host-aware sync, utilization binning).
+func equivOptions() map[string]Options {
+	return map[string]Options{
+		"plain":        {DisableSwitching: true},
+		"default":      {Scheme: switching.Default},
+		"pipeswitch":   {Scheme: switching.PipeSwitch},
+		"hare":         {Scheme: switching.Hare},
+		"hare-spec":    {Scheme: switching.Hare, Speculative: true},
+		"hare-belady":  {Scheme: switching.Hare, Speculative: true, MemPolicy: gpumem.Belady},
+		"jitter":       {Scheme: switching.Hare, Speculative: true, JitterFrac: 0.05, Seed: 9},
+		"hostaware":    {Scheme: switching.Hare, Speculative: true, HostAwareSync: true},
+		"utilbins":     {Scheme: switching.Hare, Speculative: true, UtilBins: 16},
+		"all-features": {Scheme: switching.Hare, Speculative: true, JitterFrac: 0.03, Seed: 4, HostAwareSync: true, UtilBins: 32},
+	}
+}
+
+// TestRunMatchesReference compares the incremental engine against the
+// reference scan on randomized instances under every option set: the
+// full Result (trace included) must be deeply equal, bit for bit.
+func TestRunMatchesReference(t *testing.T) {
+	rng := stats.New(1234)
+	zoo := model.Zoo()
+	for trial := 0; trial < 25; trial++ {
+		in := randomInstance(rng.Split())
+		sub := cluster.Heterogeneous(cluster.HighHeterogeneity, in.NumGPUs)
+		models := make([]*model.Model, len(in.Jobs))
+		for j := range models {
+			models[j] = zoo[(trial+j)%len(zoo)]
+		}
+		plan := planFor(t, in)
+		for name, opts := range equivOptions() {
+			want, err := RunReference(in, plan, sub, models, opts)
+			if err != nil {
+				t.Fatalf("trial %d %s: reference: %v", trial, name, err)
+			}
+			got, err := Run(in, plan, sub, models, opts)
+			if err != nil {
+				t.Fatalf("trial %d %s: run: %v", trial, name, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d %s: incremental engine diverged from reference\n got: %+v\nwant: %+v",
+					trial, name, got, want)
+			}
+		}
+	}
+}
+
+// TestRunMatchesReferenceAllSchedulers pins the equivalence on the
+// golden workload across all five schedulers' plans — the shapes the
+// evaluation figures replay.
+func TestRunMatchesReferenceAllSchedulers(t *testing.T) {
+	in, cl, models := goldenWorkload(t)
+	for _, a := range sched.All() {
+		plan, err := a.Schedule(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scheme := switching.Default
+		if a.Name() == "Hare" {
+			scheme = switching.Hare
+		}
+		opts := Options{Scheme: scheme, Speculative: scheme == switching.Hare, Seed: 42}
+		want, err := RunReference(in, plan, cl, models, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(in, plan, cl, models, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: incremental engine diverged from reference", a.Name())
+		}
+	}
+}
+
+// golden values captured from the pre-rewrite simulator (commit
+// a6d83ef) on the seed-42 workload: weighted JCT at full precision
+// and an FNV-1a hash over every realized trace field. Both engines
+// must keep reproducing them exactly.
+var goldenSeed42 = map[string]struct {
+	WeightedJCT float64
+	TraceHash   uint64
+}{
+	"Hare":        {WeightedJCT: 28954.482652830477, TraceHash: 0xc87e1b6576ada40d},
+	"Gavel_FIFO":  {WeightedJCT: 53144.681243714876, TraceHash: 0xbfc789f73aa7e882},
+	"SRTF":        {WeightedJCT: 38147.792314787686, TraceHash: 0x9454be02020716fa},
+	"Sched_Homo":  {WeightedJCT: 37733.070179670423, TraceHash: 0x67aeab182f4ca66a},
+	"Sched_Allox": {WeightedJCT: 35386.501114969717, TraceHash: 0x64337612ef41c469},
+}
+
+// goldenSeed42Jittered is the same capture with JitterFrac: 0.03,
+// HostAwareSync and UtilBins: 32 — pinning the jitter RNG draw order
+// and the host-aware sync anchoring through the rewrite.
+var goldenSeed42Jittered = map[string]struct {
+	WeightedJCT float64
+	TraceHash   uint64
+}{
+	"Hare":        {WeightedJCT: 28961.914423382324, TraceHash: 0x36bb41ad80e6bf79},
+	"Gavel_FIFO":  {WeightedJCT: 53131.634497383326, TraceHash: 0x40b75a63cfe4a4e9},
+	"SRTF":        {WeightedJCT: 38133.936312401449, TraceHash: 0xeec25bfe7f1d80a9},
+	"Sched_Homo":  {WeightedJCT: 37686.477592173163, TraceHash: 0x99c8516aa44be1a5},
+	"Sched_Allox": {WeightedJCT: 35081.627204666249, TraceHash: 0x7161761fd7ae1855},
+}
+
+func TestRunGoldenSeed42(t *testing.T) {
+	in, cl, models := goldenWorkload(t)
+	run := func(name string, opts Options, golden map[string]struct {
+		WeightedJCT float64
+		TraceHash   uint64
+	}) {
+		for _, a := range sched.All() {
+			plan, err := a.Schedule(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := opts
+			if a.Name() == "Hare" {
+				o.Scheme = switching.Hare
+				o.Speculative = true
+			}
+			for engine, f := range map[string]func(*core.Instance, *core.Schedule, *cluster.Cluster, []*model.Model, Options) (*Result, error){
+				"Run": Run, "RunReference": RunReference,
+			} {
+				res, err := f(in, plan, cl, models, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := golden[a.Name()]
+				if res.WeightedJCT != want.WeightedJCT {
+					t.Errorf("%s/%s/%s: weighted JCT %.17g, golden %.17g",
+						name, a.Name(), engine, res.WeightedJCT, want.WeightedJCT)
+				}
+				if h := traceHash(res.Trace); h != want.TraceHash {
+					t.Errorf("%s/%s/%s: trace hash %#x, golden %#x",
+						name, a.Name(), engine, h, want.TraceHash)
+				}
+			}
+		}
+	}
+	run("base", Options{Scheme: switching.Default, Seed: 42}, goldenSeed42)
+	run("jittered", Options{
+		Scheme: switching.Default, Seed: 42,
+		JitterFrac: 0.03, HostAwareSync: true, UtilBins: 32,
+	}, goldenSeed42Jittered)
+}

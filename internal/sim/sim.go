@@ -10,6 +10,16 @@
 // (plus any switching stall), its job has arrived, and every task of
 // the previous round has completed (training + synchronization).
 // Planned start times in the schedule are advisory only.
+//
+// Run's inner loop is incremental: each GPU's head-task feasible
+// start lives in an eventq.IndexedHeap and is recomputed only when an
+// event can change it — the GPU executed a task, or the round barrier
+// its head was blocked on released. Switching costs are memoized per
+// (GPU type, predecessor job, successor job, residency), since those
+// are the only inputs of switching.Cost. RunReference keeps the
+// original O(tasks·GPUs) full-rescan loop as an executable
+// specification; TestRunMatchesReference pins the two engines to
+// byte-identical results. See docs/PERFORMANCE.md.
 package sim
 
 import (
@@ -18,6 +28,7 @@ import (
 
 	"hare/internal/cluster"
 	"hare/internal/core"
+	"hare/internal/eventq"
 	"hare/internal/gpumem"
 	"hare/internal/model"
 	"hare/internal/obs"
@@ -101,10 +112,43 @@ type gpuState struct {
 
 type interval struct{ from, to float64 }
 
-// Run replays the schedule. cl and models may be nil, in which case
-// switching costs are zero; otherwise models[j] must name job j's
-// model for switching and memory accounting.
-func Run(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, models []*model.Model, opts Options) (*Result, error) {
+// replay is the state shared by both replay engines: the validated
+// inputs, per-GPU executor state, round-barrier bookkeeping, and the
+// accumulating Result. Selection strategy is the only thing the
+// engines disagree on; execution accounting (exec) is common, so the
+// realized times, events, and counters cannot drift apart.
+type replay struct {
+	in            *core.Instance
+	cl            *cluster.Cluster
+	models        []*model.Model
+	opts          Options
+	withSwitching bool
+
+	rng      *stats.RNG
+	rec      *obs.Recorder
+	observed bool
+
+	cTasks, cSwitches, cStall, cHits, cWait, cTrain *obs.Counter
+
+	gpus []*gpuState
+	// Barrier bookkeeping: remaining tasks and realized end per round.
+	remaining [][]int
+	roundEnd  [][]float64
+	// psHost anchors each job's parameter server to the host of its
+	// first executed task (host-aware sync).
+	psHost map[core.JobID]int
+
+	res     *Result
+	pending int
+
+	// onRoundDone, when set, fires after the last task of (job,
+	// round) completes — i.e. the instant the round's barrier value
+	// becomes final. The incremental engine hooks it to wake GPUs
+	// whose head task was blocked on that round.
+	onRoundDone func(job core.JobID, round int)
+}
+
+func newReplay(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, models []*model.Model, opts Options) (*replay, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -117,224 +161,317 @@ func Run(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, models []*m
 	if models != nil && len(models) != len(in.Jobs) {
 		return nil, fmt.Errorf("sim: %d models for %d jobs", len(models), len(in.Jobs))
 	}
-	withSwitching := cl != nil && models != nil && !opts.DisableSwitching
-
-	rng := stats.New(opts.Seed)
-	rec := opts.Recorder
-	observed := rec.Enabled()
-	// Counters are resolved once up front; on a nil registry they are
-	// nil and every Add is a no-op.
-	var (
-		cTasks    = opts.Metrics.Counter("hare_sim_tasks_total")
-		cSwitches = opts.Metrics.Counter("hare_sim_switches_total")
-		cStall    = opts.Metrics.Counter("hare_sim_switch_stall_seconds_total")
-		cHits     = opts.Metrics.Counter("hare_sim_residency_hits_total")
-		cWait     = opts.Metrics.Counter("hare_sim_barrier_wait_seconds_total")
-		cTrain    = opts.Metrics.Counter("hare_sim_train_seconds_total")
-	)
-	gpus := make([]*gpuState, in.NumGPUs)
+	r := &replay{
+		in:            in,
+		cl:            cl,
+		models:        models,
+		opts:          opts,
+		withSwitching: cl != nil && models != nil && !opts.DisableSwitching,
+		rng:           stats.New(opts.Seed),
+		rec:           opts.Recorder,
+		observed:      opts.Recorder.Enabled(),
+		// Counters are resolved once up front; on a nil registry they
+		// are nil and every Add is a no-op.
+		cTasks:    opts.Metrics.Counter("hare_sim_tasks_total"),
+		cSwitches: opts.Metrics.Counter("hare_sim_switches_total"),
+		cStall:    opts.Metrics.Counter("hare_sim_switch_stall_seconds_total"),
+		cHits:     opts.Metrics.Counter("hare_sim_residency_hits_total"),
+		cWait:     opts.Metrics.Counter("hare_sim_barrier_wait_seconds_total"),
+		cTrain:    opts.Metrics.Counter("hare_sim_train_seconds_total"),
+		psHost:    make(map[core.JobID]int),
+		pending:   in.NumTasks(),
+	}
+	r.gpus = make([]*gpuState, in.NumGPUs)
 	for m, seq := range sch.Sequences(in.NumGPUs) {
-		gpus[m] = &gpuState{seq: seq, prevJob: -1}
-		if withSwitching && opts.Speculative {
-			gpus[m].mem = gpumem.NewManager(cl.GPUs[m].Type.MemBytes)
-			gpus[m].mem.SetPolicy(opts.MemPolicy)
-			gpus[m].mem.SetRecorder(rec, m)
+		r.gpus[m] = &gpuState{seq: seq, prevJob: -1}
+		if r.withSwitching && opts.Speculative {
+			r.gpus[m].mem = gpumem.NewManager(cl.GPUs[m].Type.MemBytes)
+			r.gpus[m].mem.SetPolicy(opts.MemPolicy)
+			r.gpus[m].mem.SetRecorder(opts.Recorder, m)
 			look := make([]gpumem.JobKey, len(seq))
 			for i, t := range seq {
 				look[i] = gpumem.JobKey(t.Job)
 			}
-			gpus[m].mem.SetLookahead(look)
+			r.gpus[m].mem.SetLookahead(look)
 		}
 	}
-
-	// Barrier bookkeeping: remaining tasks and realized end per round.
-	remaining := make([][]int, len(in.Jobs))
-	roundEnd := make([][]float64, len(in.Jobs))
+	r.remaining = make([][]int, len(in.Jobs))
+	r.roundEnd = make([][]float64, len(in.Jobs))
 	for _, j := range in.Jobs {
-		remaining[j.ID] = make([]int, j.Rounds)
-		roundEnd[j.ID] = make([]float64, j.Rounds)
-		for r := range remaining[j.ID] {
-			remaining[j.ID][r] = j.Scale
+		r.remaining[j.ID] = make([]int, j.Rounds)
+		r.roundEnd[j.ID] = make([]float64, j.Rounds)
+		for rd := range r.remaining[j.ID] {
+			r.remaining[j.ID][rd] = j.Scale
 		}
 	}
-	barrierOf := func(t core.TaskRef) (float64, bool) {
-		if t.Round == 0 {
-			return in.Jobs[t.Job].Arrival, true
-		}
-		if remaining[t.Job][t.Round-1] > 0 {
-			return 0, false
-		}
-		return math.Max(roundEnd[t.Job][t.Round-1], in.Jobs[t.Job].Arrival), true
-	}
-
-	res := &Result{
+	r.res = &Result{
 		Trace:           &trace.Trace{},
 		JobCompletion:   make([]float64, len(in.Jobs)),
 		BusySeconds:     make([]float64, in.NumGPUs),
 		OverheadSeconds: make([]float64, in.NumGPUs),
 		Utilization:     make([]float64, in.NumGPUs),
 	}
+	return r, nil
+}
 
-	// psHost anchors each job's parameter server to the host of its
-	// first executed task (host-aware sync).
-	psHost := make(map[core.JobID]int)
+// barrierOf returns the earliest time the given task may start due to
+// its job's arrival and previous-round barrier, or ok=false while the
+// previous round is incomplete (its barrier value is not final yet).
+func (r *replay) barrierOf(t core.TaskRef) (float64, bool) {
+	if t.Round == 0 {
+		return r.in.Jobs[t.Job].Arrival, true
+	}
+	if r.remaining[t.Job][t.Round-1] > 0 {
+		return 0, false
+	}
+	return math.Max(r.roundEnd[t.Job][t.Round-1], r.in.Jobs[t.Job].Arrival), true
+}
 
-	pendingTasks := in.NumTasks()
-	for pendingTasks > 0 {
-		// Choose the GPU whose head task can start earliest.
-		bestGPU := -1
-		var bestStart, bestSwitch float64
-		var bestHit bool
-		var bestB switching.Breakdown
-		for m, g := range gpus {
-			if g.next >= len(g.seq) {
-				continue
-			}
-			t := g.seq[g.next]
-			barrier, ok := barrierOf(t)
-			if !ok {
-				continue // blocked on an incomplete round
-			}
-			var sw float64
-			var hit bool
-			var b switching.Breakdown
-			if withSwitching && g.prevJob != t.Job {
-				var prev *model.Model
-				if g.prevJob >= 0 {
-					prev = models[g.prevJob]
-				}
-				resident := g.mem != nil && g.mem.Resident(gpumem.JobKey(t.Job))
-				b = switching.Cost(opts.Scheme, cl.GPUs[m].Type, prev, models[t.Job], resident)
-				sw, hit = b.Total(), b.ResidentHit
-			}
-			start := math.Max(g.free+sw, barrier)
-			if bestGPU == -1 || start < bestStart || (start == bestStart && m < bestGPU) {
-				bestGPU, bestStart, bestSwitch, bestHit, bestB = m, start, sw, hit, b
-			}
-		}
-		if bestGPU == -1 {
-			return nil, fmt.Errorf("sim: deadlock with %d tasks pending (round barrier never satisfied)", pendingTasks)
-		}
+// exec runs the chosen GPU's head task with the pre-computed start
+// and switching stall, and performs all accounting: realized times,
+// events, counters, barrier bookkeeping, trace. Both engines call it
+// with identical arguments in the identical order, which is what
+// makes their outputs byte-identical.
+func (r *replay) exec(bestGPU int, bestStart, bestSwitch float64, bestHit bool, bestB switching.Breakdown) {
+	g := r.gpus[bestGPU]
+	t := g.seq[g.next]
+	g.next++
+	r.pending--
 
-		g := gpus[bestGPU]
-		t := g.seq[g.next]
-		g.next++
-		pendingTasks--
+	train := r.in.Train[t.Job][bestGPU]
+	syncT := r.in.Sync[t.Job][bestGPU]
+	if r.opts.HostAwareSync && r.cl != nil && r.cl.IntraHostBps > 0 {
+		host := r.cl.GPUs[bestGPU].Host
+		if h, anchored := r.psHost[t.Job]; !anchored {
+			// The job's first executed task anchors its PS.
+			r.psHost[t.Job] = host
+			syncT *= r.cl.NetworkBps / r.cl.IntraHostBps
+		} else if h == host {
+			syncT *= r.cl.NetworkBps / r.cl.IntraHostBps
+		}
+	}
+	if r.opts.JitterFrac > 0 {
+		train = r.rng.Jitter(train, r.opts.JitterFrac)
+		syncT = r.rng.Jitter(syncT, r.opts.JitterFrac)
+	}
+	start := bestStart
+	trainEnd := start + train
+	end := trainEnd + syncT
 
-		train := in.Train[t.Job][bestGPU]
-		syncT := in.Sync[t.Job][bestGPU]
-		if opts.HostAwareSync && cl != nil && cl.IntraHostBps > 0 {
-			host := cl.GPUs[bestGPU].Host
-			if h, anchored := psHost[t.Job]; !anchored {
-				// The job's first executed task anchors its PS.
-				psHost[t.Job] = host
-				syncT *= cl.NetworkBps / cl.IntraHostBps
-			} else if h == host {
-				syncT *= cl.NetworkBps / cl.IntraHostBps
+	// Idle time beyond the GPU's readiness (and the switch stall)
+	// is waiting on the job: its previous round's barrier, or its
+	// arrival — the stall relaxed scale-fixed sync exists to shrink.
+	if wait := start - bestSwitch - g.free; wait > 0 {
+		r.cWait.Add(wait)
+		if r.observed {
+			reason := "round"
+			if t.Round == 0 {
+				reason = "arrival"
 			}
-		}
-		if opts.JitterFrac > 0 {
-			train = rng.Jitter(train, opts.JitterFrac)
-			syncT = rng.Jitter(syncT, opts.JitterFrac)
-		}
-		start := bestStart
-		trainEnd := start + train
-		end := trainEnd + syncT
-
-		// Idle time beyond the GPU's readiness (and the switch stall)
-		// is waiting on the job: its previous round's barrier, or its
-		// arrival — the stall relaxed scale-fixed sync exists to shrink.
-		if wait := start - bestSwitch - g.free; wait > 0 {
-			cWait.Add(wait)
-			if observed {
-				reason := "round"
-				if t.Round == 0 {
-					reason = "arrival"
-				}
-				rec.Emit(obs.Event{
-					Type: obs.EvBarrierWait, Time: g.free, GPU: bestGPU,
-					Job: int(t.Job), Round: t.Round, Index: t.Index,
-					Dur: wait, Note: reason,
-				})
-			}
-		}
-		if bestSwitch > 0 {
-			g.over = append(g.over, interval{start - bestSwitch, start})
-			res.OverheadSeconds[bestGPU] += bestSwitch
-			res.TotalSwitch += bestSwitch
-			res.SwitchCount++
-			cSwitches.Inc()
-			cStall.Add(bestSwitch)
-			if bestHit {
-				res.ResidencyHits++
-				cHits.Inc()
-			}
-			if observed {
-				rec.Emit(obs.Event{
-					Type: obs.EvJobSwitch, Time: start - bestSwitch, GPU: bestGPU,
-					Job: int(t.Job), From: int(g.prevJob), Dur: bestSwitch,
-					Clean: bestB.Clean, Context: bestB.Context, Init: bestB.Init,
-					Transfer: bestB.Transfer, Hit: bestHit,
-				})
-			}
-		}
-		if observed {
-			rec.Emit(obs.Event{
-				Type: obs.EvTaskStart, Time: start, GPU: bestGPU,
+			r.rec.Emit(obs.Event{
+				Type: obs.EvBarrierWait, Time: g.free, GPU: bestGPU,
 				Job: int(t.Job), Round: t.Round, Index: t.Index,
+				Dur: wait, Note: reason,
 			})
 		}
-		if g.mem != nil {
-			md := models[t.Job]
-			g.mem.BeginAt(gpumem.JobKey(t.Job), md.TrainFootprintBytes, start)
-			g.mem.Complete(gpumem.JobKey(t.Job), md.ParamBytes, trainEnd)
+	}
+	if bestSwitch > 0 {
+		g.over = append(g.over, interval{start - bestSwitch, start})
+		r.res.OverheadSeconds[bestGPU] += bestSwitch
+		r.res.TotalSwitch += bestSwitch
+		r.res.SwitchCount++
+		r.cSwitches.Inc()
+		r.cStall.Add(bestSwitch)
+		if bestHit {
+			r.res.ResidencyHits++
+			r.cHits.Inc()
 		}
-		g.busy = append(g.busy, interval{start, trainEnd})
-		res.BusySeconds[bestGPU] += train
-		cTasks.Inc()
-		cTrain.Add(train)
-		if observed {
-			rec.Emit(obs.Event{
-				Type: obs.EvTaskFinish, Time: end, GPU: bestGPU,
-				Job: int(t.Job), Round: t.Round, Index: t.Index,
-				Dur: end - start, Train: train, Sync: syncT,
-				Note: in.Jobs[t.Job].Model,
+		if r.observed {
+			r.rec.Emit(obs.Event{
+				Type: obs.EvJobSwitch, Time: start - bestSwitch, GPU: bestGPU,
+				Job: int(t.Job), From: int(g.prevJob), Dur: bestSwitch,
+				Clean: bestB.Clean, Context: bestB.Context, Init: bestB.Init,
+				Transfer: bestB.Transfer, Hit: bestHit,
 			})
 		}
-		g.free = trainEnd
-		g.prevJob = t.Job
-
-		remaining[t.Job][t.Round]--
-		if end > roundEnd[t.Job][t.Round] {
-			roundEnd[t.Job][t.Round] = end
-		}
-		if end > res.JobCompletion[t.Job] {
-			res.JobCompletion[t.Job] = end
-		}
-		if end > res.Makespan {
-			res.Makespan = end
-		}
-		res.Trace.Add(trace.TaskRecord{
-			Task: t, GPU: bestGPU, Start: start,
-			Train: train, Sync: syncT, Switch: bestSwitch,
+	}
+	if r.observed {
+		r.rec.Emit(obs.Event{
+			Type: obs.EvTaskStart, Time: start, GPU: bestGPU,
+			Job: int(t.Job), Round: t.Round, Index: t.Index,
 		})
 	}
+	if g.mem != nil {
+		md := r.models[t.Job]
+		g.mem.BeginAt(gpumem.JobKey(t.Job), md.TrainFootprintBytes, start)
+		g.mem.Complete(gpumem.JobKey(t.Job), md.ParamBytes, trainEnd)
+	}
+	g.busy = append(g.busy, interval{start, trainEnd})
+	r.res.BusySeconds[bestGPU] += train
+	r.cTasks.Inc()
+	r.cTrain.Add(train)
+	if r.observed {
+		r.rec.Emit(obs.Event{
+			Type: obs.EvTaskFinish, Time: end, GPU: bestGPU,
+			Job: int(t.Job), Round: t.Round, Index: t.Index,
+			Dur: end - start, Train: train, Sync: syncT,
+			Note: r.in.Jobs[t.Job].Model,
+		})
+	}
+	g.free = trainEnd
+	g.prevJob = t.Job
 
+	r.remaining[t.Job][t.Round]--
+	if end > r.roundEnd[t.Job][t.Round] {
+		r.roundEnd[t.Job][t.Round] = end
+	}
+	if end > r.res.JobCompletion[t.Job] {
+		r.res.JobCompletion[t.Job] = end
+	}
+	if end > r.res.Makespan {
+		r.res.Makespan = end
+	}
+	r.res.Trace.Add(trace.TaskRecord{
+		Task: t, GPU: bestGPU, Start: start,
+		Train: train, Sync: syncT, Switch: bestSwitch,
+	})
+	if r.remaining[t.Job][t.Round] == 0 && r.onRoundDone != nil {
+		r.onRoundDone(t.Job, t.Round)
+	}
+}
+
+// finish derives the aggregate metrics once every task has run.
+func (r *replay) finish() *Result {
+	res := r.res
 	for j, c := range res.JobCompletion {
-		res.WeightedJCT += in.Jobs[j].Weight * c
+		res.WeightedJCT += r.in.Jobs[j].Weight * c
 	}
 	if res.Makespan > 0 {
 		for m := range res.Utilization {
 			res.Utilization[m] = res.BusySeconds[m] / res.Makespan
 		}
 	}
-	if opts.UtilBins > 0 && res.Makespan > 0 {
-		res.UtilSeries = make([][]float64, in.NumGPUs)
-		for m, g := range gpus {
-			res.UtilSeries[m] = binIntervals(g.busy, res.Makespan, opts.UtilBins)
+	if r.opts.UtilBins > 0 && res.Makespan > 0 {
+		res.UtilSeries = make([][]float64, r.in.NumGPUs)
+		for m, g := range r.gpus {
+			res.UtilSeries[m] = binIntervals(g.busy, res.Makespan, r.opts.UtilBins)
 		}
 	}
-	return res, nil
+	return res
+}
+
+// candidate caches one GPU's head-task selection: its feasible start
+// and the switching stall it would pay. Valid from the moment it is
+// computed until the GPU executes — g.free, g.prevJob and g.mem only
+// change on execution, and a released barrier value is final.
+type candidate struct {
+	start float64
+	sw    float64
+	hit   bool
+	b     switching.Breakdown
+}
+
+// costKey memoizes switching.Cost: its output depends only on the GPU
+// type, the predecessor job (-1 for a cold start), the successor job,
+// and whether the successor's weights are resident.
+type costKey struct {
+	gpuType  int
+	prev     core.JobID
+	next     core.JobID
+	resident bool
+}
+
+// Run replays the schedule. cl and models may be nil, in which case
+// switching costs are zero; otherwise models[j] must name job j's
+// model for switching and memory accounting.
+func Run(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, models []*model.Model, opts Options) (*Result, error) {
+	r, err := newReplay(in, sch, cl, models, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// typeIdx collapses the fleet onto its few distinct GPU types so
+	// switching costs memoize across GPUs, not just per GPU.
+	var typeIdx []int
+	if r.withSwitching {
+		typeIdx = make([]int, in.NumGPUs)
+		types := make(map[cluster.GPUType]int)
+		for m := range typeIdx {
+			id, ok := types[cl.GPUs[m].Type]
+			if !ok {
+				id = len(types)
+				types[cl.GPUs[m].Type] = id
+			}
+			typeIdx[m] = id
+		}
+	}
+	memo := make(map[costKey]switching.Breakdown)
+
+	// ready holds every GPU whose head task has a final barrier,
+	// keyed by its cached feasible start; ties pop in GPU-id order,
+	// matching the reference scan's first-best-index selection.
+	// waiters[j][rd] lists the GPUs whose head task is blocked on
+	// round rd of job j completing.
+	ready := eventq.NewIndexedHeap(in.NumGPUs)
+	cands := make([]candidate, in.NumGPUs)
+	waiters := make([][][]int, len(in.Jobs))
+	for _, j := range in.Jobs {
+		waiters[j.ID] = make([][]int, j.Rounds)
+	}
+
+	refresh := func(m int) {
+		g := r.gpus[m]
+		if g.next >= len(g.seq) {
+			return // sequence exhausted; GPU leaves the pool
+		}
+		t := g.seq[g.next]
+		barrier, ok := r.barrierOf(t)
+		if !ok {
+			waiters[t.Job][t.Round-1] = append(waiters[t.Job][t.Round-1], m)
+			return
+		}
+		var c candidate
+		if r.withSwitching && g.prevJob != t.Job {
+			resident := g.mem != nil && g.mem.Resident(gpumem.JobKey(t.Job))
+			key := costKey{gpuType: typeIdx[m], prev: g.prevJob, next: t.Job, resident: resident}
+			b, ok := memo[key]
+			if !ok {
+				var prev *model.Model
+				if g.prevJob >= 0 {
+					prev = models[g.prevJob]
+				}
+				b = switching.Cost(opts.Scheme, cl.GPUs[m].Type, prev, models[t.Job], resident)
+				memo[key] = b
+			}
+			c.b = b
+			c.sw, c.hit = b.Total(), b.ResidentHit
+		}
+		c.start = math.Max(g.free+c.sw, barrier)
+		cands[m] = c
+		ready.Set(m, c.start)
+	}
+
+	r.onRoundDone = func(job core.JobID, round int) {
+		woken := waiters[job][round]
+		waiters[job][round] = nil
+		for _, m := range woken {
+			refresh(m)
+		}
+	}
+
+	for m := range r.gpus {
+		refresh(m)
+	}
+	for r.pending > 0 {
+		m, _, ok := ready.PopMin()
+		if !ok {
+			return nil, fmt.Errorf("sim: deadlock with %d tasks pending (round barrier never satisfied)", r.pending)
+		}
+		c := cands[m]
+		r.exec(m, c.start, c.sw, c.hit, c.b)
+		refresh(m)
+	}
+	return r.finish(), nil
 }
 
 // binIntervals converts busy intervals into a busy-fraction series of
@@ -343,12 +480,15 @@ func binIntervals(ivs []interval, horizon float64, n int) []float64 {
 	out := make([]float64, n)
 	w := horizon / float64(n)
 	for _, iv := range ivs {
+		if iv.to <= 0 || iv.from >= horizon {
+			continue
+		}
 		lo := int(iv.from / w)
+		if lo < 0 {
+			lo = 0
+		}
 		hi := int(iv.to / w)
 		for b := lo; b <= hi && b < n; b++ {
-			if b < 0 {
-				continue
-			}
 			bs, be := float64(b)*w, float64(b+1)*w
 			overlap := math.Min(iv.to, be) - math.Max(iv.from, bs)
 			if overlap > 0 {

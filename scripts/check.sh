@@ -1,7 +1,10 @@
 #!/bin/sh
-# Full pre-merge check: vet, build, race-enabled tests, and the
-# observability zero-overhead benchmark (BenchmarkObsDisabled must sit
-# within noise of BenchmarkSimulatorReplay — compare the ns/op columns).
+# Full pre-merge check: vet, build, race-enabled tests (with the
+# engine-equivalence suites called out explicitly), and the overhead
+# benchmarks: BenchmarkObsDisabled must sit within noise of
+# BenchmarkSimulatorReplay, and BenchmarkSimulatorReplay must stay
+# well ahead of BenchmarkSimulatorReplayReference — compare the ns/op
+# columns (docs/PERFORMANCE.md records the expected gaps).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,10 +15,14 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
+echo "==> engine equivalence under -race (sim incremental-vs-reference, experiments parallel-vs-serial)"
+go test -race -run 'TestRunMatchesReference|TestRunGolden' ./internal/sim/
+go test -race -run 'TestParallelMatchesSerial' ./internal/experiments/
+
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> obs overhead benchmark"
+echo "==> overhead benchmarks (obs off/on, incremental vs reference replay)"
 go test -run '^$' -bench 'BenchmarkSimulatorReplay|BenchmarkObs' -benchtime 10x .
 
 echo "OK"
