@@ -7,7 +7,8 @@ all: build
 build:
 	$(GO) build ./...
 
-test:
+# Tier-1 gate: vet, build, and the full test suite.
+test: vet build
 	$(GO) test ./...
 
 vet:

@@ -165,7 +165,47 @@ func allRunners() []runner {
 		{"ext-base", "extension: +Gandiva_RR and Tiresias_LAS time-slicing baselines", runExtBaselines},
 		{"ext-fair", "extension: finish-time fairness and waiting per scheme", runExtFairness},
 		{"ext-seeds", "extension: fig16 across 3 seeds, mean±std per scheme", runExtSeeds},
+		{"faults", "robustness: weighted-JCT degradation vs fault rate and GPU failures", runFaults},
 	}
+}
+
+func runFaults(cfg experiments.Config) error {
+	rows, err := experiments.FaultSweep(cfg, nil, nil)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	header := []string{"condition"}
+	for _, res := range rows[0].Results {
+		header = append(header, res.Scheme, "degr%")
+	}
+	var out [][]string
+	for _, row := range rows {
+		cells := []string{row.Label}
+		for _, res := range row.Results {
+			cells = append(cells, fmt.Sprintf("%.0f", res.WeightedJCT),
+				fmt.Sprintf("%+.1f", res.DegradationPct))
+		}
+		out = append(out, cells)
+	}
+	fmt.Print(metrics.Table(header, out))
+	// Recovery accounting for the failure rows, Hare's plan only.
+	var rec [][]string
+	for _, row := range rows {
+		if row.Failures == 0 {
+			continue
+		}
+		r := row.Results[0]
+		rec = append(rec, []string{row.Label, r.Scheme,
+			fmt.Sprintf("%d", r.GPUFailures), fmt.Sprintf("%d", r.Reschedules),
+			fmt.Sprintf("%d", r.TasksMigrated)})
+	}
+	if len(rec) > 0 {
+		fmt.Print(metrics.Table([]string{"condition", "scheme", "failures", "reschedules", "migrated"}, rec))
+	}
+	return nil
 }
 
 func fmtF(x float64) string {

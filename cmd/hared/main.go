@@ -22,6 +22,7 @@ import (
 	"syscall"
 
 	"hare/internal/cluster"
+	"hare/internal/faults"
 	"hare/internal/manager"
 	"hare/internal/obs"
 )
@@ -34,6 +35,7 @@ var (
 	tbFleet   = flag.Bool("testbed-fleet", false, "use the paper's 15-GPU testbed fleet")
 	het       = flag.String("het", "high", "heterogeneity level: low, mid, high")
 	useSim    = flag.Bool("sim", false, "execute batches on the simulator instead of the testbed")
+	faultSpec = flag.String("fault-spec", "", "fault injection applied to every batch: rate=R,seed=S,fail=G@T,slow=GxF")
 	timescale = flag.Float64("timescale", 1e-3, "testbed clock scale (wall s per simulated s)")
 	batches   = flag.Int("batches-per-task", 0, "profiler mini-batches per task (0 = default)")
 )
@@ -58,11 +60,21 @@ func main() {
 		rec = obs.NewRecorder(ring)
 	}
 
+	fplan, err := faults.Parse(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if err := fplan.Validate(cl.Size()); err != nil {
+		fatal(err)
+	}
 	var backend manager.Backend
 	if *useSim {
-		backend = &manager.SimBackend{Recorder: rec, Metrics: reg}
+		backend = &manager.SimBackend{Faults: fplan, Recorder: rec, Metrics: reg}
 	} else {
-		backend = &manager.TestbedBackend{TimeScale: *timescale, Recorder: rec}
+		if fplan.HasGPUFailures() {
+			fatal(fmt.Errorf("the testbed backend cannot replay permanent GPU failures; add -sim"))
+		}
+		backend = &manager.TestbedBackend{TimeScale: *timescale, Faults: fplan, Recorder: rec}
 	}
 	m := manager.New(cl, manager.Options{
 		Backend: backend, BatchesPerTask: *batches,
@@ -74,6 +86,9 @@ func main() {
 	}
 	defer srv.Close()
 	fmt.Printf("hared: managing %s\n", cl)
+	if !fplan.Empty() {
+		fmt.Printf("hared: injecting faults into every batch: %s\n", fplan)
+	}
 	fmt.Printf("hared: listening on %s (submit with harectl)\n", bound)
 	if *debugAddr != "" {
 		dbg, dbgBound, err := obs.ServeDebug(*debugAddr, reg, ring)

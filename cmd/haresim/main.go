@@ -37,6 +37,7 @@ var (
 	savePlan  = flag.String("save-plan", "", "write the planned schedule to this JSON file")
 	loadPlan  = flag.String("load-plan", "", "replay a previously saved plan instead of scheduling")
 	workload  = flag.String("workload", "", "JSON workload file (overrides -jobs/-scale/-horizon)")
+	faultSpec = flag.String("fault-spec", "", "fault injection: rate=R,seed=S,fail=G@T,crash=G@T,slow=GxF (comma-separated, repeatable clauses)")
 	traceOut  = flag.String("trace-out", "", "write a chrome://tracing trace of the run to this JSON file")
 	eventsOut = flag.String("events-out", "", "write the run's structured events to this JSONL file")
 	cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with 'go tool pprof')")
@@ -71,8 +72,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	fplan, err := hare.ParseFaults(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if err := fplan.Validate(in.NumGPUs); err != nil {
+		fatal(err)
+	}
 	fmt.Printf("cluster: %s\n", cl)
-	fmt.Printf("workload: %d jobs, %d tasks, alpha=%.2f\n\n", len(in.Jobs), in.NumTasks(), in.Alpha())
+	fmt.Printf("workload: %d jobs, %d tasks, alpha=%.2f\n", len(in.Jobs), in.NumTasks(), in.Alpha())
+	if !fplan.Empty() {
+		fmt.Printf("faults: %s\n", fplan)
+	}
+	fmt.Println()
 
 	algos := hare.Schedulers()
 	if !*compare {
@@ -96,7 +108,7 @@ func main() {
 		hare.SetSchedulerRecorder(algos[0], rec)
 	}
 
-	var rows [][]string
+	var rows, faultRows [][]string
 	for _, a := range algos {
 		var plan *hare.Schedule
 		var err error
@@ -125,9 +137,22 @@ func main() {
 		res, err := hare.Simulate(in, plan, cl, models, hare.SimOptions{
 			Scheme: scheme, Speculative: speculative, Seed: *seed,
 			Recorder: rec,
+			// Each scheduler recovers from injected GPU failures with
+			// its own re-planning policy.
+			Faults: fplan, Replanner: a,
 		})
 		if err != nil {
 			fatal(fmt.Errorf("simulate %s: %w", a.Name(), err))
+		}
+		if !fplan.Empty() {
+			faultRows = append(faultRows, []string{
+				a.Name(),
+				fmt.Sprintf("%d", res.Retries),
+				metrics.FormatSeconds(res.LostSeconds),
+				fmt.Sprintf("%d", res.GPUFailures),
+				fmt.Sprintf("%d", res.TasksMigrated),
+				fmt.Sprintf("%d", res.Reschedules),
+			})
 		}
 		fair := metrics.NewFairnessReport(in, res.Trace)
 		rows = append(rows, []string{
@@ -148,6 +173,12 @@ func main() {
 	fmt.Print(metrics.Table(
 		[]string{"scheduler", "weighted JCT", "makespan", "mean util", "switch time", "switches", "mean rho", "max wait"},
 		rows))
+	if len(faultRows) > 0 {
+		fmt.Println()
+		fmt.Print(metrics.Table(
+			[]string{"scheduler", "retries", "lost time", "GPU failures", "migrated", "reschedules"},
+			faultRows))
+	}
 
 	if collect != nil {
 		events := collect.Events()

@@ -28,6 +28,7 @@ var (
 	scale     = flag.Float64("scale", 0.05, "rounds scale")
 	seed      = flag.Int64("seed", 1, "random seed")
 	timescale = flag.Float64("timescale", 1e-3, "wall seconds per simulated second")
+	faultSpec = flag.String("fault-spec", "", "fault injection: rate=R,seed=S,fail=G@T,crash=G@T,slow=GxF (comma-separated, repeatable clauses)")
 	useRPC    = flag.Bool("rpc", false, "route executor traffic over a net/rpc TCP control plane")
 	addr      = flag.String("addr", "127.0.0.1:0", "control-plane listen address with -rpc/-distributed")
 	distrib   = flag.Bool("distributed", false, "spawn one executor OS process per GPU")
@@ -57,19 +58,33 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	fplan, err := hare.ParseFaults(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if err := fplan.Validate(in.NumGPUs); err != nil {
+		fatal(err)
+	}
 	fmt.Printf("cluster: %s\n", cl)
-	fmt.Printf("planned %d tasks across %d jobs; executing on the testbed...\n\n",
-		in.NumTasks(), len(in.Jobs))
+	fmt.Printf("planned %d tasks across %d jobs; executing on the testbed...\n", in.NumTasks(), len(in.Jobs))
+	if !fplan.Empty() {
+		fmt.Printf("faults: %s\n", fplan)
+	}
+	fmt.Println()
 
 	if *distrib {
-		runDistributed(in, plan, cl, models)
+		runDistributed(in, plan, cl, models, fplan)
 		return
+	}
+	if fplan.HasGPUFailures() {
+		fatal(fmt.Errorf("permanent GPU failures need the distributed control plane (add -distributed)"))
 	}
 
 	opts := hare.TestbedOptions{
 		TimeScale:   *timescale,
 		Scheme:      hare.SwitchHare,
 		Speculative: true,
+		Faults:      fplan,
 	}
 	var server *rpcnet.Server
 	if *useRPC {
@@ -115,14 +130,18 @@ func main() {
 	fmt.Printf("\nweighted JCT: %.0f   makespan: %s\n", res.WeightedJCT, metrics.FormatSeconds(res.Makespan))
 	fmt.Printf("switching: %s across %d switches (%d residency hits)\n",
 		metrics.FormatSeconds(res.TotalSwitch), res.SwitchCount, res.ResidencyHits)
+	if !fplan.Empty() {
+		fmt.Printf("faults: %d retried attempts\n", res.Retries)
+	}
 }
 
 // runDistributed serves the coordinator and re-executes this binary
 // once per GPU as a separate OS process (the hidden -executor mode —
 // each child is exactly what cmd/hare-executor runs).
-func runDistributed(in *hare.Instance, plan *hare.Schedule, cl *hare.Cluster, models []*hare.Model) {
+func runDistributed(in *hare.Instance, plan *hare.Schedule, cl *hare.Cluster, models []*hare.Model, fplan *hare.FaultPlan) {
 	srv, bound, wait, err := rpcnet.ServeDistributed(*addr, in, plan, cl, models, rpcnet.DistributedOptions{
 		TimeScale: *timescale, Scheme: hare.SwitchHare, Speculative: true,
+		Faults: fplan,
 	})
 	if err != nil {
 		fatal(err)
@@ -146,12 +165,19 @@ func runDistributed(in *hare.Instance, plan *hare.Schedule, cl *hare.Cluster, mo
 	if err != nil {
 		fatal(err)
 	}
-	for _, p := range procs {
+	// The coordinator finished, so a failing executor process (an
+	// injected crash, or a fence after its GPU was marked failed) is a
+	// tolerated casualty, not a run failure.
+	for g, p := range procs {
 		if err := p.Wait(); err != nil {
-			fatal(fmt.Errorf("executor process: %w", err))
+			fmt.Printf("executor %d exited with %v (tolerated; coordinator recovered)\n", g, err)
 		}
 	}
 	fmt.Printf("distributed run: %d tasks across %d processes\n", len(res.Trace.Records), in.NumGPUs)
+	if res.GPUFailures > 0 || res.Retries > 0 {
+		fmt.Printf("recovery: %d retries, %d GPU failures %v, %d tasks migrated, %d reschedules\n",
+			res.Retries, res.GPUFailures, res.FailedGPUs, res.TasksMigrated, res.Reschedules)
+	}
 	fmt.Printf("weighted JCT: %.0f   makespan: %s\n", res.WeightedJCT, metrics.FormatSeconds(res.Makespan))
 	fmt.Printf("switching: %s across %d switches (%d residency hits)\n",
 		metrics.FormatSeconds(res.TotalSwitch), res.SwitchCount, res.ResidencyHits)

@@ -37,6 +37,7 @@ import (
 
 	"hare/internal/cluster"
 	"hare/internal/core"
+	"hare/internal/faults"
 	"hare/internal/model"
 	"hare/internal/obs"
 	"hare/internal/profile"
@@ -90,7 +91,17 @@ type (
 	ClusterSpec = cluster.Spec
 	// Placement is a scheduler's decision for one task.
 	Placement = core.Placement
+	// FaultPlan is a deterministic fault-injection plan (transient
+	// failures, permanent GPU failures, crashes, stragglers) shared by
+	// the simulator, the testbed, and the distributed control plane.
+	FaultPlan = faults.Plan
 )
+
+// ParseFaults parses a fault-spec string such as
+// "rate=0.05,seed=7,fail=3@120,crash=1@60,slow=2x1.5" into a plan the
+// simulator, testbed, and distributed runner all accept. An empty
+// spec yields an empty plan.
+func ParseFaults(spec string) (*FaultPlan, error) { return faults.Parse(spec) }
 
 // NewSchedule returns an empty schedule for hand-built plans.
 func NewSchedule() *Schedule { return core.NewSchedule() }

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+func faultSweepConfig() Config {
+	return Config{
+		Seed: 42, RoundsScale: 0.05, Jobs: 8, GPUs: 6,
+		HorizonSeconds: 60, WithSwitching: true,
+	}
+}
+
+// TestFaultSweepDegradesAndRecovers: rate rows lose attempts and cost
+// weighted JCT; failure rows fence GPUs, migrate work, and still
+// finish every job. The whole table is reproducible from the seed.
+func TestFaultSweepDegradesAndRecovers(t *testing.T) {
+	cfg := faultSweepConfig()
+	rows, err := FaultSweep(cfg, []float64{0.1}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows[0].Results { // rate=0.1
+		if r.Retries == 0 || r.LostSeconds <= 0 {
+			t.Errorf("%s rate row: retries=%d lost=%g — injection inert", r.Scheme, r.Retries, r.LostSeconds)
+		}
+		if r.DegradationPct <= 0 {
+			t.Errorf("%s rate row: degradation %.2f%%, want > 0", r.Scheme, r.DegradationPct)
+		}
+	}
+	for _, r := range rows[1].Results { // failures=2
+		if r.GPUFailures != 2 {
+			t.Errorf("%s failure row: %d GPU failures, want 2", r.Scheme, r.GPUFailures)
+		}
+		if r.Reschedules != 2 {
+			t.Errorf("%s failure row: %d reschedules, want 2", r.Scheme, r.Reschedules)
+		}
+		if r.WeightedJCT <= 0 {
+			t.Errorf("%s failure row: WJCT %g", r.Scheme, r.WeightedJCT)
+		}
+	}
+
+	again, err := FaultSweep(cfg, []float64{0.1}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, again) {
+		t.Error("fault sweep not reproducible from its seed")
+	}
+}
+
+func TestFaultSweepRejectsFleetWipe(t *testing.T) {
+	if _, err := FaultSweep(faultSweepConfig(), []float64{}, []int{6}); err == nil {
+		t.Error("failure count == fleet size accepted")
+	}
+}

@@ -1,0 +1,287 @@
+// Package faults is the failure model shared by the simulator, the
+// in-process testbed, and the distributed control plane. A Plan is a
+// seeded, declarative description of everything that goes wrong during
+// a run: transient task faults (an attempt's gradient is lost and the
+// task retries from the round checkpoint), permanent GPU failures at a
+// given simulated time, executor crashes (the distributed analogue: the
+// process stops heartbeating and is fenced), and stragglers (a GPU
+// whose training runs slower by a constant factor).
+//
+// The same Plan replays identically in every backend: the transient
+// fault stream is a per-GPU deterministic RNG seeded with
+// RetrySeed(Plan.Seed, gpu), so the in-process testbed, the simulator,
+// and remote executors draw the same attempt outcomes for the same
+// per-GPU task multiset; permanent failures are keyed to simulated
+// time, which all backends share.
+//
+// Recovery is possible at all because of the paper's relaxed
+// scale-fixed synchronization (§2.2.3): a round-r task aggregates into
+// the round no matter which GPU runs it or when, as long as it starts
+// from the round-(r-1) checkpoint — so stranded tasks migrate to
+// surviving GPUs without perturbing the learned parameters. The
+// Residual type in this package builds the shrunken scheduling
+// instance (unfinished work, surviving GPUs) that Algorithm 1 is
+// re-run on after a detected failure.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// GPUFailure is a permanent loss of one GPU at a simulated time: the
+// device (or its executor process, when Crash is set) stops making
+// progress and never returns. Tasks it had not completed are
+// rescheduled onto the survivors.
+type GPUFailure struct {
+	GPU  int
+	Time float64 // simulated seconds
+	// Crash marks an executor crash/disconnect rather than a device
+	// fault. The scheduler-side recovery path is identical (the lease
+	// expires, the GPU is fenced and its work migrates); the
+	// distributed testbed uses the distinction to make the executor
+	// process actually stop instead of the coordinator pre-marking the
+	// GPU failed.
+	Crash bool
+}
+
+// Straggler slows one GPU down: every training attempt on it takes
+// Factor times its profiled duration. Factor must be >= 1.
+type Straggler struct {
+	GPU    int
+	Factor float64
+}
+
+// Plan is a complete, seeded failure scenario.
+type Plan struct {
+	// Rate is the transient task-fault probability in [0, 1]: each
+	// training attempt is lost (and retried from the checkpoint) with
+	// this probability.
+	Rate float64
+	// Seed drives the transient fault streams (see RetrySeed).
+	Seed int64
+	// Failures lists permanent GPU failures and executor crashes.
+	Failures []GPUFailure
+	// Stragglers lists per-GPU slowdown factors.
+	Stragglers []Straggler
+}
+
+// Empty reports whether the plan injects nothing. Nil-safe.
+func (p *Plan) Empty() bool {
+	return p == nil || (p.Rate == 0 && len(p.Failures) == 0 && len(p.Stragglers) == 0)
+}
+
+// TransientRate returns the transient fault probability. Nil-safe.
+func (p *Plan) TransientRate() float64 {
+	if p == nil {
+		return 0
+	}
+	return p.Rate
+}
+
+// TransientSeed returns the transient fault seed. Nil-safe.
+func (p *Plan) TransientSeed() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.Seed
+}
+
+// HasGPUFailures reports whether any permanent failure or crash is
+// planned. Nil-safe.
+func (p *Plan) HasGPUFailures() bool { return p != nil && len(p.Failures) > 0 }
+
+// SlowdownOf returns the straggler factor for a GPU (1 when the GPU is
+// healthy). Nil-safe.
+func (p *Plan) SlowdownOf(gpu int) float64 {
+	if p == nil {
+		return 1
+	}
+	for _, s := range p.Stragglers {
+		if s.GPU == gpu {
+			return s.Factor
+		}
+	}
+	return 1
+}
+
+// FailureOf returns the planned failure of a GPU, if any. Nil-safe.
+func (p *Plan) FailureOf(gpu int) (GPUFailure, bool) {
+	if p == nil {
+		return GPUFailure{}, false
+	}
+	for _, f := range p.Failures {
+		if f.GPU == gpu {
+			return f, true
+		}
+	}
+	return GPUFailure{}, false
+}
+
+// SortedFailures returns a copy of the planned failures ordered by
+// time (ties by GPU index) — the order the simulator applies them in.
+// Nil-safe.
+func (p *Plan) SortedFailures() []GPUFailure {
+	if p == nil {
+		return nil
+	}
+	out := append([]GPUFailure(nil), p.Failures...)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Time != out[b].Time {
+			return out[a].Time < out[b].Time
+		}
+		return out[a].GPU < out[b].GPU
+	})
+	return out
+}
+
+// Validate checks internal consistency. numGPUs > 0 additionally
+// range-checks every GPU index against the fleet size. Nil plans are
+// valid (no faults).
+func (p *Plan) Validate(numGPUs int) error {
+	if p == nil {
+		return nil
+	}
+	if math.IsNaN(p.Rate) || p.Rate < 0 || p.Rate > 1 {
+		return fmt.Errorf("faults: rate %g outside [0, 1]", p.Rate)
+	}
+	seenFail := make(map[int]bool)
+	for _, f := range p.Failures {
+		if f.GPU < 0 || (numGPUs > 0 && f.GPU >= numGPUs) {
+			return fmt.Errorf("faults: failure of GPU %d outside fleet of %d", f.GPU, numGPUs)
+		}
+		if math.IsNaN(f.Time) || math.IsInf(f.Time, 0) || f.Time < 0 {
+			return fmt.Errorf("faults: GPU %d failure at invalid time %g", f.GPU, f.Time)
+		}
+		if seenFail[f.GPU] {
+			return fmt.Errorf("faults: GPU %d fails more than once", f.GPU)
+		}
+		seenFail[f.GPU] = true
+	}
+	seenSlow := make(map[int]bool)
+	for _, s := range p.Stragglers {
+		if s.GPU < 0 || (numGPUs > 0 && s.GPU >= numGPUs) {
+			return fmt.Errorf("faults: straggler GPU %d outside fleet of %d", s.GPU, numGPUs)
+		}
+		if math.IsNaN(s.Factor) || math.IsInf(s.Factor, 0) || s.Factor < 1 {
+			return fmt.Errorf("faults: straggler GPU %d has factor %g (want >= 1)", s.GPU, s.Factor)
+		}
+		if seenSlow[s.GPU] {
+			return fmt.Errorf("faults: GPU %d straggles more than once", s.GPU)
+		}
+		seenSlow[s.GPU] = true
+	}
+	return nil
+}
+
+// String renders the plan in the -fault-spec grammar Parse accepts, so
+// plans round-trip through their flag form. Nil and empty plans render
+// as "".
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	var parts []string
+	if p.Rate != 0 {
+		parts = append(parts, "rate="+strconv.FormatFloat(p.Rate, 'g', -1, 64))
+	}
+	if p.Seed != 0 {
+		parts = append(parts, "seed="+strconv.FormatInt(p.Seed, 10))
+	}
+	for _, f := range p.Failures {
+		kind := "fail"
+		if f.Crash {
+			kind = "crash"
+		}
+		parts = append(parts, fmt.Sprintf("%s=%d@%s", kind, f.GPU, strconv.FormatFloat(f.Time, 'g', -1, 64)))
+	}
+	for _, s := range p.Stragglers {
+		parts = append(parts, fmt.Sprintf("slow=%dx%s", s.GPU, strconv.FormatFloat(s.Factor, 'g', -1, 64)))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Parse builds a Plan from the -fault-spec grammar: comma- or
+// semicolon-separated key=value fields,
+//
+//	rate=F     transient task-fault probability in [0, 1]
+//	seed=N     seed of the transient fault streams
+//	fail=G@T   GPU G permanently fails at simulated time T
+//	crash=G@T  GPU G's executor crashes at simulated time T
+//	slow=GxF   GPU G trains F times slower (F >= 1)
+//
+// fail, crash and slow may repeat. An empty spec yields an empty plan.
+// GPU indices are range-checked later, against the instance, via
+// Validate.
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, field := range strings.FieldsFunc(spec, func(r rune) bool { return r == ',' || r == ';' }) {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: bad field %q (want key=value)", field)
+		}
+		switch key {
+		case "rate":
+			rate, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad rate %q: %w", val, err)
+			}
+			p.Rate = rate
+		case "seed":
+			seed, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed %q: %w", val, err)
+			}
+			p.Seed = seed
+		case "fail", "crash":
+			gs, ts, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("faults: bad %s %q (want GPU@TIME)", key, val)
+			}
+			gpu, err := strconv.Atoi(gs)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad %s GPU %q: %w", key, gs, err)
+			}
+			at, err := strconv.ParseFloat(ts, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad %s time %q: %w", key, ts, err)
+			}
+			p.Failures = append(p.Failures, GPUFailure{GPU: gpu, Time: at, Crash: key == "crash"})
+		case "slow":
+			gs, fs, ok := strings.Cut(val, "x")
+			if !ok {
+				return nil, fmt.Errorf("faults: bad slow %q (want GPUxFACTOR)", val)
+			}
+			gpu, err := strconv.Atoi(gs)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad slow GPU %q: %w", gs, err)
+			}
+			factor, err := strconv.ParseFloat(fs, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad slow factor %q: %w", fs, err)
+			}
+			p.Stragglers = append(p.Stragglers, Straggler{GPU: gpu, Factor: factor})
+		default:
+			return nil, fmt.Errorf("faults: unknown field %q (want rate/seed/fail/crash/slow)", key)
+		}
+	}
+	if err := p.Validate(0); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// RetrySeed derives the per-GPU transient fault stream seed every
+// backend uses. The in-process testbed, the simulator, and remote
+// executors all seed stats.New with this value, which is what makes
+// Retries counts identical across backends for the same plan.
+func RetrySeed(seed int64, gpu int) int64 {
+	return seed ^ int64(gpu)*0x9e3779b9
+}

@@ -21,6 +21,7 @@ import (
 
 	"hare/internal/cluster"
 	"hare/internal/core"
+	"hare/internal/faults"
 	"hare/internal/model"
 	"hare/internal/obs"
 	"hare/internal/profile"
@@ -106,6 +107,10 @@ type TestbedBackend struct {
 	TimeScale float64
 	// Store receives checkpoints (in-memory by default).
 	Store store.Store
+	// Faults injects transient failures and stragglers into every
+	// batch (the in-process testbed cannot replay permanent GPU
+	// failures; use the simulator backend for those).
+	Faults *faults.Plan
 	// Recorder receives execution-path events; nil disables them.
 	Recorder *obs.Recorder
 }
@@ -118,6 +123,7 @@ func (b *TestbedBackend) Execute(in *core.Instance, plan *core.Schedule, cl *clu
 	}
 	res, err := testbed.Run(in, plan, cl, models, testbed.Options{
 		TimeScale: ts, Scheme: switching.Hare, Speculative: true, Store: b.Store,
+		Faults:   b.Faults,
 		Recorder: b.Recorder,
 	})
 	if err != nil {
@@ -130,6 +136,9 @@ func (b *TestbedBackend) Execute(in *core.Instance, plan *core.Schedule, cl *clu
 // (instant; used for capacity planning and tests).
 type SimBackend struct {
 	Seed int64
+	// Faults injects the same deterministic fault plan into every
+	// batch; permanent GPU failures trigger an in-batch re-plan.
+	Faults *faults.Plan
 	// Recorder receives execution-path events; nil disables them.
 	Recorder *obs.Recorder
 	// Metrics receives the simulator's counters; nil disables them.
@@ -140,6 +149,7 @@ type SimBackend struct {
 func (b *SimBackend) Execute(in *core.Instance, plan *core.Schedule, cl *cluster.Cluster, models []*model.Model) ([]float64, *trace.Trace, error) {
 	res, err := sim.Run(in, plan, cl, models, sim.Options{
 		Scheme: switching.Hare, Speculative: true, Seed: b.Seed,
+		Faults:   b.Faults,
 		Recorder: b.Recorder, Metrics: b.Metrics,
 	})
 	if err != nil {

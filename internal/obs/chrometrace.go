@@ -115,6 +115,19 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 				Pid: ChromePidScheduler, Tid: e.GPU, S: "t",
 				Args: map[string]any{"H": e.H, "gpu": e.GPU},
 			})
+		case EvFaultInjected, EvGPUFailed, EvTaskMigrated, EvReschedule:
+			touch(ChromePidExecution, e.GPU)
+			name := fmt.Sprintf("%s j%d r%d.%d", e.Type, e.Job, e.Round, e.Index)
+			if e.Type == EvGPUFailed || e.Type == EvReschedule {
+				name = fmt.Sprintf("%s gpu%d", e.Type, e.GPU)
+			}
+			out = append(out, chromeEvent{
+				Name: name,
+				Cat:  "fault", Ph: "i",
+				Ts:  e.Time * usec,
+				Pid: ChromePidExecution, Tid: e.GPU, S: "t",
+				Args: map[string]any{"note": e.Note, "from": e.From},
+			})
 		case EvJobSubmit, EvJobComplete:
 			touch(ChromePidJobs, e.Job)
 			out = append(out, chromeEvent{

@@ -58,6 +58,22 @@ const (
 	EvJobSubmit
 	// EvJobComplete marks a job's realized completion.
 	EvJobComplete
+	// EvFaultInjected records a transient task fault: the training
+	// attempt on GPU was lost and the task retries from the round
+	// checkpoint. Dur carries the wasted attempt seconds.
+	EvFaultInjected
+	// EvGPUFailed records a detected permanent GPU failure (device
+	// fault, executor crash, or expired heartbeat lease). Note carries
+	// the detection reason.
+	EvGPUFailed
+	// EvTaskMigrated records one stranded task moving to a surviving
+	// GPU: the task was planned (or in flight) on failed GPU From and
+	// is now assigned to GPU.
+	EvTaskMigrated
+	// EvReschedule records a recovery pass: Algorithm 1 re-ran on the
+	// residual instance after GPU failed. Dur is unused; Note carries
+	// "tasks=N gpus=M" for the residual size.
+	EvReschedule
 )
 
 func (t Type) String() string {
@@ -82,13 +98,21 @@ func (t Type) String() string {
 		return "job-submit"
 	case EvJobComplete:
 		return "job-complete"
+	case EvFaultInjected:
+		return "fault.injected"
+	case EvGPUFailed:
+		return "gpu.failed"
+	case EvTaskMigrated:
+		return "task.migrated"
+	case EvReschedule:
+		return "resched.triggered"
 	}
 	return fmt.Sprintf("Type(%d)", int(t))
 }
 
 // TypeByName resolves an event type from its String form.
 func TypeByName(name string) (Type, error) {
-	for t := EvTaskStart; t <= EvJobComplete; t++ {
+	for t := EvTaskStart; t <= EvReschedule; t++ {
 		if t.String() == name {
 			return t, nil
 		}
@@ -158,9 +182,15 @@ func (e Event) Format() string {
 		detail = fmt.Sprintf(" %dB", e.Bytes)
 	case EvSchedDecision:
 		detail = fmt.Sprintf(" H=%.2f", e.H)
+	case EvFaultInjected:
+		detail = fmt.Sprintf(" lost=%.3fs", e.Dur)
+	case EvGPUFailed:
+		detail = fmt.Sprintf(" (%s)", e.Note)
+	case EvTaskMigrated:
+		detail = fmt.Sprintf(" from=gpu%d", e.From)
 	}
 	note := ""
-	if e.Note != "" && e.Type != EvBarrierWait {
+	if e.Note != "" && e.Type != EvBarrierWait && e.Type != EvGPUFailed {
 		note = " " + e.Note
 	}
 	return fmt.Sprintf("%12.3f %-14s%s%s%s", e.Time, e.Type, loc, detail, note)

@@ -9,25 +9,47 @@ import (
 
 	"hare/internal/cluster"
 	"hare/internal/core"
+	"hare/internal/faults"
 	"hare/internal/gpumem"
 	"hare/internal/model"
+	"hare/internal/obs"
+	"hare/internal/sched"
 	"hare/internal/store"
 	"hare/internal/switching"
 	"hare/internal/testbed"
 	"hare/internal/trace"
 )
 
-// Distributed testbed mode: the scheduler process (DistributedServer)
+// Distributed testbed mode: the scheduler process (ServeDistributed)
 // hosts the parameter servers, the checkpoint store, and every task
-// sequence; executor processes (cmd/hare-executor, or RunExecutor
-// in-process) dial in, fetch their full configuration — sequence,
-// per-job times for their GPU, clock epoch — run their tasks against
-// the remote control plane, and report their measured records back.
-// The server assembles the same testbed.Result the in-process path
-// produces, once every GPU has reported.
+// queue; executor processes (cmd/hare-executor, or RunExecutor
+// in-process) dial in, fetch their configuration, then *pull* tasks
+// one at a time and run each against the remote control plane.
+//
+// Fault tolerance: executors heartbeat on a lease; a missed lease — or
+// a planned device failure — fences the GPU, and the coordinator
+// re-runs the scheduling algorithm on the residual instance
+// (unfinished tasks × surviving GPUs, see faults.Residual) and refills
+// the survivors' queues. The pull protocol is what makes this safe:
+// the coordinator owns every not-yet-started task, so nothing is
+// stranded inside a dead executor except its single in-flight task,
+// which is re-queued (its round checkpoint makes re-execution
+// convergence-neutral — the paper's relaxed scale-fixed
+// synchronization, §2.2.3). Task measurements travel with each
+// gradient push, so the coordinator's trace is complete even for GPUs
+// that die later.
 
 // DistributedName is the registered net/rpc service name.
 const DistributedName = "HareTestbedCoordinator"
+
+// Default detection parameters (overridable in DistributedOptions).
+const (
+	// DefaultHeartbeatInterval is the executors' heartbeat period.
+	DefaultHeartbeatInterval = 100 * time.Millisecond
+	// DefaultLeaseTimeout fences a GPU whose last heartbeat (or push)
+	// is older than this.
+	DefaultLeaseTimeout = 2 * time.Second
+)
 
 // ExecutorConfigArgs selects the GPU asking for its configuration.
 type ExecutorConfigArgs struct{ GPU int }
@@ -37,7 +59,9 @@ type ExecutorConfigReply struct {
 	// Instance is the full scheduling problem (times are indexed by
 	// [job][gpu]).
 	Instance *core.Instance
-	// Seq is this GPU's planned task order.
+	// Seq is this GPU's planned task order. Tasks are *dispatched* by
+	// the coordinator (Next), so the sequence is advisory — it seeds
+	// the speculative memory manager's lookahead.
 	Seq []core.TaskRef
 	// GPUTypeName resolves to the cluster.GPUType locally.
 	GPUTypeName string
@@ -53,24 +77,41 @@ type ExecutorConfigReply struct {
 	// ProblemDim and ProblemBatch size the SGD problems (seeds are
 	// jobID+1, as in the in-process testbed).
 	ProblemDim, ProblemBatch int
-	// FaultRate and FaultSeed configure failure injection.
+	// FaultRate and FaultSeed configure transient failure injection.
 	FaultRate float64
 	FaultSeed int64
+	// SlowFactor makes this executor a straggler (1 = healthy).
+	SlowFactor float64
+	// CrashAtSim, when >= 0, tells the executor to crash (stop
+	// heartbeating and abort) at this simulated time.
+	CrashAtSim float64
+	// HeartbeatMillis is the heartbeat period in milliseconds.
+	HeartbeatMillis int64
 }
 
-// ReportArgs carries one executor's measured outcome.
+// NextArgs asks the coordinator for the GPU's next task.
+type NextArgs struct{ GPU int }
+
+// NextReply carries one dispatched task, or Done when the run has no
+// work left.
+type NextReply struct {
+	Task core.TaskRef
+	Done bool
+}
+
+// HeartbeatArgs renews a GPU's lease.
+type HeartbeatArgs struct{ GPU int }
+
+// ReportArgs carries one executor's final status. Task measurements
+// travel with each Push, so the report only closes the executor out
+// (or surfaces its error).
 type ReportArgs struct {
-	GPU           int
-	Records       []trace.TaskRecord
-	SwitchTotal   float64
-	SwitchCount   int
-	ResidencyHits int
-	Retries       int
+	GPU int
 	// Err is a non-empty string when the executor failed.
 	Err string
 }
 
-// DistributedOptions configures RunDistributed.
+// DistributedOptions configures ServeDistributed.
 type DistributedOptions struct {
 	TimeScale    float64
 	Scheme       switching.Scheme
@@ -82,6 +123,25 @@ type DistributedOptions struct {
 	FaultRate    float64
 	FaultSeed    int64
 	Store        store.Store
+	// Faults is the failure plan: transient rate/seed (overriding
+	// FaultRate/FaultSeed when set), stragglers, device failures
+	// (fail=G@T — the coordinator fences the GPU at sim time T), and
+	// executor crashes (crash=G@T — the executor process stops
+	// heartbeating at sim time T and the lease monitor detects it).
+	Faults *faults.Plan
+	// Replanner re-schedules the residual instance after a GPU
+	// failure. Defaults to Algorithm 1 (sched.NewHare()).
+	Replanner sched.Algorithm
+	// HeartbeatInterval and LeaseTimeout tune failure detection; see
+	// the package defaults. Detection latency in simulated time is
+	// roughly LeaseTimeout / TimeScale.
+	HeartbeatInterval time.Duration
+	LeaseTimeout      time.Duration
+	// Recorder receives coordinator-side events (gpu.failed,
+	// task.migrated, resched.triggered); nil disables.
+	Recorder *obs.Recorder
+	// Metrics, when set, accumulates recovery counters.
+	Metrics *obs.Registry
 }
 
 func (o DistributedOptions) withDefaults() DistributedOptions {
@@ -100,22 +160,62 @@ func (o DistributedOptions) withDefaults() DistributedOptions {
 	if o.Store == nil {
 		o.Store = store.NewMem()
 	}
+	if o.Faults != nil && o.Faults.Rate > 0 {
+		o.FaultRate = o.Faults.Rate
+		o.FaultSeed = o.Faults.Seed
+	}
+	if o.Replanner == nil {
+		o.Replanner = sched.NewHare()
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = DefaultHeartbeatInterval
+	}
+	if o.LeaseTimeout <= 0 {
+		o.LeaseTimeout = DefaultLeaseTimeout
+	}
 	return o
 }
 
-// coordinator is the scheduler-side RPC handler.
+// coordinator is the scheduler-side RPC handler and task dispatcher.
 type coordinator struct {
 	in     *core.Instance
-	seqs   [][]core.TaskRef
 	cl     *cluster.Cluster
 	models []*model.Model
 	opts   DistributedOptions
 	epoch  time.Time
+	clock  *testbed.Clock
 	local  testbed.SyncClient
 
-	mu       sync.Mutex
-	reported map[int]bool
-	reports  chan ReportArgs
+	cFailures, cMigrated, cResched, cHeartbeats *obs.Counter
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// queues[g] holds the tasks assigned to GPU g but not yet handed
+	// out; inflight[g] the one task g is currently running (nil when
+	// idle); done the tasks whose gradient the control plane accepted.
+	queues   [][]core.TaskRef
+	inflight []*core.TaskRef
+	done     map[core.TaskRef]bool
+	// pushed[j][r] counts accepted gradients per round; a round-r task
+	// is dispatch-eligible once pushed[j][r-1] == Scale, which is what
+	// keeps executors from committing to barrier-blocked work while
+	// their queue holds runnable tasks (deadlock freedom under
+	// migration).
+	pushed    [][]int
+	tasksLeft int
+
+	failed     []bool
+	lease      []time.Time
+	reported   []bool
+	records    []trace.TaskRecord
+	switchTot  float64
+	switchCnt  int
+	hits       int
+	retries    int
+	migrated   int
+	reschedule int
+	runErr     error
+	stopped    bool
 }
 
 // Config hands an executor its full configuration.
@@ -127,31 +227,151 @@ func (c *coordinator) Config(args ExecutorConfigArgs, reply *ExecutorConfigReply
 	for i, m := range c.models {
 		names[i] = m.Name
 	}
+	crashAt := -1.0
+	if f, ok := c.opts.Faults.FailureOf(args.GPU); ok && f.Crash {
+		crashAt = f.Time
+	}
+	c.mu.Lock()
+	seq := append([]core.TaskRef(nil), c.queues[args.GPU]...)
+	c.lease[args.GPU] = time.Now()
+	c.mu.Unlock()
 	*reply = ExecutorConfigReply{
-		Instance:      c.in,
-		Seq:           c.seqs[args.GPU],
-		GPUTypeName:   c.cl.GPUs[args.GPU].Type.Name,
-		ModelNames:    names,
-		Scheme:        c.opts.Scheme,
-		Speculative:   c.opts.Speculative,
-		MemPolicy:     c.opts.MemPolicy,
-		TimeScale:     c.opts.TimeScale,
-		EpochUnixNano: c.epoch.UnixNano(),
-		ProblemDim:    c.opts.ProblemDim,
-		ProblemBatch:  c.opts.ProblemBatch,
-		FaultRate:     c.opts.FaultRate,
-		FaultSeed:     c.opts.FaultSeed,
+		Instance:        c.in,
+		Seq:             seq,
+		GPUTypeName:     c.cl.GPUs[args.GPU].Type.Name,
+		ModelNames:      names,
+		Scheme:          c.opts.Scheme,
+		Speculative:     c.opts.Speculative,
+		MemPolicy:       c.opts.MemPolicy,
+		TimeScale:       c.opts.TimeScale,
+		EpochUnixNano:   c.epoch.UnixNano(),
+		ProblemDim:      c.opts.ProblemDim,
+		ProblemBatch:    c.opts.ProblemBatch,
+		FaultRate:       c.opts.FaultRate,
+		FaultSeed:       c.opts.FaultSeed,
+		SlowFactor:      c.opts.Faults.SlowdownOf(args.GPU),
+		CrashAtSim:      crashAt,
+		HeartbeatMillis: c.opts.HeartbeatInterval.Milliseconds(),
 	}
 	return nil
 }
 
-// Push, WaitRound and LoadCheckpoint proxy the control plane for
-// executors that share this connection.
+// Heartbeat renews a GPU's lease. Fenced GPUs stay fenced.
+func (c *coordinator) Heartbeat(args HeartbeatArgs, _ *struct{}) error {
+	if args.GPU < 0 || args.GPU >= c.in.NumGPUs {
+		return fmt.Errorf("rpcnet: unknown GPU %d", args.GPU)
+	}
+	c.cHeartbeats.Inc()
+	c.mu.Lock()
+	c.lease[args.GPU] = time.Now()
+	c.mu.Unlock()
+	return nil
+}
+
+// eligibleLocked returns the index of the first task in g's queue
+// whose previous round has fully pushed (round-0 tasks are always
+// eligible), or -1. Within one job a queue is round-ascending, so the
+// first eligible task never jumps a pending earlier round of the same
+// job.
+func (c *coordinator) eligibleLocked(g int) int {
+	for i, t := range c.queues[g] {
+		if t.Round == 0 || c.pushed[t.Job][t.Round-1] == c.in.Jobs[t.Job].Scale {
+			return i
+		}
+	}
+	return -1
+}
+
+// Next blocks until the GPU has an eligible task, the run is out of
+// work, or the GPU is fenced. The time barrier (waiting until the
+// previous round's realized end) stays executor-side via WaitRound;
+// eligibility only prevents an executor from committing to a task
+// whose dependencies could later be queued behind it.
+func (c *coordinator) Next(args NextArgs, reply *NextReply) error {
+	if args.GPU < 0 || args.GPU >= c.in.NumGPUs {
+		return fmt.Errorf("rpcnet: unknown GPU %d", args.GPU)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.runErr != nil {
+			return c.runErr
+		}
+		if c.failed[args.GPU] {
+			return fmt.Errorf("rpcnet: GPU %d is fenced", args.GPU)
+		}
+		if c.tasksLeft == 0 {
+			reply.Done = true
+			return nil
+		}
+		if i := c.eligibleLocked(args.GPU); i >= 0 {
+			t := c.queues[args.GPU][i]
+			c.queues[args.GPU] = append(c.queues[args.GPU][:i], c.queues[args.GPU][i+1:]...)
+			c.inflight[args.GPU] = &t
+			reply.Task = t
+			return nil
+		}
+		c.cond.Wait()
+	}
+}
+
+// Push accepts a gradient: fenced GPUs and duplicate tasks are
+// rejected *before* the parameter server sees the gradient, which is
+// what keeps a migrated re-execution and a zombie executor's late push
+// from both aggregating into the round.
 func (c *coordinator) Push(args PushArgs, reply *PushReply) error {
-	comp, err := c.local.Push(args.Task, args.GPU, args.TrainEnd, args.Grad)
+	rep := args.Report
+	if rep.GPU < 0 || rep.GPU >= c.in.NumGPUs {
+		return fmt.Errorf("rpcnet: unknown GPU %d", rep.GPU)
+	}
+	c.mu.Lock()
+	if c.runErr != nil {
+		c.mu.Unlock()
+		return c.runErr
+	}
+	if c.failed[rep.GPU] {
+		c.mu.Unlock()
+		return fmt.Errorf("rpcnet: GPU %d is fenced; gradient for %v rejected", rep.GPU, rep.Task)
+	}
+	if c.done[rep.Task] {
+		c.mu.Unlock()
+		return fmt.Errorf("rpcnet: duplicate gradient for %v rejected", rep.Task)
+	}
+	c.done[rep.Task] = true // claim before releasing the lock
+	if t := c.inflight[rep.GPU]; t != nil && *t == rep.Task {
+		c.inflight[rep.GPU] = nil
+	}
+	c.lease[rep.GPU] = time.Now() // a push is as good as a heartbeat
+	c.mu.Unlock()
+
+	comp, err := c.local.Push(rep)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if err != nil {
+		// A PS rejection is a synchronization-protocol violation, not
+		// a device fault: abort the run.
+		if c.runErr == nil {
+			c.runErr = fmt.Errorf("rpcnet: push %v from GPU %d: %w", rep.Task, rep.GPU, err)
+		}
+		c.cond.Broadcast()
 		return err
 	}
+	c.records = append(c.records, trace.TaskRecord{
+		Task: rep.Task, GPU: rep.GPU, Start: rep.Start,
+		Train: rep.TrainEnd - rep.Start, Sync: comp - rep.TrainEnd, Switch: rep.Switch,
+	})
+	c.switchTot += rep.Switch
+	if rep.Switch > 0 {
+		c.switchCnt++
+		if rep.Hit {
+			c.hits++
+		}
+	}
+	c.retries += rep.Retries
+	c.pushed[rep.Task.Job][rep.Task.Round]++
+	c.tasksLeft--
+	c.cond.Broadcast()
 	reply.Completion = comp
 	return nil
 }
@@ -176,21 +396,175 @@ func (c *coordinator) LoadCheckpoint(args CkptArgs, reply *CkptReply) error {
 	return nil
 }
 
-// Report receives an executor's measured records; duplicates are
-// rejected.
+// Report closes an executor out. Out-of-range GPU indices are rejected
+// before the duplicate bookkeeping is touched; duplicates are
+// rejected. An error report fences the GPU so its remaining work
+// migrates instead of aborting the run.
 func (c *coordinator) Report(args ReportArgs, _ *struct{}) error {
+	if args.GPU < 0 || args.GPU >= c.in.NumGPUs {
+		return fmt.Errorf("rpcnet: report from unknown GPU %d", args.GPU)
+	}
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.reported[args.GPU] {
-		c.mu.Unlock()
 		return fmt.Errorf("rpcnet: GPU %d already reported", args.GPU)
 	}
 	c.reported[args.GPU] = true
-	c.mu.Unlock()
-	c.reports <- args
+	if args.Err != "" {
+		c.markFailedLocked(args.GPU, "executor error: "+args.Err)
+	}
+	c.cond.Broadcast()
 	return nil
 }
 
-// DistributedResult is RunDistributed's assembled outcome.
+// markFailedLocked fences a GPU, strands its queue and in-flight task,
+// and re-runs the scheduling algorithm on the residual instance to
+// refill the survivors' queues. Caller holds c.mu.
+func (c *coordinator) markFailedLocked(gpu int, reason string) {
+	if c.failed[gpu] || c.runErr != nil {
+		return
+	}
+	c.failed[gpu] = true
+	c.cFailures.Inc()
+	now := c.clock.Now()
+	if c.opts.Recorder.Enabled() {
+		c.opts.Recorder.Emit(obs.Event{
+			Type: obs.EvGPUFailed, Time: now, GPU: gpu, Job: -1, Note: reason,
+		})
+	}
+	// The dead GPU's stranded work: its queue plus its unclaimed
+	// in-flight task (a claimed one already pushed its gradient).
+	stranded := append([]core.TaskRef(nil), c.queues[gpu]...)
+	c.queues[gpu] = nil
+	if t := c.inflight[gpu]; t != nil {
+		if !c.done[*t] {
+			stranded = append(stranded, *t)
+		}
+		c.inflight[gpu] = nil
+	}
+	strandedSet := make(map[core.TaskRef]bool, len(stranded))
+	for _, t := range stranded {
+		strandedSet[t] = true
+	}
+
+	// Re-plan every not-yet-dispatched task — the survivors' queues
+	// too, since the residual schedule rebalances all remaining work.
+	// In-flight tasks on survivors stay committed where they run.
+	var pending []core.TaskRef
+	var alive []int
+	for g := range c.queues {
+		if c.failed[g] {
+			continue
+		}
+		alive = append(alive, g)
+		pending = append(pending, c.queues[g]...)
+	}
+	pending = append(pending, stranded...)
+	if len(pending) == 0 {
+		c.cond.Broadcast()
+		return // nothing left to move; in-flight pushes finish the run
+	}
+	if len(alive) == 0 {
+		c.runErr = fmt.Errorf("rpcnet: no surviving GPUs with %d tasks pending (last failure: GPU %d, %s)",
+			len(pending), gpu, reason)
+		c.cond.Broadcast()
+		return
+	}
+	residual, err := faults.NewResidual(c.in, pending, alive)
+	if err != nil {
+		c.runErr = fmt.Errorf("rpcnet: recovery from GPU %d failure: %w", gpu, err)
+		c.cond.Broadcast()
+		return
+	}
+	plan, err := c.opts.Replanner.Schedule(residual.Instance)
+	if err != nil {
+		c.runErr = fmt.Errorf("rpcnet: re-plan after GPU %d failure: %w", gpu, err)
+		c.cond.Broadcast()
+		return
+	}
+	seqs, err := residual.Sequences(plan)
+	if err != nil {
+		c.runErr = fmt.Errorf("rpcnet: re-plan after GPU %d failure: %w", gpu, err)
+		c.cond.Broadcast()
+		return
+	}
+	for g := range c.queues {
+		if !c.failed[g] {
+			c.queues[g] = seqs[g]
+		}
+	}
+	c.reschedule++
+	c.cResched.Inc()
+	c.migrated += len(stranded)
+	c.cMigrated.Add(float64(len(stranded)))
+	if c.opts.Recorder.Enabled() {
+		c.opts.Recorder.Emit(obs.Event{
+			Type: obs.EvReschedule, Time: now, GPU: gpu, Job: -1,
+			Note: fmt.Sprintf("tasks=%d gpus=%d", len(pending), len(alive)),
+		})
+		for g, seq := range seqs {
+			for _, t := range seq {
+				if strandedSet[t] {
+					c.opts.Recorder.Emit(obs.Event{
+						Type: obs.EvTaskMigrated, Time: now, GPU: g,
+						Job: int(t.Job), Round: t.Round, Index: t.Index, From: gpu,
+					})
+				}
+			}
+		}
+	}
+	c.cond.Broadcast()
+}
+
+// monitor is the lease/failure-injection loop: it fences GPUs whose
+// lease expired and applies planned device failures at their simulated
+// times.
+func (c *coordinator) monitor(stop <-chan struct{}) {
+	tick := time.NewTicker(c.opts.LeaseTimeout / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		simNow := c.clock.Now()
+		c.mu.Lock()
+		if c.runErr == nil && c.tasksLeft > 0 {
+			for g := range c.lease {
+				if c.failed[g] {
+					continue
+				}
+				if f, ok := c.opts.Faults.FailureOf(g); ok && !f.Crash && simNow >= f.Time {
+					c.markFailedLocked(g, fmt.Sprintf("injected device failure at t=%g", f.Time))
+					continue
+				}
+				if now.Sub(c.lease[g]) > c.opts.LeaseTimeout {
+					c.markFailedLocked(g, fmt.Sprintf("lease expired (last heartbeat %.0fms ago)",
+						now.Sub(c.lease[g]).Seconds()*1e3))
+				}
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// finishedLocked reports run completion: no tasks left, and every GPU
+// either reported or was fenced.
+func (c *coordinator) finishedLocked() bool {
+	if c.tasksLeft > 0 {
+		return false
+	}
+	for g := range c.reported {
+		if !c.reported[g] && !c.failed[g] {
+			return false
+		}
+	}
+	return true
+}
+
+// DistributedResult is the coordinator's assembled outcome.
 type DistributedResult struct {
 	Trace         *trace.Trace
 	JobCompletion []float64
@@ -200,15 +574,28 @@ type DistributedResult struct {
 	SwitchCount   int
 	ResidencyHits int
 	Retries       int
+	// GPUFailures counts fenced GPUs; FailedGPUs lists them.
+	GPUFailures int
+	FailedGPUs  []int
+	// TasksMigrated counts stranded tasks moved to survivors;
+	// Reschedules the recovery passes that moved them.
+	TasksMigrated int
+	Reschedules   int
 }
 
 // ServeDistributed starts the coordinator for one planned run and
-// returns (server, bound address, wait). wait blocks until every GPU
-// has reported (or an executor reported failure) and assembles the
-// result.
+// returns (server, bound address, wait). wait blocks until every task
+// has completed and every GPU has reported or been fenced, then
+// assembles the result. A crashed or fenced executor no longer hangs
+// wait: its work migrates and the run completes on the survivors (an
+// error is returned only when the run is unrecoverable — no surviving
+// GPUs, a failed re-plan, or a synchronization violation).
 func ServeDistributed(addr string, in *core.Instance, plan *core.Schedule, cl *cluster.Cluster, models []*model.Model, opts DistributedOptions) (*Server, string, func() (*DistributedResult, error), error) {
 	opts = opts.withDefaults()
 	if err := in.Validate(); err != nil {
+		return nil, "", nil, err
+	}
+	if err := opts.Faults.Validate(in.NumGPUs); err != nil {
 		return nil, "", nil, err
 	}
 	if err := core.ValidateSchedule(in, plan); err != nil {
@@ -220,10 +607,30 @@ func ServeDistributed(addr string, in *core.Instance, plan *core.Schedule, cl *c
 		return nil, "", nil, err
 	}
 	co := &coordinator{
-		in: in, seqs: plan.Sequences(in.NumGPUs), cl: cl, models: models,
-		opts: opts, epoch: clock.Epoch(), local: local,
-		reported: make(map[int]bool),
-		reports:  make(chan ReportArgs, in.NumGPUs),
+		in: in, cl: cl, models: models,
+		opts: opts, epoch: clock.Epoch(), clock: clock, local: local,
+		cFailures:   opts.Metrics.Counter("hare_dist_gpu_failures_total"),
+		cMigrated:   opts.Metrics.Counter("hare_dist_tasks_migrated_total"),
+		cResched:    opts.Metrics.Counter("hare_dist_reschedules_total"),
+		cHeartbeats: opts.Metrics.Counter("hare_dist_heartbeats_total"),
+		queues:      plan.Sequences(in.NumGPUs),
+		inflight:    make([]*core.TaskRef, in.NumGPUs),
+		done:        make(map[core.TaskRef]bool, in.NumTasks()),
+		tasksLeft:   in.NumTasks(),
+		failed:      make([]bool, in.NumGPUs),
+		lease:       make([]time.Time, in.NumGPUs),
+		reported:    make([]bool, in.NumGPUs),
+	}
+	co.cond = sync.NewCond(&co.mu)
+	co.pushed = make([][]int, len(in.Jobs))
+	for _, j := range in.Jobs {
+		co.pushed[j.ID] = make([]int, j.Rounds)
+	}
+	// Leases start now: an executor that never connects is eventually
+	// fenced and its queue migrates instead of hanging the run.
+	start := time.Now()
+	for g := range co.lease {
+		co.lease[g] = start
 	}
 	srv := rpc.NewServer()
 	if err := srv.RegisterName(DistributedName, co); err != nil {
@@ -245,24 +652,37 @@ func ServeDistributed(addr string, in *core.Instance, plan *core.Schedule, cl *c
 			go srv.ServeConn(conn)
 		}
 	}()
+	stopMonitor := make(chan struct{})
+	go co.monitor(stopMonitor)
 
 	wait := func() (*DistributedResult, error) {
+		defer close(stopMonitor)
+		co.mu.Lock()
+		for co.runErr == nil && !co.finishedLocked() {
+			co.cond.Wait()
+		}
+		defer co.mu.Unlock()
+		if co.runErr != nil {
+			return nil, co.runErr
+		}
 		res := &DistributedResult{
 			Trace:         &trace.Trace{},
 			JobCompletion: make([]float64, len(in.Jobs)),
+			TotalSwitch:   co.switchTot,
+			SwitchCount:   co.switchCnt,
+			ResidencyHits: co.hits,
+			Retries:       co.retries,
+			TasksMigrated: co.migrated,
+			Reschedules:   co.reschedule,
 		}
-		for got := 0; got < in.NumGPUs; got++ {
-			rep := <-co.reports
-			if rep.Err != "" {
-				return nil, fmt.Errorf("rpcnet: executor %d failed: %s", rep.GPU, rep.Err)
+		for _, r := range co.records {
+			res.Trace.Add(r)
+		}
+		for g, f := range co.failed {
+			if f {
+				res.GPUFailures++
+				res.FailedGPUs = append(res.FailedGPUs, g)
 			}
-			for _, r := range rep.Records {
-				res.Trace.Add(r)
-			}
-			res.TotalSwitch += rep.SwitchTotal
-			res.SwitchCount += rep.SwitchCount
-			res.ResidencyHits += rep.ResidencyHits
-			res.Retries += rep.Retries
 		}
 		for _, j := range in.Jobs {
 			c := pss[j.ID].Completion()
@@ -280,9 +700,9 @@ func ServeDistributed(addr string, in *core.Instance, plan *core.Schedule, cl *c
 // execClient adapts an rpc.Client to the coordinator's service name.
 type execClient struct{ c *rpc.Client }
 
-func (c execClient) Push(t core.TaskRef, gpu int, trainEnd float64, grad []float64) (float64, error) {
+func (c execClient) Push(rep testbed.PushReport) (float64, error) {
 	var reply PushReply
-	if err := c.c.Call(DistributedName+".Push", PushArgs{Task: t, GPU: gpu, TrainEnd: trainEnd, Grad: grad}, &reply); err != nil {
+	if err := c.c.Call(DistributedName+".Push", PushArgs{Report: rep}, &reply); err != nil {
 		return 0, err
 	}
 	return reply.Completion, nil
@@ -304,14 +724,59 @@ func (c execClient) LoadCheckpoint(job core.JobID) ([]float64, error) {
 	return reply.Params, nil
 }
 
+// errCrashed marks an injected executor crash.
+var errCrashed = fmt.Errorf("rpcnet: executor crashed (injected)")
+
+// crashClient wraps the executor's SyncClient so that every
+// control-plane call fails once the crash fires — the executor stops
+// making progress mid-task, like a dead process, instead of finishing
+// its current task gracefully.
+type crashClient struct {
+	inner   testbed.SyncClient
+	crashed <-chan struct{}
+}
+
+func (c crashClient) alive() error {
+	select {
+	case <-c.crashed:
+		return errCrashed
+	default:
+		return nil
+	}
+}
+
+func (c crashClient) Push(rep testbed.PushReport) (float64, error) {
+	if err := c.alive(); err != nil {
+		return 0, err
+	}
+	return c.inner.Push(rep)
+}
+
+func (c crashClient) WaitRound(job core.JobID, round int) (float64, error) {
+	if err := c.alive(); err != nil {
+		return 0, err
+	}
+	return c.inner.WaitRound(job, round)
+}
+
+func (c crashClient) LoadCheckpoint(job core.JobID) ([]float64, error) {
+	if err := c.alive(); err != nil {
+		return nil, err
+	}
+	return c.inner.LoadCheckpoint(job)
+}
+
 // RunExecutor is the executor-process body (cmd/hare-executor calls
-// it; tests run it in goroutines): dial the coordinator, fetch the
-// GPU's configuration, execute the sequence against the remote
-// control plane, and report the measured records.
+// it; tests run it in goroutines): dial the coordinator with bounded
+// backoff, fetch the GPU's configuration, heartbeat on the configured
+// period, and pull tasks until the coordinator reports the run done.
+// A planned crash (crash=G@T) stops the heartbeats and aborts the pull
+// loop at simulated time T; the coordinator's lease monitor detects
+// the silence and migrates the executor's work.
 func RunExecutor(addr string, gpu int) error {
-	conn, err := rpc.Dial("tcp", addr)
+	conn, err := dialRPC(addr)
 	if err != nil {
-		return fmt.Errorf("rpcnet: dial %s: %w", addr, err)
+		return err
 	}
 	defer conn.Close()
 
@@ -329,27 +794,91 @@ func RunExecutor(addr string, gpu int) error {
 			return err
 		}
 	}
+	clock := testbed.NewClockAt(time.Unix(0, cfg.EpochUnixNano), cfg.TimeScale)
+
+	// Injected crash: at the configured simulated time the executor
+	// goes silent — heartbeats stop and every control-plane call fails.
+	crashed := make(chan struct{})
+	stop := make(chan struct{})
+	defer close(stop)
+	if cfg.CrashAtSim >= 0 {
+		go func() {
+			clock.SleepUntil(cfg.CrashAtSim)
+			select {
+			case <-stop:
+			default:
+				close(crashed)
+			}
+		}()
+	}
+
+	var sc testbed.SyncClient = execClient{c: conn}
+	if cfg.CrashAtSim >= 0 {
+		sc = crashClient{inner: sc, crashed: crashed}
+	}
 	exec, err := testbed.NewRemoteExecutor(testbed.RemoteExecutorConfig{
 		GPU: gpu, GPUType: gt, Seq: cfg.Seq,
 		Instance: cfg.Instance, Models: models,
 		Scheme: cfg.Scheme, Speculative: cfg.Speculative, MemPolicy: cfg.MemPolicy,
-		Clock:      testbed.NewClockAt(time.Unix(0, cfg.EpochUnixNano), cfg.TimeScale),
-		Sync:       execClient{c: conn},
+		Clock:      clock,
+		Sync:       sc,
 		ProblemDim: cfg.ProblemDim, ProblemBatch: cfg.ProblemBatch,
 		FaultRate: cfg.FaultRate, FaultSeed: cfg.FaultSeed,
+		SlowFactor: cfg.SlowFactor,
 	})
 	if err != nil {
 		return err
 	}
-	report := ReportArgs{GPU: gpu}
-	if runErr := exec.Run(); runErr != nil {
-		report.Err = runErr.Error()
-	} else {
-		report.Records = exec.Records
-		report.SwitchTotal = exec.SwitchTotal
-		report.SwitchCount = exec.SwitchCount
-		report.ResidencyHits = exec.ResidencyHits
-		report.Retries = exec.Retries
+
+	// Heartbeats run until the executor exits or crashes.
+	hb := time.Duration(cfg.HeartbeatMillis) * time.Millisecond
+	if hb <= 0 {
+		hb = DefaultHeartbeatInterval
 	}
-	return conn.Call(DistributedName+".Report", report, &struct{}{})
+	go func() {
+		tick := time.NewTicker(hb)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-crashed:
+				return
+			case <-tick.C:
+				if err := conn.Call(DistributedName+".Heartbeat", HeartbeatArgs{GPU: gpu}, &struct{}{}); err != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	// Pull loop: the coordinator dispatches one eligible task at a
+	// time; the sequence fetched with Config only seeds the lookahead.
+	for {
+		select {
+		case <-crashed:
+			return errCrashed
+		default:
+		}
+		var next NextReply
+		if err := conn.Call(DistributedName+".Next", NextArgs{GPU: gpu}, &next); err != nil {
+			return fmt.Errorf("rpcnet: executor %d: %w", gpu, err)
+		}
+		if next.Done {
+			break
+		}
+		if err := exec.RunTask(next.Task); err != nil {
+			// A crash is silent by design — a dead process files no
+			// report. Anything else is reported so the coordinator can
+			// fence the GPU and migrate its work.
+			select {
+			case <-crashed:
+				return errCrashed
+			default:
+			}
+			_ = conn.Call(DistributedName+".Report", ReportArgs{GPU: gpu, Err: err.Error()}, &struct{}{})
+			return err
+		}
+	}
+	return conn.Call(DistributedName+".Report", ReportArgs{GPU: gpu}, &struct{}{})
 }

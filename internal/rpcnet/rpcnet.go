@@ -11,6 +11,7 @@ import (
 	"net"
 	"net/rpc"
 	"sync"
+	"time"
 
 	"hare/internal/core"
 	"hare/internal/testbed"
@@ -19,12 +20,42 @@ import (
 // ServiceName is the registered net/rpc service name.
 const ServiceName = "HareScheduler"
 
-// PushArgs carries one gradient push.
+// Dial behavior: connection attempts time out instead of hanging on a
+// dead listener, and transient refusals are absorbed by bounded
+// exponential backoff (DialAttempts tries, DialBackoff doubling each
+// time). A permanently dead coordinator therefore surfaces as an error
+// after ~1.5 s rather than an executor process stuck forever.
+const (
+	// DialTimeout bounds one TCP connection attempt.
+	DialTimeout = 2 * time.Second
+	// DialAttempts is the maximum number of connection attempts.
+	DialAttempts = 5
+	// DialBackoff is the initial retry delay; it doubles per attempt.
+	DialBackoff = 100 * time.Millisecond
+)
+
+// dialRPC connects with a per-attempt timeout and bounded exponential
+// backoff between attempts.
+func dialRPC(addr string) (*rpc.Client, error) {
+	var lastErr error
+	backoff := DialBackoff
+	for attempt := 0; attempt < DialAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+		if err == nil {
+			return rpc.NewClient(conn), nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("rpcnet: dial %s: %d attempts failed: %w", addr, DialAttempts, lastErr)
+}
+
+// PushArgs carries one gradient push: the task's full measured report.
 type PushArgs struct {
-	Task     core.TaskRef
-	GPU      int
-	TrainEnd float64
-	Grad     []float64
+	Report testbed.PushReport
 }
 
 // PushReply returns the task's realized completion time.
@@ -61,7 +92,7 @@ type Service struct {
 
 // Push handles a gradient push.
 func (s *Service) Push(args PushArgs, reply *PushReply) error {
-	c, err := s.backend.Push(args.Task, args.GPU, args.TrainEnd, args.Grad)
+	c, err := s.backend.Push(args.Report)
 	if err != nil {
 		return err
 	}
@@ -150,11 +181,13 @@ type Client struct {
 
 var _ testbed.SyncClient = (*Client)(nil)
 
-// Dial connects an executor to the scheduler at addr.
+// Dial connects an executor to the scheduler at addr, with a
+// per-attempt timeout and bounded exponential backoff (see
+// DialTimeout, DialAttempts, DialBackoff).
 func Dial(addr string) (*Client, error) {
-	c, err := rpc.Dial("tcp", addr)
+	c, err := dialRPC(addr)
 	if err != nil {
-		return nil, fmt.Errorf("rpcnet: dial %s: %w", addr, err)
+		return nil, err
 	}
 	return &Client{c: c}, nil
 }
@@ -163,9 +196,9 @@ func Dial(addr string) (*Client, error) {
 func (c *Client) Close() error { return c.c.Close() }
 
 // Push implements testbed.SyncClient.
-func (c *Client) Push(t core.TaskRef, gpu int, trainEnd float64, grad []float64) (float64, error) {
+func (c *Client) Push(rep testbed.PushReport) (float64, error) {
 	var reply PushReply
-	if err := c.c.Call(ServiceName+".Push", PushArgs{Task: t, GPU: gpu, TrainEnd: trainEnd, Grad: grad}, &reply); err != nil {
+	if err := c.c.Call(ServiceName+".Push", PushArgs{Report: rep}, &reply); err != nil {
 		return 0, err
 	}
 	return reply.Completion, nil

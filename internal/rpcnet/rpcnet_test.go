@@ -18,14 +18,14 @@ import (
 // fakeBackend implements testbed.SyncClient for protocol tests.
 type fakeBackend struct {
 	mu     sync.Mutex
-	pushes []PushArgs
+	pushes []testbed.PushReport
 }
 
-func (f *fakeBackend) Push(t core.TaskRef, gpu int, trainEnd float64, grad []float64) (float64, error) {
+func (f *fakeBackend) Push(rep testbed.PushReport) (float64, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.pushes = append(f.pushes, PushArgs{Task: t, GPU: gpu, TrainEnd: trainEnd, Grad: grad})
-	return trainEnd + 1, nil
+	f.pushes = append(f.pushes, rep)
+	return rep.TrainEnd + 1, nil
 }
 
 func (f *fakeBackend) WaitRound(job core.JobID, round int) (float64, error) {
@@ -52,7 +52,9 @@ func TestRPCRoundTrip(t *testing.T) {
 	}
 	defer c.Close()
 
-	comp, err := c.Push(core.TaskRef{Job: 1, Round: 0}, 3, 7.5, []float64{1, 2})
+	comp, err := c.Push(testbed.PushReport{
+		Task: core.TaskRef{Job: 1, Round: 0}, GPU: 3, TrainEnd: 7.5, Grad: []float64{1, 2},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,7 @@ import (
 
 	"hare/internal/cluster"
 	"hare/internal/core"
+	"hare/internal/faults"
 	"hare/internal/gpumem"
 	"hare/internal/model"
 	"hare/internal/profile"
@@ -83,6 +84,12 @@ func equivOptions() map[string]Options {
 		"hostaware":    {Scheme: switching.Hare, Speculative: true, HostAwareSync: true},
 		"utilbins":     {Scheme: switching.Hare, Speculative: true, UtilBins: 16},
 		"all-features": {Scheme: switching.Hare, Speculative: true, JitterFrac: 0.03, Seed: 4, HostAwareSync: true, UtilBins: 32},
+		// Transient faults and stragglers live in the shared exec core,
+		// so both engines must replay them bit-identically too.
+		"faults": {Scheme: switching.Hare, Speculative: true,
+			Faults: &faults.Plan{Rate: 0.1, Seed: 7}},
+		"faults-straggler": {Scheme: switching.Hare, Speculative: true, JitterFrac: 0.03, Seed: 4,
+			Faults: &faults.Plan{Rate: 0.2, Seed: 1, Stragglers: []faults.Straggler{{GPU: 0, Factor: 1.5}}}},
 	}
 }
 

@@ -21,6 +21,12 @@ import (
 // New behavior goes into the shared replay core (exec), never into
 // only one engine.
 func RunReference(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, models []*model.Model, opts Options) (*Result, error) {
+	if opts.Faults.HasGPUFailures() {
+		// Failure cut + re-plan lives in Run's event loop only; the
+		// transient-fault and straggler paths are in the shared exec
+		// core and replay identically here.
+		return nil, fmt.Errorf("sim: RunReference cannot replay permanent GPU failures; use Run")
+	}
 	r, err := newReplay(in, sch, cl, models, opts)
 	if err != nil {
 		return nil, err

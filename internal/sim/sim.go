@@ -29,9 +29,11 @@ import (
 	"hare/internal/cluster"
 	"hare/internal/core"
 	"hare/internal/eventq"
+	"hare/internal/faults"
 	"hare/internal/gpumem"
 	"hare/internal/model"
 	"hare/internal/obs"
+	"hare/internal/sched"
 	"hare/internal/stats"
 	"hare/internal/switching"
 	"hare/internal/trace"
@@ -65,6 +67,19 @@ type Options struct {
 	// gradient exchange uses IntraHostBps instead of the data-center
 	// network. Requires a cluster.
 	HostAwareSync bool
+	// Faults is the failure plan to replay (see internal/faults): a
+	// transient per-attempt fault rate (each lost attempt re-runs from
+	// the round checkpoint, charging its full training time),
+	// per-GPU straggler factors, and permanent GPU failures. The
+	// transient streams are per-GPU and positional, so a given
+	// (rate, seed) loses the same attempts here, on the in-process
+	// testbed, and on the distributed control plane.
+	Faults *faults.Plan
+	// Replanner re-runs the scheduling algorithm on the residual
+	// instance (remaining tasks × surviving GPUs) after a permanent
+	// GPU failure. Defaults to Algorithm 1 (sched.NewHare()). Only
+	// consulted when Faults contains fail=/crash= entries.
+	Replanner sched.Algorithm
 	// Recorder receives structured events (task start/finish, barrier
 	// waits, inter-job switches with stall breakdown, gpumem traffic).
 	// nil — the default — keeps the replay loop uninstrumented; see
@@ -95,6 +110,17 @@ type Result struct {
 	Utilization []float64
 	// UtilSeries, when requested, is [gpu][bin] busy fraction.
 	UtilSeries [][]float64
+	// Retries counts training attempts lost to injected transient
+	// faults; LostSeconds is the GPU time those attempts burned.
+	Retries     int
+	LostSeconds float64
+	// GPUFailures counts permanent failures applied; FailedGPUs lists
+	// the dead GPUs; Reschedules the recovery re-plans; TasksMigrated
+	// the stranded tasks moved to survivors.
+	GPUFailures   int
+	FailedGPUs    []int
+	Reschedules   int
+	TasksMigrated int
 }
 
 // MeanUtilization averages Utilization across GPUs.
@@ -128,7 +154,16 @@ type replay struct {
 	rec      *obs.Recorder
 	observed bool
 
+	// Transient-fault state: per-GPU positional streams (so dispatch
+	// order can't change how many attempts a GPU loses) and straggler
+	// factors. faultRate == 0 leaves the replay byte-identical to a
+	// fault-free run — no stream is ever consulted.
+	faultRate float64
+	faultRNG  []*stats.RNG
+	slows     []float64
+
 	cTasks, cSwitches, cStall, cHits, cWait, cTrain *obs.Counter
+	cRetries, cLost, cFailures, cMigrated, cResched *obs.Counter
 
 	gpus []*gpuState
 	// Barrier bookkeeping: remaining tasks and realized end per round.
@@ -161,6 +196,9 @@ func newReplay(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, model
 	if models != nil && len(models) != len(in.Jobs) {
 		return nil, fmt.Errorf("sim: %d models for %d jobs", len(models), len(in.Jobs))
 	}
+	if err := opts.Faults.Validate(in.NumGPUs); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	r := &replay{
 		in:            in,
 		cl:            cl,
@@ -178,8 +216,26 @@ func newReplay(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, model
 		cHits:     opts.Metrics.Counter("hare_sim_residency_hits_total"),
 		cWait:     opts.Metrics.Counter("hare_sim_barrier_wait_seconds_total"),
 		cTrain:    opts.Metrics.Counter("hare_sim_train_seconds_total"),
+		cRetries:  opts.Metrics.Counter("hare_sim_faults_injected_total"),
+		cLost:     opts.Metrics.Counter("hare_sim_fault_lost_seconds_total"),
+		cFailures: opts.Metrics.Counter("hare_sim_gpu_failures_total"),
+		cMigrated: opts.Metrics.Counter("hare_sim_tasks_migrated_total"),
+		cResched:  opts.Metrics.Counter("hare_sim_reschedules_total"),
 		psHost:    make(map[core.JobID]int),
 		pending:   in.NumTasks(),
+	}
+	r.faultRate = opts.Faults.TransientRate()
+	if r.faultRate > 0 {
+		r.faultRNG = make([]*stats.RNG, in.NumGPUs)
+		for m := range r.faultRNG {
+			r.faultRNG[m] = stats.New(faults.RetrySeed(opts.Faults.TransientSeed(), m))
+		}
+	}
+	if opts.Faults != nil && len(opts.Faults.Stragglers) > 0 {
+		r.slows = make([]float64, in.NumGPUs)
+		for m := range r.slows {
+			r.slows[m] = opts.Faults.SlowdownOf(m)
+		}
 	}
 	r.gpus = make([]*gpuState, in.NumGPUs)
 	for m, seq := range sch.Sequences(in.NumGPUs) {
@@ -254,9 +310,39 @@ func (r *replay) exec(bestGPU int, bestStart, bestSwitch float64, bestHit bool, 
 		train = r.rng.Jitter(train, r.opts.JitterFrac)
 		syncT = r.rng.Jitter(syncT, r.opts.JitterFrac)
 	}
+	if r.slows != nil {
+		train *= r.slows[bestGPU]
+	}
+	// Transient faults: each attempt is lost with probability
+	// faultRate and re-runs from the round checkpoint, so the task
+	// occupies the GPU for (retries+1) training times. The stream is
+	// per-GPU and consumed greedily (draw until first success), so the
+	// loss pattern depends only on how many tasks the GPU has run —
+	// matching the testbed's executors attempt for attempt.
+	retries := 0
+	if r.faultRate > 0 {
+		for r.faultRNG[bestGPU].Float64() < r.faultRate {
+			retries++
+		}
+	}
 	start := bestStart
-	trainEnd := start + train
+	total := train * float64(retries+1)
+	trainEnd := start + total
 	end := trainEnd + syncT
+	if retries > 0 {
+		r.res.Retries += retries
+		r.res.LostSeconds += train * float64(retries)
+		r.cRetries.Add(float64(retries))
+		r.cLost.Add(train * float64(retries))
+		if r.observed {
+			for a := 1; a <= retries; a++ {
+				r.rec.Emit(obs.Event{
+					Type: obs.EvFaultInjected, Time: start + train*float64(a), GPU: bestGPU,
+					Job: int(t.Job), Round: t.Round, Index: t.Index, Dur: train,
+				})
+			}
+		}
+	}
 
 	// Idle time beyond the GPU's readiness (and the switch stall)
 	// is waiting on the job: its previous round's barrier, or its
@@ -307,14 +393,14 @@ func (r *replay) exec(bestGPU int, bestStart, bestSwitch float64, bestHit bool, 
 		g.mem.Complete(gpumem.JobKey(t.Job), md.ParamBytes, trainEnd)
 	}
 	g.busy = append(g.busy, interval{start, trainEnd})
-	r.res.BusySeconds[bestGPU] += train
+	r.res.BusySeconds[bestGPU] += total
 	r.cTasks.Inc()
-	r.cTrain.Add(train)
+	r.cTrain.Add(total)
 	if r.observed {
 		r.rec.Emit(obs.Event{
 			Type: obs.EvTaskFinish, Time: end, GPU: bestGPU,
 			Job: int(t.Job), Round: t.Round, Index: t.Index,
-			Dur: end - start, Train: train, Sync: syncT,
+			Dur: end - start, Train: total, Sync: syncT,
 			Note: r.in.Jobs[t.Job].Model,
 		})
 	}
@@ -333,7 +419,7 @@ func (r *replay) exec(bestGPU int, bestStart, bestSwitch float64, bestHit bool, 
 	}
 	r.res.Trace.Add(trace.TaskRecord{
 		Task: t, GPU: bestGPU, Start: start,
-		Train: train, Sync: syncT, Switch: bestSwitch,
+		Train: total, Sync: syncT, Switch: bestSwitch,
 	})
 	if r.remaining[t.Job][t.Round] == 0 && r.onRoundDone != nil {
 		r.onRoundDone(t.Job, t.Round)
@@ -419,10 +505,23 @@ func Run(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, models []*m
 		waiters[j.ID] = make([][]int, j.Rounds)
 	}
 
+	// alive[m] turns false when a planned GPU failure fires; dead GPUs
+	// never re-enter the ready pool.
+	alive := make([]bool, in.NumGPUs)
+	for m := range alive {
+		alive[m] = true
+	}
+	failures := opts.Faults.SortedFailures()
+	nextFail := 0
+	replanner := opts.Replanner
+	if replanner == nil && len(failures) > 0 {
+		replanner = sched.NewHare()
+	}
+
 	refresh := func(m int) {
 		g := r.gpus[m]
-		if g.next >= len(g.seq) {
-			return // sequence exhausted; GPU leaves the pool
+		if !alive[m] || g.next >= len(g.seq) {
+			return // dead, or sequence exhausted; GPU leaves the pool
 		}
 		t := g.seq[g.next]
 		barrier, ok := r.barrierOf(t)
@@ -459,14 +558,135 @@ func Run(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, models []*m
 		}
 	}
 
+	// failGPU applies one permanent failure: the GPU is cut from the
+	// pool, its remaining tasks are stranded, and the replanner is
+	// re-run on the residual instance (all not-yet-executed tasks ×
+	// surviving GPUs) to refill the survivors' sequences. Tasks whose
+	// training already committed stand — pops are globally
+	// nondecreasing in start time, so everything committed started at
+	// or before the failure instant, and a task whose training began
+	// before the failure is allowed to finish (detection at task
+	// granularity, mirroring the distributed plane's lease
+	// granularity). Re-execution elsewhere restarts a round-r task
+	// from the round-(r-1) checkpoint, so migration never changes
+	// learned parameters (relaxed scale-fixed synchronization).
+	failGPU := func(f faults.GPUFailure) error {
+		m := f.GPU
+		alive[m] = false
+		r.res.GPUFailures++
+		r.res.FailedGPUs = append(r.res.FailedGPUs, m)
+		r.cFailures.Inc()
+		if r.observed {
+			kind := "device failure"
+			if f.Crash {
+				kind = "executor crash"
+			}
+			r.rec.Emit(obs.Event{
+				Type: obs.EvGPUFailed, Time: f.Time, GPU: m, Job: -1,
+				Note: fmt.Sprintf("injected %s at t=%g", kind, f.Time),
+			})
+		}
+		g := r.gpus[m]
+		stranded := append([]core.TaskRef(nil), g.seq[g.next:]...)
+		g.seq, g.next = nil, 0
+		if ready.Contains(m) {
+			ready.Remove(m)
+		}
+		var pending []core.TaskRef
+		var aliveList []int
+		for mm, gg := range r.gpus {
+			if !alive[mm] {
+				continue
+			}
+			aliveList = append(aliveList, mm)
+			pending = append(pending, gg.seq[gg.next:]...)
+		}
+		pending = append(pending, stranded...)
+		if len(pending) == 0 {
+			return nil // dead GPU had already drained; nothing to move
+		}
+		if len(aliveList) == 0 {
+			return fmt.Errorf("sim: no surviving GPUs with %d tasks pending (GPU %d failed at t=%g)",
+				len(pending), m, f.Time)
+		}
+		residual, err := faults.NewResidual(r.in, pending, aliveList)
+		if err != nil {
+			return fmt.Errorf("sim: recovery from GPU %d failure: %w", m, err)
+		}
+		plan2, err := replanner.Schedule(residual.Instance)
+		if err != nil {
+			return fmt.Errorf("sim: re-plan after GPU %d failure: %w", m, err)
+		}
+		seqs, err := residual.Sequences(plan2)
+		if err != nil {
+			return fmt.Errorf("sim: re-plan after GPU %d failure: %w", m, err)
+		}
+		strandedSet := make(map[core.TaskRef]bool, len(stranded))
+		for _, t := range stranded {
+			strandedSet[t] = true
+		}
+		for j := range waiters {
+			for rd := range waiters[j] {
+				waiters[j][rd] = nil
+			}
+		}
+		for _, mm := range aliveList {
+			gg := r.gpus[mm]
+			gg.seq, gg.next = seqs[mm], 0
+			if gg.mem != nil {
+				look := make([]gpumem.JobKey, len(gg.seq))
+				for i, t := range gg.seq {
+					look[i] = gpumem.JobKey(t.Job)
+				}
+				gg.mem.SetLookahead(look)
+			}
+			if ready.Contains(mm) {
+				ready.Remove(mm)
+			}
+			refresh(mm)
+		}
+		r.res.Reschedules++
+		r.cResched.Inc()
+		r.res.TasksMigrated += len(stranded)
+		r.cMigrated.Add(float64(len(stranded)))
+		if r.observed {
+			r.rec.Emit(obs.Event{
+				Type: obs.EvReschedule, Time: f.Time, GPU: m, Job: -1,
+				Note: fmt.Sprintf("tasks=%d gpus=%d", len(pending), len(aliveList)),
+			})
+			for mm, seq := range seqs {
+				for _, t := range seq {
+					if strandedSet[t] {
+						r.rec.Emit(obs.Event{
+							Type: obs.EvTaskMigrated, Time: f.Time, GPU: mm,
+							Job: int(t.Job), Round: t.Round, Index: t.Index, From: m,
+						})
+					}
+				}
+			}
+		}
+		return nil
+	}
+
 	for m := range r.gpus {
 		refresh(m)
 	}
 	for r.pending > 0 {
-		m, _, ok := ready.PopMin()
+		m, start, ok := ready.Min()
 		if !ok {
 			return nil, fmt.Errorf("sim: deadlock with %d tasks pending (round barrier never satisfied)", r.pending)
 		}
+		// A planned failure due at or before the next task start fires
+		// first: it may strand that very task.
+		if nextFail < len(failures) && failures[nextFail].Time <= start {
+			f := failures[nextFail]
+			nextFail++
+			if err := failGPU(f); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		ready.PopMin()
 		c := cands[m]
 		r.exec(m, c.start, c.sw, c.hit, c.b)
 		refresh(m)

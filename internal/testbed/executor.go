@@ -13,13 +13,37 @@ import (
 	"hare/internal/trace"
 )
 
+// PushReport carries one completed training attempt to the control
+// plane: the gradient plus the realized timings the coordinator needs
+// to build the task's trace record on its side. Keeping the record
+// fields with the push (rather than only in an end-of-run report)
+// means the coordinator retains every completed task's measurements
+// even when the executor later crashes.
+type PushReport struct {
+	Task core.TaskRef
+	GPU  int
+	// Start is the realized training start (after any switch stall);
+	// TrainEnd the realized training completion. Both in simulated
+	// seconds.
+	Start    float64
+	TrainEnd float64
+	// Switch is the switching stall paid before Start; Hit marks a
+	// speculative-residency hit on that switch.
+	Switch float64
+	Hit    bool
+	// Retries counts training attempts of this task lost to injected
+	// transient faults.
+	Retries int
+	Grad    []float64
+}
+
 // SyncClient is the executor's view of the control plane: pushing
 // gradients, waiting on round barriers, and loading checkpoints. The
 // local backend calls parameter servers directly; the rpcnet backend
 // carries the same calls over net/rpc, mirroring the paper's
 // gRPC-based scheduler⇄executor channel.
 type SyncClient interface {
-	Push(t core.TaskRef, gpu int, trainEnd float64, grad []float64) (float64, error)
+	Push(rep PushReport) (float64, error)
 	WaitRound(job core.JobID, round int) (float64, error)
 	LoadCheckpoint(job core.JobID) ([]float64, error)
 }
@@ -46,9 +70,18 @@ type Executor struct {
 	// probability faultRate and is retried from the last checkpoint.
 	faultRate float64
 	faultRNG  *stats.RNG
+	// slow is the straggler factor: training attempts take slow times
+	// their profiled duration (1 = healthy).
+	slow float64
 	// rec receives structured events from this executor's goroutine;
 	// nil keeps the loop silent.
 	rec *obs.Recorder
+
+	// freeAt and prevJob carry the GPU's occupancy state across tasks,
+	// so RunTask can execute tasks one at a time (the pull-based
+	// distributed mode) with the same semantics as a sequence replay.
+	freeAt  float64
+	prevJob core.JobID
 
 	// Records accumulates measured task records; owned by the
 	// executor goroutine until Run returns.
@@ -63,116 +96,139 @@ type Executor struct {
 
 // Run executes the sequence to completion.
 func (e *Executor) Run() error {
-	freeAt := 0.0
-	prevJob := core.JobID(-1)
 	for _, t := range e.Seq {
-		job := e.in.Jobs[t.Job]
-		// Round barrier (relaxed scale-fixed synchronization): only
-		// the *previous* round must be complete; same-round siblings
-		// may still be running elsewhere.
-		barrier := job.Arrival
-		if t.Round > 0 {
-			end, err := e.sync.WaitRound(t.Job, t.Round-1)
-			if err != nil {
-				return fmt.Errorf("executor %d: %w", e.GPU, err)
-			}
-			if end > barrier {
-				barrier = end
-			}
+		if err := e.RunTask(t); err != nil {
+			return err
 		}
-		// Switching overhead between jobs.
-		var sw float64
-		var hit bool
-		var bd switching.Breakdown
-		if prevJob != t.Job {
-			var prev *model.Model
-			if prevJob >= 0 {
-				prev = e.models[prevJob]
-			}
-			resident := e.mem != nil && e.mem.Resident(gpumem.JobKey(t.Job))
-			bd = switching.Cost(e.scheme, e.GPUType, prev, e.models[t.Job], resident)
-			sw, hit = bd.Total(), bd.ResidentHit
-		}
-		target := freeAt + sw
-		if barrier > target {
-			target = barrier
-		}
-		start := e.clock.SleepUntil(target)
+	}
+	return nil
+}
 
-		if e.rec.Enabled() {
-			if wait := start - sw - freeAt; wait > 0 {
-				reason := "round"
-				if t.Round == 0 {
-					reason = "arrival"
-				}
-				e.rec.Emit(obs.Event{
-					Type: obs.EvBarrierWait, Time: freeAt, GPU: e.GPU,
-					Job: int(t.Job), Round: t.Round, Index: t.Index,
-					Dur: wait, Note: reason,
-				})
-			}
-			if sw > 0 {
-				e.rec.Emit(obs.Event{
-					Type: obs.EvJobSwitch, Time: start - sw, GPU: e.GPU,
-					Job: int(t.Job), From: int(prevJob), Dur: sw,
-					Clean: bd.Clean, Context: bd.Context, Init: bd.Init,
-					Transfer: bd.Transfer, Hit: hit,
-				})
-			}
-			e.rec.Emit(obs.Event{
-				Type: obs.EvTaskStart, Time: start, GPU: e.GPU,
-				Job: int(t.Job), Round: t.Round, Index: t.Index,
-			})
-		}
-		if e.mem != nil {
-			e.mem.BeginAt(gpumem.JobKey(t.Job), e.models[t.Job].TrainFootprintBytes, start)
-		}
-		// Real work: load the checkpoint and compute the gradient,
-		// retrying from the checkpoint when a fault eats the attempt.
-		var grad []float64
-		attemptEnd := start
-		for {
-			params, err := e.sync.LoadCheckpoint(t.Job)
-			if err != nil {
-				return fmt.Errorf("executor %d: %w", e.GPU, err)
-			}
-			grad = e.probs[t.Job].Gradient(params, t.Round, t.Index)
-			attemptEnd = e.clock.SleepUntil(attemptEnd + e.in.Train[t.Job][e.GPU])
-			if e.faultRate <= 0 || e.faultRNG.Float64() >= e.faultRate {
-				break
-			}
-			e.Retries++ // attempt lost; its GPU time is gone
-		}
-		trainEnd := attemptEnd
-		if e.mem != nil {
-			e.mem.Complete(gpumem.JobKey(t.Job), e.models[t.Job].ParamBytes, trainEnd)
-		}
-		completion, err := e.sync.Push(t, e.GPU, trainEnd, grad)
+// RunTask executes one task against the control plane: wait for the
+// round barrier, pay the switching stall, compute the gradient
+// (retrying from the checkpoint on injected faults), push, and record
+// the measured timings. The distributed pull loop calls it directly
+// with tasks handed out by the coordinator; Run calls it per sequence
+// entry.
+func (e *Executor) RunTask(t core.TaskRef) error {
+	job := e.in.Jobs[t.Job]
+	// Round barrier (relaxed scale-fixed synchronization): only
+	// the *previous* round must be complete; same-round siblings
+	// may still be running elsewhere.
+	barrier := job.Arrival
+	if t.Round > 0 {
+		end, err := e.sync.WaitRound(t.Job, t.Round-1)
 		if err != nil {
 			return fmt.Errorf("executor %d: %w", e.GPU, err)
 		}
+		if end > barrier {
+			barrier = end
+		}
+	}
+	// Switching overhead between jobs.
+	var sw float64
+	var hit bool
+	var bd switching.Breakdown
+	if e.prevJob != t.Job {
+		var prev *model.Model
+		if e.prevJob >= 0 {
+			prev = e.models[e.prevJob]
+		}
+		resident := e.mem != nil && e.mem.Resident(gpumem.JobKey(t.Job))
+		bd = switching.Cost(e.scheme, e.GPUType, prev, e.models[t.Job], resident)
+		sw, hit = bd.Total(), bd.ResidentHit
+	}
+	target := e.freeAt + sw
+	if barrier > target {
+		target = barrier
+	}
+	start := e.clock.SleepUntil(target)
 
-		e.Records = append(e.Records, trace.TaskRecord{
-			Task: t, GPU: e.GPU, Start: start,
-			Train: trainEnd - start, Sync: completion - trainEnd, Switch: sw,
-		})
-		if e.rec.Enabled() {
+	if e.rec.Enabled() {
+		if wait := start - sw - e.freeAt; wait > 0 {
+			reason := "round"
+			if t.Round == 0 {
+				reason = "arrival"
+			}
 			e.rec.Emit(obs.Event{
-				Type: obs.EvTaskFinish, Time: completion, GPU: e.GPU,
+				Type: obs.EvBarrierWait, Time: e.freeAt, GPU: e.GPU,
 				Job: int(t.Job), Round: t.Round, Index: t.Index,
-				Dur: completion - start, Train: trainEnd - start, Sync: completion - trainEnd,
-				Note: e.in.Jobs[t.Job].Model,
+				Dur: wait, Note: reason,
 			})
 		}
 		if sw > 0 {
-			e.SwitchTotal += sw
-			e.SwitchCount++
-			if hit {
-				e.ResidencyHits++
-			}
+			e.rec.Emit(obs.Event{
+				Type: obs.EvJobSwitch, Time: start - sw, GPU: e.GPU,
+				Job: int(t.Job), From: int(e.prevJob), Dur: sw,
+				Clean: bd.Clean, Context: bd.Context, Init: bd.Init,
+				Transfer: bd.Transfer, Hit: hit,
+			})
 		}
-		freeAt = trainEnd
-		prevJob = t.Job
+		e.rec.Emit(obs.Event{
+			Type: obs.EvTaskStart, Time: start, GPU: e.GPU,
+			Job: int(t.Job), Round: t.Round, Index: t.Index,
+		})
 	}
+	if e.mem != nil {
+		e.mem.BeginAt(gpumem.JobKey(t.Job), e.models[t.Job].TrainFootprintBytes, start)
+	}
+	// Real work: load the checkpoint and compute the gradient,
+	// retrying from the checkpoint when a fault eats the attempt.
+	var grad []float64
+	retries := 0
+	train := e.in.Train[t.Job][e.GPU] * e.slow
+	attemptEnd := start
+	for {
+		params, err := e.sync.LoadCheckpoint(t.Job)
+		if err != nil {
+			return fmt.Errorf("executor %d: %w", e.GPU, err)
+		}
+		grad = e.probs[t.Job].Gradient(params, t.Round, t.Index)
+		attemptEnd = e.clock.SleepUntil(attemptEnd + train)
+		if e.faultRate <= 0 || e.faultRNG.Float64() >= e.faultRate {
+			break
+		}
+		retries++ // attempt lost; its GPU time is gone
+		if e.rec.Enabled() {
+			e.rec.Emit(obs.Event{
+				Type: obs.EvFaultInjected, Time: attemptEnd, GPU: e.GPU,
+				Job: int(t.Job), Round: t.Round, Index: t.Index, Dur: train,
+			})
+		}
+	}
+	e.Retries += retries
+	trainEnd := attemptEnd
+	if e.mem != nil {
+		e.mem.Complete(gpumem.JobKey(t.Job), e.models[t.Job].ParamBytes, trainEnd)
+	}
+	completion, err := e.sync.Push(PushReport{
+		Task: t, GPU: e.GPU, Start: start, TrainEnd: trainEnd,
+		Switch: sw, Hit: hit, Retries: retries, Grad: grad,
+	})
+	if err != nil {
+		return fmt.Errorf("executor %d: %w", e.GPU, err)
+	}
+
+	e.Records = append(e.Records, trace.TaskRecord{
+		Task: t, GPU: e.GPU, Start: start,
+		Train: trainEnd - start, Sync: completion - trainEnd, Switch: sw,
+	})
+	if e.rec.Enabled() {
+		e.rec.Emit(obs.Event{
+			Type: obs.EvTaskFinish, Time: completion, GPU: e.GPU,
+			Job: int(t.Job), Round: t.Round, Index: t.Index,
+			Dur: completion - start, Train: trainEnd - start, Sync: completion - trainEnd,
+			Note: e.in.Jobs[t.Job].Model,
+		})
+	}
+	if sw > 0 {
+		e.SwitchTotal += sw
+		e.SwitchCount++
+		if hit {
+			e.ResidencyHits++
+		}
+	}
+	e.freeAt = trainEnd
+	e.prevJob = t.Job
 	return nil
 }

@@ -2,10 +2,12 @@ package testbed
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"hare/internal/cluster"
 	"hare/internal/core"
+	"hare/internal/faults"
 	"hare/internal/gpumem"
 	"hare/internal/model"
 	"hare/internal/obs"
@@ -40,6 +42,13 @@ type Options struct {
 	FaultRate float64
 	// FaultSeed drives the fault stream.
 	FaultSeed int64
+	// Faults is the full failure plan (transient rate/seed, stragglers;
+	// see internal/faults). When set, its Rate/Seed override
+	// FaultRate/FaultSeed. Permanent GPU failures and crashes are not
+	// supported by the in-process testbed — replay those through the
+	// simulator or the distributed control plane (internal/rpcnet),
+	// which can actually lose an executor.
+	Faults *faults.Plan
 	// ClientFor, when set, supplies the SyncClient each executor uses
 	// — the hook through which the net/rpc control plane is injected.
 	// Defaults to direct in-process calls.
@@ -50,7 +59,27 @@ type Options struct {
 	Recorder *obs.Recorder
 }
 
-func (o Options) withDefaults() Options {
+// withDefaults validates the options and fills defaults. Invalid
+// values that would silently corrupt a run — a fault probability
+// outside [0, 1], a NaN/Inf clock scale or learning rate — are
+// rejected rather than clamped.
+func (o Options) withDefaults() (Options, error) {
+	if math.IsNaN(o.TimeScale) || math.IsInf(o.TimeScale, 0) {
+		return o, fmt.Errorf("testbed: invalid TimeScale %g", o.TimeScale)
+	}
+	if math.IsNaN(o.Eta) || math.IsInf(o.Eta, 0) {
+		return o, fmt.Errorf("testbed: invalid Eta %g", o.Eta)
+	}
+	if math.IsNaN(o.FaultRate) || o.FaultRate < 0 || o.FaultRate > 1 {
+		return o, fmt.Errorf("testbed: FaultRate %g outside [0, 1]", o.FaultRate)
+	}
+	if err := o.Faults.Validate(0); err != nil {
+		return o, fmt.Errorf("testbed: %w", err)
+	}
+	if o.Faults != nil && o.Faults.Rate > 0 {
+		o.FaultRate = o.Faults.Rate
+		o.FaultSeed = o.Faults.Seed
+	}
 	if o.TimeScale <= 0 {
 		o.TimeScale = 0.001
 	}
@@ -66,7 +95,7 @@ func (o Options) withDefaults() Options {
 	if o.Store == nil {
 		o.Store = store.NewMem()
 	}
-	return o
+	return o, nil
 }
 
 // Result is the measured outcome of a testbed run.
@@ -92,8 +121,8 @@ type localClient struct {
 	st  store.Store
 }
 
-func (c *localClient) Push(t core.TaskRef, gpu int, trainEnd float64, grad []float64) (float64, error) {
-	return c.pss[t.Job].Push(t, gpu, trainEnd, grad)
+func (c *localClient) Push(rep PushReport) (float64, error) {
+	return c.pss[rep.Task.Job].Push(rep.Task, rep.GPU, rep.TrainEnd, rep.Grad)
 }
 
 func (c *localClient) WaitRound(job core.JobID, round int) (float64, error) {
@@ -156,6 +185,10 @@ type RemoteExecutorConfig struct {
 	ProblemBatch int
 	FaultRate    float64
 	FaultSeed    int64
+	// SlowFactor makes the executor a straggler: training attempts
+	// take SlowFactor times their profiled duration. Values below 1
+	// (including the zero value) mean healthy.
+	SlowFactor float64
 	// Recorder is local-only (it does not travel over RPC); the
 	// distributed path leaves it nil unless the executor host attaches
 	// its own.
@@ -182,6 +215,9 @@ func NewRemoteExecutor(cfg RemoteExecutorConfig) (*Executor, error) {
 	if cfg.ProblemBatch <= 0 {
 		cfg.ProblemBatch = 8
 	}
+	if cfg.SlowFactor < 1 {
+		cfg.SlowFactor = 1
+	}
 	probs := make([]*Problem, len(cfg.Instance.Jobs))
 	for _, j := range cfg.Instance.Jobs {
 		probs[j.ID] = NewProblem(cfg.ProblemDim, cfg.ProblemBatch, int64(j.ID)+1)
@@ -202,7 +238,9 @@ func NewRemoteExecutor(cfg RemoteExecutorConfig) (*Executor, error) {
 		in: cfg.Instance, models: cfg.Models, scheme: cfg.Scheme, mem: mem,
 		clock: cfg.Clock, sync: cfg.Sync, probs: probs,
 		faultRate: cfg.FaultRate,
-		faultRNG:  stats.New(cfg.FaultSeed ^ int64(cfg.GPU)*0x9e3779b9),
+		faultRNG:  stats.New(faults.RetrySeed(cfg.FaultSeed, cfg.GPU)),
+		slow:      cfg.SlowFactor,
+		prevJob:   -1,
 		rec:       cfg.Recorder,
 	}, nil
 }
@@ -210,9 +248,18 @@ func NewRemoteExecutor(cfg RemoteExecutorConfig) (*Executor, error) {
 // Run executes a planned schedule on the in-process testbed and
 // returns the *measured* timings.
 func Run(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, models []*model.Model, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Faults.HasGPUFailures() {
+		return nil, fmt.Errorf("testbed: the in-process testbed cannot lose a GPU; replay fail=/crash= plans through the simulator or the distributed control plane")
+	}
 	if err := in.Validate(); err != nil {
 		return nil, err
+	}
+	if err := opts.Faults.Validate(in.NumGPUs); err != nil {
+		return nil, fmt.Errorf("testbed: %w", err)
 	}
 	if err := core.ValidateSchedule(in, sch); err != nil {
 		return nil, fmt.Errorf("testbed: invalid plan: %w", err)
@@ -257,7 +304,9 @@ func Run(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, models []*m
 			in: in, models: models, scheme: opts.Scheme, mem: mem,
 			clock: clock, sync: client, probs: probs,
 			faultRate: opts.FaultRate,
-			faultRNG:  stats.New(opts.FaultSeed ^ int64(m)*0x9e3779b9),
+			faultRNG:  stats.New(faults.RetrySeed(opts.FaultSeed, m)),
+			slow:      opts.Faults.SlowdownOf(m),
+			prevJob:   -1,
 			rec:       opts.Recorder,
 		}
 	}

@@ -19,6 +19,12 @@ echo "==> engine equivalence under -race (sim incremental-vs-reference, experime
 go test -race -run 'TestRunMatchesReference|TestRunGolden' ./internal/sim/
 go test -race -run 'TestParallelMatchesSerial' ./internal/experiments/
 
+echo "==> fault-injection and chaos suites under -race (sim failures, distributed crash/lease recovery)"
+go test -race -run 'TestSim(TransientFaults|Straggler|Failure|AllGPUs|RetriesMatch)|TestReference' ./internal/sim/
+go test -race -run 'TestResidual' ./internal/faults/
+go test -race -run 'TestDistributed|TestReportValidation' ./internal/rpcnet/
+go test -race -run 'TestFaultSweep' ./internal/experiments/
+
 echo "==> go test -race ./..."
 go test -race ./...
 
