@@ -1,18 +1,24 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-obs check fmt
+.PHONY: all build test vet lint race bench bench-obs check fmt
 
 all: build
 
 build:
 	$(GO) build ./...
 
-# Tier-1 gate: vet, build, and the full test suite.
-test: vet build
+# Tier-1 gate: vet, lint, build, and the full test suite.
+test: vet lint build
 	$(GO) test ./...
 
 vet:
 	$(GO) vet ./...
+
+# harelint: the determinism-and-simulated-time analysis suite
+# (docs/STATIC_ANALYSIS.md). Gates on errors; add
+# HARELINT_FLAGS="-lint-fail-on warning" to gate on warnings too.
+lint:
+	$(GO) run ./cmd/harelint $(HARELINT_FLAGS) ./...
 
 race:
 	$(GO) test -race ./...

@@ -1,0 +1,127 @@
+// Command harelint runs the project's determinism-and-simulated-time
+// static analysis suite (internal/lint) over package patterns:
+//
+//	harelint ./...
+//	harelint -json ./internal/sim ./internal/sched
+//	harelint -lint-fail-on warning ./...
+//
+// Diagnostics print as file:line:col: analyzer: message. The exit
+// status is 0 when the tree is clean at the gating severity, 1 when
+// findings gate, and 2 on usage or load errors. See
+// docs/STATIC_ANALYSIS.md for the analyzer catalog, the per-package
+// policy table and the //lint: annotation syntax.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hare/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("harelint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	failOn := fs.String("lint-fail-on", "error",
+		"lowest severity that fails the run: error, warning, or none")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: harelint [flags] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	var gate lint.Severity
+	gateOff := false
+	switch *failOn {
+	case "error":
+		gate = lint.SevError
+	case "warning":
+		gate = lint.SevWarning
+	case "none":
+		gateOff = true
+	default:
+		fmt.Fprintf(os.Stderr, "harelint: invalid -lint-fail-on %q (want error, warning or none)\n", *failOn)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "harelint:", err)
+		return 2
+	}
+	loader, err := lint.LoadModule(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "harelint:", err)
+		return 2
+	}
+	dirs, err := lint.Expand(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "harelint:", err)
+		return 2
+	}
+
+	diags := lint.Run(loader, dirs, lint.DefaultPolicy(loader.ModulePath), lint.Analyzers)
+	errs, warns := 0, 0
+	for i := range diags {
+		// Paths print relative to the working directory when possible,
+		// keeping output stable across checkouts.
+		if rel, err := filepath.Rel(cwd, diags[i].Path); err == nil && !filepath.IsAbs(rel) {
+			diags[i].Path = rel
+		}
+		if diags[i].Severity == lint.SevError {
+			errs++
+		} else {
+			warns++
+		}
+	}
+	if *jsonOut {
+		type jsonDiag struct {
+			lint.Diagnostic
+			Severity string `json:"severity"`
+		}
+		out := make([]jsonDiag, len(diags))
+		for i, d := range diags {
+			out[i] = jsonDiag{Diagnostic: d, Severity: d.Severity.String()}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "harelint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			if d.Severity == lint.SevError {
+				fmt.Println(d.String())
+			} else {
+				fmt.Printf("%s:%d:%d: %s: warning: %s\n", d.Path, d.Line, d.Col, d.Analyzer, d.Message)
+			}
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "harelint: %d error(s), %d warning(s)\n", errs, warns)
+	}
+	if !gateOff && lint.Gate(diags, gate) {
+		return 1
+	}
+	return 0
+}

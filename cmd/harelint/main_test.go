@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureDir points the CLI at internal/lint's fixture module, which
+// contains known violations of every analyzer.
+func fixtureDir(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("..", "..", "internal", "lint", "testdata", "src", "fixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// runIn executes run(args) with the working directory set to dir,
+// capturing stdout.
+func runIn(t *testing.T, dir string, args ...string) (int, string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStdout := os.Stdout
+	os.Stdout = w
+	code := run(args)
+	os.Stdout = oldStdout
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(out)
+}
+
+func TestRunFlagsFixtureViolations(t *testing.T) {
+	code, out := runIn(t, fixtureDir(t), "./...")
+	if code != 1 {
+		t.Fatalf("exit %d on a module with violations, want 1", code)
+	}
+	for _, needle := range []string{
+		"globalrand", "maprange", "walltime", "floateq", "obsrecorder",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("output missing %s diagnostics:\n%s", needle, out)
+		}
+	}
+	// Text output keeps the canonical file:line:col: analyzer: form.
+	first := strings.SplitN(out, "\n", 2)[0]
+	if !strings.Contains(first, ".go:") || !strings.Contains(first, ": ") {
+		t.Errorf("diagnostic %q not in file:line:col: analyzer: message form", first)
+	}
+}
+
+func TestRunFailOnSeverity(t *testing.T) {
+	dir := fixtureDir(t)
+	if code, _ := runIn(t, dir, "-lint-fail-on", "none", "./..."); code != 0 {
+		t.Errorf("-lint-fail-on none exited %d, want 0", code)
+	}
+	if code, _ := runIn(t, dir, "-lint-fail-on", "warning", "./..."); code != 1 {
+		t.Errorf("-lint-fail-on warning exited %d, want 1", code)
+	}
+	if code, _ := runIn(t, dir, "-lint-fail-on", "bogus", "./..."); code != 2 {
+		t.Errorf("-lint-fail-on bogus exited %d, want 2", code)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	code, out := runIn(t, fixtureDir(t), "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Severity string `json:"severity"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out), &diags); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out)
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json reported no diagnostics on the violation fixture")
+	}
+	for _, d := range diags {
+		if d.File == "" || d.Line == 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("incomplete JSON diagnostic: %+v", d)
+		}
+		if d.Severity != "error" && d.Severity != "warning" {
+			t.Errorf("bad severity %q", d.Severity)
+		}
+	}
+}
+
+func TestRunListAnalyzers(t *testing.T) {
+	code, out := runIn(t, fixtureDir(t), "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, name := range []string{"maprange", "walltime", "globalrand", "floateq", "obsrecorder"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list missing %s:\n%s", name, out)
+		}
+	}
+}

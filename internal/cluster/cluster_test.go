@@ -12,6 +12,7 @@ func TestTestbedComposition(t *testing.T) {
 	}
 	counts := c.Counts()
 	want := map[string]int{"V100": 8, "T4": 4, "K80": 1, "M60": 2}
+	//lint:ordered independent per-key assertions
 	for name, n := range want {
 		if counts[name] != n {
 			t.Errorf("%s count %d, want %d", name, counts[name], n)

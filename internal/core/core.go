@@ -211,6 +211,7 @@ func (s *Schedule) Sequences(numGPUs int) [][]TaskRef {
 		start float64
 	}
 	byGPU := make([][]placed, numGPUs)
+	//lint:ordered buckets are fully sorted below before use
 	for t, p := range s.Placements {
 		byGPU[p.GPU] = append(byGPU[p.GPU], placed{t: t, start: p.Start})
 	}
@@ -295,6 +296,7 @@ func (s *Schedule) WeightedJCT(in *Instance) float64 {
 // Makespan returns the latest planned task completion time.
 func (s *Schedule) Makespan(in *Instance) float64 {
 	var m float64
+	//lint:ordered max over placements is commutative and exact
 	for t := range s.Placements {
 		if end, ok := s.TaskEnd(in, t); ok {
 			m = math.Max(m, end)
@@ -306,6 +308,15 @@ func (s *Schedule) Makespan(in *Instance) float64 {
 // timeEps is the tolerance used by ValidateSchedule when comparing
 // floating-point times.
 const timeEps = 1e-6
+
+// ApproxEqual reports whether a and b differ by at most eps. Engine
+// code compares simulated times and costs through it (or an explicit
+// tolerance) rather than with exact float equality, which diverges in
+// the last ulp between algebraically equivalent computations — the
+// harelint floateq analyzer enforces this.
+func ApproxEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
 
 // ValidateSchedule checks a schedule against the paper's constraints:
 //

@@ -102,6 +102,7 @@ func TestQuickSerializationRoundTrips(t *testing.T) {
 		if len(back.Placements) != len(s.Placements) {
 			return false
 		}
+		//lint:ordered independent per-key equality checks
 		for tr, p := range s.Placements {
 			if back.Placements[tr] != p {
 				return false

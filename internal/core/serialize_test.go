@@ -21,6 +21,7 @@ func TestScheduleRoundTrip(t *testing.T) {
 	if len(got.Placements) != len(s.Placements) {
 		t.Fatalf("loaded %d placements, want %d", len(got.Placements), len(s.Placements))
 	}
+	//lint:ordered independent per-key equality checks
 	for tr, p := range s.Placements {
 		if got.Placements[tr] != p {
 			t.Errorf("task %v: %+v != %+v", tr, got.Placements[tr], p)

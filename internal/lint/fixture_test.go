@@ -1,0 +1,162 @@
+package lint
+
+// Golden fixture tests: testdata/src/fixture is a miniature module
+// whose files carry `// want "regex"` comments on every line a
+// diagnostic is expected. The harness runs the full suite under a
+// fixture policy and requires an exact match both ways — every
+// diagnostic wanted, every want produced.
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixturePolicy mirrors the shape of the real DefaultPolicy on the
+// fixture module: engine packages all-error, obs/stats/rt carved out,
+// warnpkg demoted to warnings.
+func fixturePolicy() Policy {
+	return Policy{
+		Default: uniform(LevelError),
+		PerPath: map[string]Rules{
+			"fixture/obs": {MapRange: LevelError, WallTime: LevelOff,
+				GlobalRand: LevelError, FloatEq: LevelWarn, ObsRecorder: LevelOff},
+			"fixture/stats": {MapRange: LevelError, WallTime: LevelError,
+				GlobalRand: LevelOff, FloatEq: LevelError, ObsRecorder: LevelError},
+			"fixture/rt": {MapRange: LevelError, WallTime: LevelOff,
+				GlobalRand: LevelError, FloatEq: LevelError, ObsRecorder: LevelError},
+			"fixture/randpkg": {MapRange: LevelError, WallTime: LevelOff,
+				GlobalRand: LevelError, FloatEq: LevelError, ObsRecorder: LevelError},
+			"fixture/warnpkg": uniform(LevelWarn),
+		},
+	}
+}
+
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// parseWants scans every fixture .go file for want comments, keyed by
+// file path and line.
+func parseWants(t *testing.T, root string) map[string]map[int][]*want {
+	t.Helper()
+	out := make(map[string]map[int][]*want)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", path, line, m[1], err)
+				}
+				if out[path] == nil {
+					out[path] = make(map[int][]*want)
+				}
+				out[path][line] = append(out[path][line], &want{re: re})
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func fixtureDiags(t *testing.T) (string, []Diagnostic) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src", "fixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader(root, "fixture")
+	dirs, err := Expand(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root, Run(loader, dirs, fixturePolicy(), Analyzers)
+}
+
+func TestFixtures(t *testing.T) {
+	root, diags := fixtureDiags(t)
+	wants := parseWants(t, root)
+	for _, d := range diags {
+		if d.Analyzer == "typecheck" {
+			t.Errorf("fixture does not type-check: %s", d.String())
+			continue
+		}
+		hit := false
+		for _, w := range wants[d.Path][d.Line] {
+			if w.re.MatchString(d.Message) {
+				w.matched, hit = true, true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("unexpected diagnostic: %s", d.String())
+		}
+	}
+	for path, lines := range wants { //lint:ordered independent per-want assertions
+		for line, ws := range lines {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", path, line, w.re)
+				}
+			}
+		}
+	}
+}
+
+// TestFixtureSeverities pins the policy-to-severity mapping: warnpkg
+// findings are warnings, engine findings errors — and the Gate
+// respects both thresholds.
+func TestFixtureSeverities(t *testing.T) {
+	_, diags := fixtureDiags(t)
+	var errs, warns int
+	for _, d := range diags {
+		inWarnpkg := strings.Contains(d.Path, string(filepath.Separator)+"warnpkg"+string(filepath.Separator))
+		if inWarnpkg {
+			warns++
+			if d.Severity != SevWarning {
+				t.Errorf("%s: severity %v, want warning", d.String(), d.Severity)
+			}
+		} else {
+			errs++
+			if d.Severity != SevError {
+				t.Errorf("%s: severity %v, want error", d.String(), d.Severity)
+			}
+		}
+	}
+	if errs == 0 || warns == 0 {
+		t.Fatalf("fixture produced %d errors and %d warnings; both tiers must be exercised", errs, warns)
+	}
+	if !Gate(diags, SevError) || !Gate(diags, SevWarning) {
+		t.Error("gate must trip at both thresholds")
+	}
+	if Gate(nil, SevWarning) {
+		t.Error("empty diagnostics must not gate")
+	}
+}
+
+// TestFixtureJSONShape mirrors what -json emits: diagnostics must
+// carry relative-friendly fields the CLI serializes.
+func TestFixtureDiagnosticString(t *testing.T) {
+	d := Diagnostic{Path: "a/b.go", Line: 3, Col: 7, Analyzer: "maprange", Message: "m"}
+	if got, want := d.String(), "a/b.go:3:7: maprange: m"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// randSourceConstructors are math/rand selectors that do NOT touch the
+// global source: explicit-source constructors and type names. Anything
+// else at package level (Intn, Float64, Shuffle, Seed, …) draws from
+// the process-global generator, whose state is shared across the whole
+// binary and seeded outside the experiment's control.
+var randSourceConstructors = map[string]bool{
+	// math/rand
+	"New": true, "NewSource": true, "NewZipf": true,
+	"Rand": true, "Source": true, "Source64": true, "Zipf": true,
+	// math/rand/v2
+	"NewPCG": true, "NewChaCha8": true, "PCG": true, "ChaCha8": true,
+}
+
+// GlobalRand forbids the global math/rand source outside
+// internal/stats (the one package allowed to wrap math/rand behind
+// seeded streams) and _test.go files. It additionally flags rand.New
+// seeded from the wall clock, which is the classic way a "seeded"
+// stream escapes reproducibility.
+var GlobalRand = &Analyzer{
+	Name:          "globalrand",
+	Doc:           "forbids the global math/rand source and wall-clock-seeded rand.New outside internal/stats",
+	SkipTestFiles: true,
+	Level:         func(r Rules) Level { return r.GlobalRand },
+	Run:           runGlobalRand,
+}
+
+func runGlobalRand(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				pkg := pkgPathOf(p.Info, e.X)
+				if pkg != "math/rand" && pkg != "math/rand/v2" {
+					return true
+				}
+				if !randSourceConstructors[e.Sel.Name] {
+					p.Reportf(e.Pos(),
+						"%s.%s uses the process-global random source; route randomness through internal/stats (stats.New(seed))",
+						pkg, e.Sel.Name)
+				}
+			case *ast.CallExpr:
+				sel, ok := e.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "New" {
+					return true
+				}
+				pkg := pkgPathOf(p.Info, sel.X)
+				if pkg != "math/rand" && pkg != "math/rand/v2" {
+					return true
+				}
+				if seededFromWallClock(p, e.Args) {
+					p.Reportf(e.Pos(),
+						"rand.New seeded from the wall clock is nondeterministic; seed from the experiment configuration via internal/stats")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// seededFromWallClock reports whether any argument expression reads
+// time.Now (e.g. rand.NewSource(time.Now().UnixNano())).
+func seededFromWallClock(p *Pass, args []ast.Expr) bool {
+	found := false
+	for _, a := range args {
+		ast.Inspect(a, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if ok && sel.Sel.Name == "Now" && pkgPathOf(p.Info, sel.X) == "time" {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}

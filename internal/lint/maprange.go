@@ -1,0 +1,281 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRange flags `for … range` over map-typed values: Go randomizes
+// map iteration order, so any order-sensitive body diverges between
+// runs — the exact failure mode the engine-equivalence golden tests
+// exist to catch. A loop escapes the check when it is provably
+// order-insensitive:
+//
+//   - the body only feeds commutative sinks (integer counters,
+//     set-style map stores of constants, distinct-key map transforms,
+//     deletes),
+//   - the body only appends to a slice that is sorted immediately
+//     after the loop (the collect-keys-then-sort idiom),
+//   - or it carries a //lint:ordered annotation explaining why order
+//     is immaterial.
+//
+// The usual fix is to copy the keys into a slice and sort before
+// ranging.
+var MapRange = &Analyzer{
+	Name:  "maprange",
+	Doc:   "flags nondeterministic iteration over maps in engine packages",
+	Level: func(r Rules) Level { return r.MapRange },
+	Run:   runMapRange,
+}
+
+func runMapRange(p *Pass) {
+	for _, f := range p.Files {
+		sorted := collectThenSorted(p, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sorted[rs] || orderInsensitiveBody(p, rs) {
+				return true
+			}
+			p.Reportf(rs.For,
+				"iteration over map %s has nondeterministic order; sort the keys into a slice first, or annotate //lint:ordered if order is immaterial",
+				types.ExprString(rs.X))
+			return true
+		})
+	}
+}
+
+// collectThenSorted finds map-range loops whose body is a single
+// `s = append(s, …)` onto a plain local slice that a later statement
+// in the same block sorts (sort.* or slices.* with s as first
+// argument) before anything else touches it. Such a loop only
+// produces a permutation that the sort immediately canonicalizes.
+func collectThenSorted(p *Pass, f *ast.File) map[*ast.RangeStmt]bool {
+	out := make(map[*ast.RangeStmt]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch blk := n.(type) {
+		case *ast.BlockStmt:
+			list = blk.List
+		case *ast.CaseClause:
+			list = blk.Body
+		case *ast.CommClause:
+			list = blk.Body
+		default:
+			return true
+		}
+		for i, st := range list {
+			rs, ok := st.(*ast.RangeStmt)
+			if !ok {
+				continue
+			}
+			target := appendOnlyTarget(p, rs)
+			if target == "" {
+				continue
+			}
+			for _, follow := range list[i+1:] {
+				if isSortCallOn(p, follow, target) {
+					out[rs] = true
+					break
+				}
+				if stmtMentions(follow, target) {
+					break // consumed before being sorted
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// appendOnlyTarget returns the name of the slice variable when the
+// loop body is exactly `name = append(name, …)`, else "".
+func appendOnlyTarget(p *Pass, rs *ast.RangeStmt) string {
+	if len(rs.Body.List) != 1 {
+		return ""
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return ""
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return ""
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := p.Info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return ""
+	}
+	if arg, ok := call.Args[0].(*ast.Ident); !ok || arg.Name != lhs.Name {
+		return ""
+	}
+	return lhs.Name
+}
+
+// isSortCallOn matches `sort.F(name, …)` / `slices.F(name, …)`.
+func isSortCallOn(p *Pass, st ast.Stmt, name string) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg := pkgPathOf(p.Info, sel.X)
+	if pkg != "sort" && pkg != "slices" {
+		return false
+	}
+	arg, ok := call.Args[0].(*ast.Ident)
+	return ok && arg.Name == name
+}
+
+func stmtMentions(st ast.Stmt, name string) bool {
+	found := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// orderInsensitiveBody reports whether every statement in the loop
+// body commutes across iterations, so iteration order cannot be
+// observed. Recognized: integer ++/--, integer compound assignment
+// with a commutative operator, set-style map stores of constants,
+// distinct-key map transforms (`out[k] = …` keyed by the range key),
+// and delete calls.
+func orderInsensitiveBody(p *Pass, rs *ast.RangeStmt) bool {
+	for _, st := range rs.Body.List {
+		switch s := st.(type) {
+		case *ast.EmptyStmt:
+		case *ast.IncDecStmt:
+			if !isInteger(p.Info.TypeOf(s.X)) {
+				return false
+			}
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return false
+			}
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN,
+				token.AND_ASSIGN, token.XOR_ASSIGN:
+				// Commutative only over integers: float addition is
+				// not associative, so accumulation order shows.
+				if !isInteger(p.Info.TypeOf(s.Lhs[0])) {
+					return false
+				}
+			case token.ASSIGN:
+				if !orderFreeMapStore(p, rs, s) {
+					return false
+				}
+			default:
+				return false
+			}
+		case *ast.ExprStmt:
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return false
+			}
+			if b, ok := p.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "delete" {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// orderFreeMapStore accepts `m2[key] = v` when it cannot observe
+// iteration order: the target is a map other than the one being
+// ranged, and either v is a compile-time constant / empty composite
+// literal (set building — duplicate keys store identical values), or
+// the index is exactly the range key variable (each iteration writes
+// a distinct key) and v does not read the target map back.
+func orderFreeMapStore(p *Pass, rs *ast.RangeStmt, s *ast.AssignStmt) bool {
+	ix, ok := s.Lhs[0].(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	lt := p.Info.TypeOf(ix.X)
+	if lt == nil {
+		return false
+	}
+	if _, isMap := lt.Underlying().(*types.Map); !isMap {
+		return false
+	}
+	target := types.ExprString(ix.X)
+	if target == types.ExprString(rs.X) {
+		return false // writing the map being ranged: order-dependent semantics
+	}
+	if constantish(p, s.Rhs[0]) {
+		return true
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	idx, ok := ix.Index.(*ast.Ident)
+	if !ok || idx.Name != key.Name {
+		return false
+	}
+	if base, ok := ix.X.(*ast.Ident); ok {
+		rhsReads := false
+		ast.Inspect(s.Rhs[0], func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == base.Name {
+				rhsReads = true
+			}
+			return !rhsReads
+		})
+		return !rhsReads
+	}
+	return false
+}
+
+func isInteger(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// constantish accepts compile-time constants and empty composite
+// literals (struct{}{} set members): storing them under distinct map
+// keys is order-free, and storing them twice under one key is
+// idempotent.
+func constantish(p *Pass, e ast.Expr) bool {
+	if tv, ok := p.Info.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	cl, ok := e.(*ast.CompositeLit)
+	return ok && len(cl.Elts) == 0
+}

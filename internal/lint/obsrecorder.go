@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ObsRecorder requires event emission to go through the nil-safe
+// (*obs.Recorder).Emit fan-out instead of calling Record on a raw
+// sink. The recorder is what makes instrumentation free when disabled
+// (nil receiver, Enabled guard) and safe when several sinks listen; a
+// raw sink call bypasses both and couples engine code to one concrete
+// sink. The obs package itself — where sinks live and recorders fan
+// out to them — is exempt via the policy table; serialization loops
+// that replay an already-captured trace into an export sink annotate
+// //lint:allow obsrecorder.
+var ObsRecorder = &Analyzer{
+	Name:  "obsrecorder",
+	Doc:   "requires event emission through (*obs.Recorder).Emit, never a raw sink",
+	Level: func(r Rules) Level { return r.ObsRecorder },
+	Run:   runObsRecorder,
+}
+
+func runObsRecorder(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Record" {
+				return true
+			}
+			selection, ok := p.Info.Selections[sel]
+			if !ok {
+				return true // qualified identifier, not a method call
+			}
+			recv := selection.Recv()
+			if pkg := namedPkgPath(recv); pkg == "" || !isObsPackage(pkg) {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"raw sink %s.Record bypasses the nil-safe recorder; emit through (*obs.Recorder).Emit",
+				types.ExprString(sel.X))
+			return true
+		})
+	}
+}
+
+// namedPkgPath returns the defining package path of a (possibly
+// pointer-to) named receiver type, or "".
+func namedPkgPath(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// isObsPackage matches the observability package in the real module
+// and in test fixtures (any import path ending in /obs).
+func isObsPackage(path string) bool {
+	return path == "obs" || strings.HasSuffix(path, "/obs")
+}

@@ -1,0 +1,65 @@
+package lint
+
+import "testing"
+
+func TestPolicyLongestPrefixWins(t *testing.T) {
+	pol := Policy{
+		Default: uniform(LevelWarn),
+		PerPath: map[string]Rules{
+			"m/internal":       uniform(LevelOff),
+			"m/internal/sim":   uniform(LevelError),
+			"m/internal/simx":  uniform(LevelWarn),
+			"m/internal/sched": uniform(LevelError),
+		},
+	}
+	cases := []struct {
+		path string
+		want Level
+	}{
+		{"m/internal/sim", LevelError},          // exact match
+		{"m/internal/sim/relax", LevelError},    // subtree inherits
+		{"m/internal/simx", LevelWarn},          // sibling prefix is not a segment match
+		{"m/internal/other", LevelOff},          // falls to the shorter prefix
+		{"m/internal/simulator", LevelOff},      // "sim" must not match "simulator"
+		{"m/cmd/haresim", LevelWarn},            // unmatched gets Default
+		{"m/internal/sched/online", LevelError}, // nested under sched
+	}
+	for _, c := range cases {
+		if got := pol.For(c.path).MapRange; got != c.want {
+			t.Errorf("For(%q).MapRange = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestDefaultPolicyTiers(t *testing.T) {
+	pol := DefaultPolicy("hare")
+	if r := pol.For("hare/internal/sim"); r.MapRange != LevelError || r.WallTime != LevelError {
+		t.Errorf("engine package not fully enforced: %+v", r)
+	}
+	if r := pol.For("hare/internal/stats"); r.GlobalRand != LevelOff {
+		t.Errorf("stats must be exempt from globalrand: %+v", r)
+	}
+	if r := pol.For("hare/internal/testbed"); r.WallTime != LevelOff {
+		t.Errorf("testbed must be exempt from walltime: %+v", r)
+	}
+	if r := pol.For("hare/internal/obs"); r.ObsRecorder != LevelOff || r.WallTime != LevelOff {
+		t.Errorf("obs owns sinks and real time: %+v", r)
+	}
+	if r := pol.For("hare/cmd/haresim"); r.ObsRecorder != LevelError || r.GlobalRand != LevelError {
+		t.Errorf("cmd tier wrong: %+v", r)
+	}
+	if r := pol.For("hare/internal/workload"); r.MapRange != LevelWarn || r.GlobalRand != LevelError {
+		t.Errorf("library default wrong: %+v", r)
+	}
+}
+
+func TestAnalyzerByName(t *testing.T) {
+	for _, a := range Analyzers {
+		if AnalyzerByName(a.Name) != a {
+			t.Errorf("AnalyzerByName(%q) did not round-trip", a.Name)
+		}
+	}
+	if AnalyzerByName("nosuch") != nil {
+		t.Error("unknown analyzer name resolved")
+	}
+}

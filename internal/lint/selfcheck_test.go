@@ -1,0 +1,28 @@
+package lint
+
+// The self-check: harelint must run clean over its own repository.
+// This is the programmatic twin of the `make lint` gate — if it fails,
+// either new code broke the determinism discipline or an analyzer
+// regressed into a false positive.
+
+import (
+	"testing"
+)
+
+func TestRepositoryIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	loader, err := LoadModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := Expand(loader.ModuleRoot, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(loader, dirs, DefaultPolicy(loader.ModulePath), Analyzers)
+	for _, d := range diags {
+		t.Errorf("%s (%s)", d.String(), d.Severity)
+	}
+}

@@ -1,0 +1,26 @@
+package engine
+
+import "fixture/obs"
+
+// Flagged: engine code calling a raw sink directly.
+func emitRaw(s obs.Sink, e obs.Event) {
+	s.Record(e) // want "raw sink s.Record bypasses the nil-safe recorder"
+}
+
+// Flagged: concrete sinks are no better than the interface.
+func emitCollect(c *obs.CollectSink, e obs.Event) {
+	c.Record(e) // want "raw sink c.Record bypasses the nil-safe recorder"
+}
+
+// Clean: the nil-safe fan-out.
+func emit(r *obs.Recorder, e obs.Event) {
+	r.Emit(e)
+}
+
+// Clean: annotated serialization of an already-captured trace.
+func replay(s obs.Sink, events []obs.Event) {
+	for _, e := range events {
+		//lint:allow obsrecorder serializing captured events
+		s.Record(e)
+	}
+}

@@ -1,0 +1,35 @@
+package engine
+
+// Flagged: exact equality between computed floats.
+func same(a, b float64) bool {
+	return a == b // want "exact == on float operands"
+}
+
+// Flagged: exact inequality between computed floats.
+func differ(a, b float64) bool {
+	return a != b // want "exact != on float operands"
+}
+
+// Clean: sentinel comparison against a constant is exact by design.
+func unset(a float64) bool {
+	return a == 0
+}
+
+// Clean: the x != x NaN idiom.
+func isNaN(a float64) bool {
+	return a != a
+}
+
+// Clean: the comparator tie-break guard compares identical stored bits.
+func less(a, b float64, i, j int) bool {
+	if a != b {
+		return a < b
+	}
+	return i < j
+}
+
+// Clean: annotated deliberate exact tie.
+func tie(a, b float64) bool {
+	//lint:allow floateq exact tie feeds a deterministic tie-break
+	return a == b
+}

@@ -1,0 +1,71 @@
+package engine
+
+import "sort"
+
+// Flagged: the keys escape in map order.
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "iteration over map m has nondeterministic order"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Flagged: float accumulation observes iteration order in the last ulp.
+func sumFloats(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "iteration over map m has nondeterministic order"
+		sum += v
+	}
+	return sum
+}
+
+// Clean: the collect-then-sort idiom canonicalizes the permutation.
+func keysSorted(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// Clean: integer counters commute.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Clean: set-style stores of constants are order-free.
+func toSet(m map[string]int) map[string]struct{} {
+	out := make(map[string]struct{}, len(m))
+	for k := range m {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+// Clean: each iteration writes a distinct key of another map.
+func double(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// Clean: annotated order-insensitive iteration.
+func annotated(m map[string]int) {
+	//lint:ordered side effects are independent per key
+	for k, v := range m {
+		_ = k
+		_ = v
+	}
+}

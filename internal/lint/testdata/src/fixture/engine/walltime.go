@@ -1,0 +1,24 @@
+package engine
+
+import "time"
+
+// Flagged: reading the machine clock in simulated-time code.
+func stamp() time.Time {
+	return time.Now() // want "wall-clock time.Now in a simulated-time package"
+}
+
+// Flagged: blocking on the machine clock.
+func nap() {
+	time.Sleep(time.Millisecond) // want "wall-clock time.Sleep in a simulated-time package"
+}
+
+// Clean: duration arithmetic never consults the clock.
+func horizon() time.Duration {
+	return 3 * time.Second
+}
+
+// Clean: annotated single sanctioned read.
+func anchored() time.Time {
+	//lint:allow walltime one sanctioned epoch anchor
+	return time.Now()
+}

@@ -1,0 +1,30 @@
+// Package obs mirrors the real module's observability surface: raw
+// sinks plus the nil-safe Recorder the obsrecorder analyzer steers
+// engine code toward. The policy table switches obsrecorder off here,
+// so the fan-out below may call Record directly.
+package obs
+
+// Event is a minimal observability event.
+type Event struct{ Name string }
+
+// Sink receives events.
+type Sink interface{ Record(Event) }
+
+// CollectSink buffers events in memory.
+type CollectSink struct{ Events []Event }
+
+// Record implements Sink.
+func (s *CollectSink) Record(e Event) { s.Events = append(s.Events, e) }
+
+// Recorder fans events out to its sinks; a nil recorder drops them.
+type Recorder struct{ sinks []Sink }
+
+// Emit sends e to every sink.
+func (r *Recorder) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	for _, s := range r.sinks {
+		s.Record(e)
+	}
+}

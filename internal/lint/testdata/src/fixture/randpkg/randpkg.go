@@ -1,0 +1,30 @@
+// Package randpkg exercises the globalrand analyzer; the fixture
+// policy switches walltime off here so the wall-clock-seeded case
+// reports exactly one diagnostic.
+package randpkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Flagged: the process-global source.
+func roll() int {
+	return rand.Intn(6) // want "rand.Intn uses the process-global random source"
+}
+
+// Flagged: a "seeded" stream whose seed is the wall clock.
+func wallSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "rand.New seeded from the wall clock"
+}
+
+// Clean: an explicit-source stream seeded from configuration.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Clean: annotated deliberate global draw.
+func annotated() int {
+	//lint:allow globalrand throwaway jitter outside any experiment
+	return rand.Intn(2)
+}

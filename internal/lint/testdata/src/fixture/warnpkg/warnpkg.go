@@ -1,0 +1,12 @@
+// Package warnpkg runs under an all-warning policy: findings report
+// but only gate under -lint-fail-on warning.
+package warnpkg
+
+// Keys leaks map order; reported as a warning here.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "iteration over map m has nondeterministic order"
+		keys = append(keys, k)
+	}
+	return keys
+}

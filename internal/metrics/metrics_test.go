@@ -73,6 +73,7 @@ func TestFormatSeconds(t *testing.T) {
 		-180:  "-3.0min",
 		-5e-7: "-0.5µs",
 	}
+	//lint:ordered independent per-case assertions
 	for in, want := range cases {
 		if got := FormatSeconds(in); got != want {
 			t.Errorf("FormatSeconds(%g) = %q, want %q", in, got, want)

@@ -215,6 +215,7 @@ func TestChromeTraceMatchesGantt(t *testing.T) {
 	if len(perGPU) != len(wantPerGPU) {
 		t.Fatalf("trace covers %d GPUs, records cover %d", len(perGPU), len(wantPerGPU))
 	}
+	//lint:ordered independent per-GPU assertions
 	for gpu, want := range wantPerGPU {
 		got := perGPU[gpu]
 		sort.Slice(got, func(i, j int) bool { return got[i].start < got[j].start })

@@ -231,6 +231,7 @@ func (g *Registry) WriteText(w io.Writer) error {
 		render    func(io.Writer, string) error
 	}
 	var all []series
+	//lint:ordered series are sorted by name before rendering
 	for name, c := range g.counters {
 		v := c.Value()
 		all = append(all, series{name, "counter", func(w io.Writer, n string) error {
@@ -238,6 +239,7 @@ func (g *Registry) WriteText(w io.Writer) error {
 			return err
 		}})
 	}
+	//lint:ordered series are sorted by name before rendering
 	for name, ga := range g.gauges {
 		v := ga.Value()
 		all = append(all, series{name, "gauge", func(w io.Writer, n string) error {
@@ -245,6 +247,7 @@ func (g *Registry) WriteText(w io.Writer) error {
 			return err
 		}})
 	}
+	//lint:ordered series are sorted by name before rendering
 	for name, h := range g.hists {
 		h.mu.Lock()
 		bounds := append([]float64(nil), h.bounds...)
@@ -290,6 +293,7 @@ func (g *Registry) WriteText(w io.Writer) error {
 
 // formatValue renders a float without superfluous exponent noise.
 func formatValue(v float64) string {
+	//lint:allow floateq integral-value rendering check is exact by design
 	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
 		return fmt.Sprintf("%d", int64(v))
 	}

@@ -147,6 +147,7 @@ func TestAlloxSingleGPUPerJob(t *testing.T) {
 		}
 		// Every job's tasks all share one GPU (job-level scheduling).
 		gpuOf := make(map[core.JobID]int)
+		//lint:ordered pairwise consistency check; pass/fail is order-independent
 		for tr, p := range s.Placements {
 			if g, ok := gpuOf[tr.Job]; ok && g != p.GPU {
 				t.Fatalf("trial %d: AlloX split job %d across GPUs %d and %d", trial, tr.Job, g, p.GPU)
@@ -237,6 +238,7 @@ func TestHareStrictFeasibleAndNoWorseThanFIFO(t *testing.T) {
 		}
 		// Strict gang per round: all tasks of a round share a start.
 		starts := make(map[[2]int]float64)
+		//lint:ordered pairwise consistency check; pass/fail is order-independent
 		for tr, p := range s.Placements {
 			key := [2]int{int(tr.Job), tr.Round}
 			if prev, ok := starts[key]; ok && prev != p.Start {

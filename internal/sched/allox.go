@@ -106,6 +106,7 @@ func batchArrivals(jobs []*core.Job, maxBatches int) []arrivalBatch {
 	// Merge batches that share a decision time.
 	merged := out[:0]
 	for _, b := range out {
+		//lint:allow floateq batches merge only on bit-identical stored arrival times
 		if len(merged) > 0 && merged[len(merged)-1].at == b.at {
 			merged[len(merged)-1].jobs = append(merged[len(merged)-1].jobs, b.jobs...)
 		} else {

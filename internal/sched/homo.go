@@ -69,6 +69,7 @@ func (*SchedHomo) Schedule(in *core.Instance) (*core.Schedule, error) {
 			// Higher density schedules first; negate for min search.
 			key := -j.Weight / meanRuntime(in, j)
 			if bestIdx == -1 || key < bestKey ||
+				//lint:allow floateq exact tie arm applies the deterministic job-ID tie-break
 				(key == bestKey && j.ID < pending[bestIdx].ID) {
 				bestIdx, bestKey = i, key
 			}

@@ -76,6 +76,7 @@ func TestOnlineNeverRevokesCommittedWork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//lint:ordered independent per-task assertions
 	for tr, p := range sBase.Placements {
 		pe, ok := sExt.Placements[tr]
 		if !ok {

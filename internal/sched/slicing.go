@@ -150,6 +150,7 @@ func (lasPolicy) pick(candidates []*sliceJob) int {
 	best := 0
 	for i, c := range candidates {
 		if c.attained < candidates[best].attained ||
+			//lint:allow floateq exact tie arm applies the deterministic job-ID tie-break
 			(c.attained == candidates[best].attained && c.job.ID < candidates[best].job.ID) {
 			best = i
 		}

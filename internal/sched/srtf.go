@@ -63,6 +63,7 @@ func (*SRTF) Schedule(in *core.Instance) (*core.Schedule, error) {
 			}
 			key := estRuntime(in, j)
 			if bestIdx == -1 || key < bestKey ||
+				//lint:allow floateq exact tie arm applies the deterministic job-ID tie-break
 				(key == bestKey && j.ID < pending[bestIdx].ID) {
 				bestIdx, bestKey = i, key
 			}

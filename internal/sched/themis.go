@@ -72,6 +72,7 @@ func (*ThemisFair) Schedule(in *core.Instance) (*core.Schedule, error) {
 			}
 			rho := (now - j.Arrival + round*float64(j.Rounds)) / dedicated(in, j)
 			if bestIdx == -1 || rho > bestRho ||
+				//lint:allow floateq exact tie arm applies the deterministic job-ID tie-break
 				(rho == bestRho && j.ID < pending[bestIdx].ID) {
 				bestIdx, bestRho = i, rho
 			}

@@ -72,24 +72,32 @@ func traceHash(tr *trace.Trace) uint64 {
 // equivOptions is the option matrix the engines are compared under:
 // every feature that touches the inner loop (switching schemes,
 // speculative memory, jitter, host-aware sync, utilization binning).
-func equivOptions() map[string]Options {
-	return map[string]Options{
-		"plain":        {DisableSwitching: true},
-		"default":      {Scheme: switching.Default},
-		"pipeswitch":   {Scheme: switching.PipeSwitch},
-		"hare":         {Scheme: switching.Hare},
-		"hare-spec":    {Scheme: switching.Hare, Speculative: true},
-		"hare-belady":  {Scheme: switching.Hare, Speculative: true, MemPolicy: gpumem.Belady},
-		"jitter":       {Scheme: switching.Hare, Speculative: true, JitterFrac: 0.05, Seed: 9},
-		"hostaware":    {Scheme: switching.Hare, Speculative: true, HostAwareSync: true},
-		"utilbins":     {Scheme: switching.Hare, Speculative: true, UtilBins: 16},
-		"all-features": {Scheme: switching.Hare, Speculative: true, JitterFrac: 0.03, Seed: 4, HostAwareSync: true, UtilBins: 32},
+// A slice, not a map: trials must visit the option sets in one fixed
+// order or the test itself becomes nondeterministic.
+func equivOptions() []struct {
+	name string
+	opts Options
+} {
+	return []struct {
+		name string
+		opts Options
+	}{
+		{"plain", Options{DisableSwitching: true}},
+		{"default", Options{Scheme: switching.Default}},
+		{"pipeswitch", Options{Scheme: switching.PipeSwitch}},
+		{"hare", Options{Scheme: switching.Hare}},
+		{"hare-spec", Options{Scheme: switching.Hare, Speculative: true}},
+		{"hare-belady", Options{Scheme: switching.Hare, Speculative: true, MemPolicy: gpumem.Belady}},
+		{"jitter", Options{Scheme: switching.Hare, Speculative: true, JitterFrac: 0.05, Seed: 9}},
+		{"hostaware", Options{Scheme: switching.Hare, Speculative: true, HostAwareSync: true}},
+		{"utilbins", Options{Scheme: switching.Hare, Speculative: true, UtilBins: 16}},
+		{"all-features", Options{Scheme: switching.Hare, Speculative: true, JitterFrac: 0.03, Seed: 4, HostAwareSync: true, UtilBins: 32}},
 		// Transient faults and stragglers live in the shared exec core,
 		// so both engines must replay them bit-identically too.
-		"faults": {Scheme: switching.Hare, Speculative: true,
-			Faults: &faults.Plan{Rate: 0.1, Seed: 7}},
-		"faults-straggler": {Scheme: switching.Hare, Speculative: true, JitterFrac: 0.03, Seed: 4,
-			Faults: &faults.Plan{Rate: 0.2, Seed: 1, Stragglers: []faults.Straggler{{GPU: 0, Factor: 1.5}}}},
+		{"faults", Options{Scheme: switching.Hare, Speculative: true,
+			Faults: &faults.Plan{Rate: 0.1, Seed: 7}}},
+		{"faults-straggler", Options{Scheme: switching.Hare, Speculative: true, JitterFrac: 0.03, Seed: 4,
+			Faults: &faults.Plan{Rate: 0.2, Seed: 1, Stragglers: []faults.Straggler{{GPU: 0, Factor: 1.5}}}}},
 	}
 }
 
@@ -107,18 +115,18 @@ func TestRunMatchesReference(t *testing.T) {
 			models[j] = zoo[(trial+j)%len(zoo)]
 		}
 		plan := planFor(t, in)
-		for name, opts := range equivOptions() {
-			want, err := RunReference(in, plan, sub, models, opts)
+		for _, c := range equivOptions() {
+			want, err := RunReference(in, plan, sub, models, c.opts)
 			if err != nil {
-				t.Fatalf("trial %d %s: reference: %v", trial, name, err)
+				t.Fatalf("trial %d %s: reference: %v", trial, c.name, err)
 			}
-			got, err := Run(in, plan, sub, models, opts)
+			got, err := Run(in, plan, sub, models, c.opts)
 			if err != nil {
-				t.Fatalf("trial %d %s: run: %v", trial, name, err)
+				t.Fatalf("trial %d %s: run: %v", trial, c.name, err)
 			}
 			if !reflect.DeepEqual(got, want) {
 				t.Fatalf("trial %d %s: incremental engine diverged from reference\n got: %+v\nwant: %+v",
-					trial, name, got, want)
+					trial, c.name, got, want)
 			}
 		}
 	}
@@ -198,9 +206,16 @@ func TestRunGoldenSeed42(t *testing.T) {
 				o.Scheme = switching.Hare
 				o.Speculative = true
 			}
-			for engine, f := range map[string]func(*core.Instance, *core.Schedule, *cluster.Cluster, []*model.Model, Options) (*Result, error){
-				"Run": Run, "RunReference": RunReference,
-			} {
+			// Fixed engine order: ranging a map here would interleave
+			// the two engines' error output nondeterministically.
+			engines := []struct {
+				name string
+				run  func(*core.Instance, *core.Schedule, *cluster.Cluster, []*model.Model, Options) (*Result, error)
+			}{
+				{"Run", Run}, {"RunReference", RunReference},
+			}
+			for _, eng := range engines {
+				engine, f := eng.name, eng.run
 				res, err := f(in, plan, cl, models, o)
 				if err != nil {
 					t.Fatal(err)

@@ -59,6 +59,7 @@ func RunReference(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, mo
 				sw, hit = b.Total(), b.ResidentHit
 			}
 			start := math.Max(g.free+sw, barrier)
+			//lint:allow floateq exact tie arm applies the deterministic GPU-index tie-break
 			if bestGPU == -1 || start < bestStart || (start == bestStart && m < bestGPU) {
 				bestGPU, bestStart, bestSwitch, bestHit, bestB = m, start, sw, hit, b
 			}

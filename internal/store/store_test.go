@@ -16,6 +16,7 @@ func stores(t *testing.T) map[string]Store {
 }
 
 func TestSaveLoadExists(t *testing.T) {
+	//lint:ordered independent subtests; t.Run isolates each backend
 	for name, s := range stores(t) {
 		t.Run(name, func(t *testing.T) {
 			if s.Exists("k") {
@@ -45,6 +46,7 @@ func TestSaveLoadExists(t *testing.T) {
 }
 
 func TestKeysSorted(t *testing.T) {
+	//lint:ordered independent subtests; t.Run isolates each backend
 	for name, s := range stores(t) {
 		t.Run(name, func(t *testing.T) {
 			for _, k := range []string{"b", "a", "c"} {

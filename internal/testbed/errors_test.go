@@ -54,17 +54,21 @@ func TestNewRemoteExecutorValidation(t *testing.T) {
 	if _, err := NewRemoteExecutor(base); err != nil {
 		t.Fatalf("valid config rejected: %v", err)
 	}
-	for name, mutate := range map[string]func(*RemoteExecutorConfig){
-		"nil instance": func(c *RemoteExecutorConfig) { c.Instance = nil },
-		"nil clock":    func(c *RemoteExecutorConfig) { c.Clock = nil },
-		"nil sync":     func(c *RemoteExecutorConfig) { c.Sync = nil },
-		"bad gpu":      func(c *RemoteExecutorConfig) { c.GPU = 99 },
-		"short models": func(c *RemoteExecutorConfig) { c.Models = c.Models[:1] },
-	} {
+	cases := []struct {
+		name   string
+		mutate func(*RemoteExecutorConfig)
+	}{
+		{"nil instance", func(c *RemoteExecutorConfig) { c.Instance = nil }},
+		{"nil clock", func(c *RemoteExecutorConfig) { c.Clock = nil }},
+		{"nil sync", func(c *RemoteExecutorConfig) { c.Sync = nil }},
+		{"bad gpu", func(c *RemoteExecutorConfig) { c.GPU = 99 }},
+		{"short models", func(c *RemoteExecutorConfig) { c.Models = c.Models[:1] }},
+	}
+	for _, tc := range cases {
 		cfg := base
-		mutate(&cfg)
+		tc.mutate(&cfg)
 		if _, err := NewRemoteExecutor(cfg); err == nil {
-			t.Errorf("%s accepted", name)
+			t.Errorf("%s accepted", tc.name)
 		}
 	}
 }

@@ -6,6 +6,7 @@ package workload
 
 import (
 	"fmt"
+	"sort"
 
 	"hare/internal/core"
 	"hare/internal/model"
@@ -47,18 +48,26 @@ func (m Mix) Boost(c model.Class, frac float64) Mix {
 	if frac < 0 || frac > 1 {
 		panic(fmt.Sprintf("workload: boost fraction %g outside [0,1]", frac))
 	}
+	// Iterate classes in sorted order: summing float weights in map
+	// order would make the normalized mix differ in the last ulp
+	// between runs.
+	classes := make([]model.Class, 0, len(m))
+	for cl := range m {
+		classes = append(classes, cl)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
 	var otherTotal float64
-	for cl, w := range m {
+	for _, cl := range classes {
 		if cl != c {
-			otherTotal += w
+			otherTotal += m[cl]
 		}
 	}
 	out := make(Mix, len(m))
-	for cl, w := range m {
+	for _, cl := range classes {
 		if cl == c {
 			out[cl] = frac
 		} else if otherTotal > 0 {
-			out[cl] = w / otherTotal * (1 - frac)
+			out[cl] = m[cl] / otherTotal * (1 - frac)
 		}
 	}
 	return out

@@ -76,6 +76,7 @@ func TestMixBoost(t *testing.T) {
 		t.Errorf("NLP weight %g", m[model.NLP])
 	}
 	var total float64
+	//lint:ordered sum is checked against a 1e-9 tolerance below
 	for _, w := range m {
 		total += w
 	}

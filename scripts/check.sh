@@ -12,6 +12,9 @@ cd "$(dirname "$0")/.."
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> harelint ./... (determinism static analysis, docs/STATIC_ANALYSIS.md)"
+go run ./cmd/harelint ./...
+
 echo "==> go build ./..."
 go build ./...
 
