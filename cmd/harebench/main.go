@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -33,6 +34,7 @@ var (
 	listOnly   = flag.Bool("list", false, "list experiment IDs and exit")
 	traceOut   = flag.String("trace-out", "", "write a chrome://tracing trace of all simulator replays to this JSON file")
 	eventsOut  = flag.String("events-out", "", "write structured events from all simulator replays to this JSONL file")
+	attribOut  = flag.String("attrib-out", "", "write the attrib experiment's per-scheme critical-path reports to this JSON file")
 	parallel   = flag.Int("parallel", 1, "worker goroutines per experiment (1 = serial, <=0 = GOMAXPROCS); results are identical either way")
 	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with 'go tool pprof')")
 	memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -117,7 +119,39 @@ func run() int {
 			fmt.Printf("events saved to %s\n", *eventsOut)
 		}
 	}
+	if *attribOut != "" {
+		// The attrib runner fills attribRows; compute directly when a
+		// different experiment selection skipped it.
+		if attribRows == nil {
+			rows, err := experiments.AttribSweep(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "harebench: attrib-out: %v\n", err)
+				return 1
+			}
+			attribRows = rows
+		}
+		if err := saveJSON(*attribOut, attribRows); err != nil {
+			fmt.Fprintf(os.Stderr, "harebench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("critical-path attribution saved to %s\n", *attribOut)
+	}
 	return 0
+}
+
+// saveJSON writes v as indented JSON.
+func saveJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // saveEventsJSONL writes captured events as JSON lines.
@@ -167,7 +201,40 @@ func allRunners() []runner {
 		{"ext-fair", "extension: finish-time fairness and waiting per scheme", runExtFairness},
 		{"ext-seeds", "extension: fig16 across 3 seeds, mean±std per scheme", runExtSeeds},
 		{"faults", "robustness: weighted-JCT degradation vs fault rate and GPU failures", runFaults},
+		{"attrib", "diagnosis: WJCT critical-path attribution per scheme", runAttrib},
 	}
+}
+
+// attribRows carries the attrib experiment's result to the -attrib-out
+// writer after the runner loop.
+var attribRows []experiments.AttribRow
+
+func runAttrib(cfg experiments.Config) error {
+	rows, err := experiments.AttribSweep(cfg)
+	if err != nil {
+		return err
+	}
+	attribRows = rows
+	var out [][]string
+	for _, r := range rows {
+		w := r.Report.Weighted
+		total := r.Report.WeightedJCT
+		pct := func(v float64) string {
+			if total <= 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1f%%", 100*v/total)
+		}
+		out = append(out, []string{
+			r.Scheme, fmt.Sprintf("%.0f", r.WeightedJCT),
+			pct(w.Arrival), pct(w.Queue), pct(w.BarrierWait),
+			pct(w.Switch), pct(w.Compute), pct(w.Comm),
+		})
+	}
+	fmt.Print(metrics.Table(
+		[]string{"scheduler", "weighted JCT", "arrival", "queue", "barrier", "switch", "compute", "comm"},
+		out))
+	return nil
 }
 
 func runFaults(cfg experiments.Config) error {

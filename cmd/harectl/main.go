@@ -8,6 +8,7 @@
 //	harectl run
 //	harectl status
 //	harectl status -id 3
+//	harectl critpath 3
 //	harectl tail -n 50 -type job-switch
 //	harectl stats
 package main
@@ -68,6 +69,8 @@ func main() {
 		run(c)
 	case "status":
 		status(c, cmdArgs)
+	case "critpath":
+		critpath(c, cmdArgs)
 	default:
 		fmt.Fprintf(os.Stderr, "harectl: unknown command %q\n", cmd)
 		usage()
@@ -82,6 +85,8 @@ commands:
   submit -model NAME -rounds N -scale K [-weight W] [-batch B] [-tag T]
   run                 execute the pending batch
   status [-id N]      show job states and per-GPU utilization
+  critpath <job-id>   show where a job's completion time went
+                      (critical-path attribution of its last batch)
   tail [-n N] [-type T] [-json]
                       show recent events from the daemon's ring buffer
   stats               dump the daemon's metrics (text exposition)`)
@@ -178,6 +183,22 @@ func status(c *manager.Client, args []string) {
 		}
 		fmt.Print(metrics.Table([]string{"gpu", "tasks", "busy", "overhead", "busy%"}, grows))
 	}
+}
+
+// critpath prints one job's critical-path attribution.
+func critpath(c *manager.Client, args []string) {
+	if len(args) != 1 {
+		fatal(fmt.Errorf("usage: critpath <job-id>"))
+	}
+	var id int
+	if _, err := fmt.Sscanf(args[0], "%d", &id); err != nil {
+		fatal(fmt.Errorf("critpath: bad job ID %q", args[0]))
+	}
+	text, err := c.CritPath(id)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(text)
 }
 
 // tail prints recent events from the daemon's ring buffer.

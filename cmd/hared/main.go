@@ -11,6 +11,7 @@
 //	harectl -addr 127.0.0.1:7461 submit -model ResNet50 -rounds 20 -scale 2
 //	harectl -addr 127.0.0.1:7461 run
 //	harectl -addr 127.0.0.1:7461 status
+//	harectl -addr 127.0.0.1:7461 critpath 0
 package main
 
 import (
@@ -57,6 +58,7 @@ func main() {
 	if *debugAddr != "" {
 		reg = obs.NewRegistry()
 		ring = obs.NewRingSink(*ringSize)
+		ring.AttachMetrics(reg)
 		rec = obs.NewRecorder(ring)
 	}
 

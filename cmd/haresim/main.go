@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +41,7 @@ var (
 	faultSpec = flag.String("fault-spec", "", "fault injection: rate=R,seed=S,fail=G@T,crash=G@T,slow=GxF (comma-separated, repeatable clauses)")
 	traceOut  = flag.String("trace-out", "", "write a chrome://tracing trace of the run to this JSON file")
 	eventsOut = flag.String("events-out", "", "write the run's structured events to this JSONL file")
+	attribOut = flag.String("attrib-out", "", "write the run's critical-path attribution report to this JSON file")
 	cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with 'go tool pprof')")
 	memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 )
@@ -99,9 +101,9 @@ func main() {
 	// selected scheduler's run.
 	var collect *hare.CollectSink
 	var rec *hare.Recorder
-	if *traceOut != "" || *eventsOut != "" {
+	if *traceOut != "" || *eventsOut != "" || *attribOut != "" {
 		if len(algos) != 1 {
-			fatal(fmt.Errorf("-trace-out/-events-out need a single scheduler (drop -compare)"))
+			fatal(fmt.Errorf("-trace-out/-events-out/-attrib-out need a single scheduler (drop -compare)"))
 		}
 		collect = hare.NewCollectSink()
 		rec = hare.NewRecorder(collect)
@@ -182,8 +184,18 @@ func main() {
 
 	if collect != nil {
 		events := collect.Events()
+		// trace-out and attrib-out both consume the causal span tree:
+		// the trace renders it as nested slices, the attribution
+		// folds it into per-job critical-path buckets.
+		var tree *hare.SpanTree
+		if *traceOut != "" || *attribOut != "" {
+			var err error
+			if tree, err = hare.BuildSpanTree(events); err != nil {
+				fatal(fmt.Errorf("build span tree: %w", err))
+			}
+		}
 		if *traceOut != "" {
-			if err := hare.SaveChromeTrace(*traceOut, events); err != nil {
+			if err := hare.SaveChromeTraceSpans(*traceOut, events, tree); err != nil {
 				fatal(err)
 			}
 			fmt.Printf("chrome trace (%d events) saved to %s — open in chrome://tracing\n", len(events), *traceOut)
@@ -194,7 +206,32 @@ func main() {
 			}
 			fmt.Printf("events saved to %s\n", *eventsOut)
 		}
+		if *attribOut != "" {
+			rep, err := hare.AnalyzeCritPath(tree, in, cl)
+			if err != nil {
+				fatal(fmt.Errorf("attribute critical path: %w", err))
+			}
+			if err := saveJSON(*attribOut, rep); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("critical-path attribution saved to %s\n", *attribOut)
+		}
 	}
+}
+
+// saveJSON writes v as indented JSON.
+func saveJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // saveEventsJSONL writes captured events as JSON lines.

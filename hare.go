@@ -40,6 +40,8 @@ import (
 	"hare/internal/faults"
 	"hare/internal/model"
 	"hare/internal/obs"
+	"hare/internal/obs/critpath"
+	"hare/internal/obs/span"
 	"hare/internal/profile"
 	"hare/internal/sched"
 	"hare/internal/sim"
@@ -353,6 +355,50 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 // SaveChromeTrace writes a Chrome trace-event file.
 func SaveChromeTrace(path string, events []Event) error {
 	return obs.SaveChromeTrace(path, events)
+}
+
+// Causal span tracing and WJCT critical-path attribution (see
+// internal/obs/span, internal/obs/critpath and
+// docs/OBSERVABILITY.md): the flat event stream folds into a
+// job → round → task → phase tree, and the tree folds into a per-job
+// account of where completion time went.
+type (
+	// SpanTree is the canonical causal tree built from an event
+	// stream.
+	SpanTree = span.Tree
+	// Span is one node of the tree.
+	Span = span.Span
+	// AttributionReport breaks every job's completion time into
+	// critical-path buckets, with per-GPU-type and per-weight
+	// roll-ups and straggler detection.
+	AttributionReport = critpath.Report
+)
+
+// BuildSpanTree folds captured events into the canonical span tree.
+// The tree is a function of the event set — engines that record the
+// same run in different orders build identical trees.
+func BuildSpanTree(events []Event) (*SpanTree, error) { return span.Build(events) }
+
+// AnalyzeCritPath attributes every job's completion time to
+// critical-path buckets (arrival, queue, barrier wait, switch,
+// compute, communication); per job the buckets sum to the realized
+// completion within ~1e-9.
+func AnalyzeCritPath(t *SpanTree, in *Instance, cl *Cluster) (*AttributionReport, error) {
+	return critpath.Analyze(t, in, cl)
+}
+
+// PlanAttribution replays a plan on the simulator with span
+// instrumentation and returns the tree plus its attribution — the
+// canonical account of a schedule, independent of which engine
+// executes it.
+func PlanAttribution(in *Instance, plan *Schedule, cl *Cluster, models []*Model, opts SimOptions) (*SpanTree, *AttributionReport, error) {
+	return critpath.PlanAttribution(in, plan, cl, models, opts)
+}
+
+// SaveChromeTraceSpans writes a Chrome trace-event file with an extra
+// "spans" process that renders the causal tree as nested slices.
+func SaveChromeTraceSpans(path string, events []Event, t *SpanTree) error {
+	return obs.SaveChromeTraceSpans(path, events, span.ChromeSpans(t))
 }
 
 // SetSchedulerRecorder attaches a recorder to an algorithm that

@@ -95,6 +95,14 @@ func DefaultPolicy(module string) Policy {
 		MapRange: LevelWarn, WallTime: LevelOff,
 		GlobalRand: LevelError, FloatEq: LevelWarn, ObsRecorder: LevelOff,
 	}
+	// span and critpath are derived-observation packages: they fold
+	// already-recorded events into trees and attribution reports that
+	// must be a deterministic function of the event set, and they must
+	// never emit events themselves — consuming the stream they would
+	// be appending to. Every analyzer is a gating error, unlike their
+	// parent obs, which owns the raw sinks.
+	per[module+"/internal/obs/span"] = engine
+	per[module+"/internal/obs/critpath"] = engine
 	realtime := Rules{
 		MapRange: LevelError, WallTime: LevelOff,
 		GlobalRand: LevelError, FloatEq: LevelWarn, ObsRecorder: LevelWarn,

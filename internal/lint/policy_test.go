@@ -45,6 +45,14 @@ func TestDefaultPolicyTiers(t *testing.T) {
 	if r := pol.For("hare/internal/obs"); r.ObsRecorder != LevelOff || r.WallTime != LevelOff {
 		t.Errorf("obs owns sinks and real time: %+v", r)
 	}
+	// The derived-observation children override their parent: they
+	// consume the event stream and must never emit into it.
+	if r := pol.For("hare/internal/obs/span"); r.ObsRecorder != LevelError || r.WallTime != LevelError {
+		t.Errorf("obs/span must be fully enforced: %+v", r)
+	}
+	if r := pol.For("hare/internal/obs/critpath"); r.ObsRecorder != LevelError || r.FloatEq != LevelError {
+		t.Errorf("obs/critpath must be fully enforced: %+v", r)
+	}
 	if r := pol.For("hare/cmd/haresim"); r.ObsRecorder != LevelError || r.GlobalRand != LevelError {
 		t.Errorf("cmd tier wrong: %+v", r)
 	}

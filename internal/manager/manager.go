@@ -24,6 +24,7 @@ import (
 	"hare/internal/faults"
 	"hare/internal/model"
 	"hare/internal/obs"
+	"hare/internal/obs/critpath"
 	"hare/internal/profile"
 	"hare/internal/sched"
 	"hare/internal/sim"
@@ -217,6 +218,12 @@ type Manager struct {
 	batches int
 	// gpuStats holds per-GPU aggregates from the last executed batch.
 	gpuStats []GPUStat
+	// lastAttrib is the canonical critical-path attribution of the
+	// last executed batch (a span-instrumented simulator replay of
+	// the batch's plan — identical no matter which backend ran it);
+	// attribIdx maps submission IDs to that batch's job indices.
+	lastAttrib *critpath.Report
+	attribIdx  map[int]int
 }
 
 type pendingJob struct {
@@ -394,6 +401,24 @@ func (m *Manager) ExecuteBatch() (*BatchResult, error) {
 
 	res := &BatchResult{Batch: batchNo, Jobs: len(batch), Trace: tr}
 	stats := gpuStatsFromTrace(tr, m.cl.Size())
+
+	// Canonical attribution of the batch: replay the plan on the
+	// simulator with span instrumentation and fold the event stream
+	// into a critical-path report. Deliberately independent of the
+	// backend that executed the batch, so harectl critpath reads the
+	// same numbers whether the batch ran on the testbed or the
+	// simulator. Failure here never fails the batch.
+	_, attrib, attribErr := critpath.PlanAttribution(in, plan, m.cl, models, sim.Options{
+		Scheme: switching.Hare, Speculative: true,
+	})
+	if attribErr != nil {
+		attrib = nil
+	}
+	idx := make(map[int]int, len(batch))
+	for i, pj := range batch {
+		idx[pj.id] = i
+	}
+
 	m.mu.Lock()
 	for i, pj := range batch {
 		st := m.status[pj.id]
@@ -408,6 +433,8 @@ func (m *Manager) ExecuteBatch() (*BatchResult, error) {
 		m.horizon = res.Makespan
 	}
 	m.gpuStats = stats
+	m.lastAttrib = attrib
+	m.attribIdx = idx
 	horizon := m.horizon
 	m.mu.Unlock()
 	m.cCompleted.Add(float64(len(batch)))
@@ -453,6 +480,33 @@ func (m *Manager) GPUStats() []GPUStat {
 	out := make([]GPUStat, len(m.gpuStats))
 	copy(out, m.gpuStats)
 	return out
+}
+
+// Attribution returns the canonical critical-path attribution of the
+// last executed batch (nil before any batch ran, or if the replay
+// failed). Job indices in the report are batch-local; use
+// JobAttribution to look up by submission ID.
+func (m *Manager) Attribution() *critpath.Report {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastAttrib
+}
+
+// JobAttribution renders one submitted job's critical-path breakdown
+// from the batch it last ran in: bucket totals, fractions of its
+// completion, and the per-round straggler chain.
+func (m *Manager) JobAttribution(id int) (string, error) {
+	m.mu.Lock()
+	rep := m.lastAttrib
+	idx, ok := m.attribIdx[id]
+	m.mu.Unlock()
+	if rep == nil {
+		return "", fmt.Errorf("manager: no attribution recorded yet")
+	}
+	if !ok {
+		return "", fmt.Errorf("manager: job %d was not in the last executed batch", id)
+	}
+	return rep.FormatJob(idx)
 }
 
 // ProfilerStats exposes the profile database's reuse counters.

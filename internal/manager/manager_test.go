@@ -260,3 +260,79 @@ func TestConcurrentSubmissions(t *testing.T) {
 		seen[st.ID] = true
 	}
 }
+
+// TestAttributionAfterBatch: executing a batch records a canonical
+// critical-path attribution, addressable by submission ID, and the
+// CritPath RPC serves it. The report is backend-independent — the
+// same plan replayed on the simulator — so it works under the
+// testbed backend too.
+func TestAttributionAfterBatch(t *testing.T) {
+	m := testManager(&TestbedBackend{TimeScale: 1e-4})
+	if m.Attribution() != nil {
+		t.Fatal("attribution present before any batch")
+	}
+	if _, err := m.JobAttribution(0); err == nil {
+		t.Fatal("JobAttribution succeeded before any batch")
+	}
+	var ids []int
+	for _, name := range []string{"ResNet50", "GraphSAGE"} {
+		id, err := m.Submit(req(name, 2, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if _, err := m.ExecuteBatch(); err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Attribution()
+	if rep == nil {
+		t.Fatal("no attribution after batch")
+	}
+	if len(rep.Jobs) != len(ids) {
+		t.Fatalf("attribution covers %d jobs, want %d", len(rep.Jobs), len(ids))
+	}
+	for _, ja := range rep.Jobs {
+		if d := ja.Buckets.Sum() - ja.Completion; d > 1e-9 || d < -1e-9 {
+			t.Errorf("job %d buckets sum off completion by %g", ja.Job, d)
+		}
+	}
+	for _, id := range ids {
+		text, err := m.JobAttribution(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(text, "compute") {
+			t.Errorf("job %d breakdown missing compute line:\n%s", id, text)
+		}
+	}
+	if _, err := m.JobAttribution(99); err == nil {
+		t.Error("unknown submission ID accepted")
+	}
+
+	// Same answer over the wire.
+	srv, addr, err := Serve("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	text, err := c.CritPath(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.JobAttribution(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text != want {
+		t.Error("RPC breakdown differs from local")
+	}
+	if _, err := c.CritPath(99); err == nil {
+		t.Error("unknown ID accepted over RPC")
+	}
+}

@@ -27,6 +27,12 @@ type StatusesReply struct {
 	GPUs []GPUStat
 }
 
+// CritPathArgs selects a job for attribution.
+type CritPathArgs struct{ ID int }
+
+// CritPathReply carries the rendered critical-path breakdown.
+type CritPathReply struct{ Text string }
+
 // ExecuteReply summarizes the batch that ran.
 type ExecuteReply struct {
 	Ran         bool // false when nothing was pending
@@ -85,6 +91,17 @@ func (s *Service) Execute(_ struct{}, reply *ExecuteReply) error {
 		Ran: true, Batch: res.Batch, Jobs: res.Jobs,
 		WeightedJCT: res.WeightedJCT, Makespan: res.Makespan,
 	}
+	return nil
+}
+
+// CritPath renders one job's critical-path attribution from the last
+// executed batch.
+func (s *Service) CritPath(args CritPathArgs, reply *CritPathReply) error {
+	text, err := s.m.JobAttribution(args.ID)
+	if err != nil {
+		return err
+	}
+	reply.Text = text
 	return nil
 }
 
@@ -177,6 +194,15 @@ func (c *Client) ClusterStatuses() (StatusesReply, error) {
 		return StatusesReply{}, err
 	}
 	return reply, nil
+}
+
+// CritPath fetches one job's rendered critical-path attribution.
+func (c *Client) CritPath(id int) (string, error) {
+	var reply CritPathReply
+	if err := c.c.Call(RPCName+".CritPath", CritPathArgs{ID: id}, &reply); err != nil {
+		return "", err
+	}
+	return reply.Text, nil
 }
 
 // Execute runs the pending batch and reports its outcome.

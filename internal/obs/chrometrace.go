@@ -21,6 +21,7 @@ const (
 	ChromePidExecution = 0 // task/sync/switch/wait/mem spans, tid = GPU
 	ChromePidScheduler = 1 // Algorithm 1 decisions, tid = chosen GPU
 	ChromePidJobs      = 2 // submit/complete instants, tid = job
+	ChromePidSpans     = 3 // nested causal spans, tid = job
 )
 
 // chromeEvent is one entry of the trace-event JSON array.
@@ -32,8 +33,24 @@ type chromeEvent struct {
 	Dur  float64        `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
-	S    string         `json:"s,omitempty"` // instant scope
+	S    string         `json:"s,omitempty"`  // instant scope
+	ID   int            `json:"id,omitempty"` // flow-event binding id
+	Bp   string         `json:"bp,omitempty"` // flow binding point
 	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeSpan is one pre-laid-out slice for the "spans" process of the
+// trace (pid ChromePidSpans). Callers — e.g. internal/obs/span, which
+// this package must not import — flatten their span trees into these:
+// parents must precede children so equal-timestamp slices nest
+// correctly in the viewer.
+type ChromeSpan struct {
+	Name  string
+	Cat   string
+	Tid   int // lane within the spans process (job ID)
+	Start float64
+	End   float64
+	Args  map[string]any
 }
 
 type chromeTrace struct {
@@ -46,8 +63,17 @@ const usec = 1e6 // seconds → trace-event microseconds
 // WriteChromeTrace renders events as trace-event JSON. Events are
 // emitted in ascending-ts order (stable within equal timestamps), so
 // every lane's timeline is monotone. EvTaskStart events are skipped —
-// the matching EvTaskFinish carries the whole span.
+// the matching EvTaskFinish carries the whole span. A preempted job's
+// switch-out and its next switch-in are connected by flow events, so
+// the viewer draws an arrow from where a job lost its GPU to where it
+// resumed (possibly on another device).
 func WriteChromeTrace(w io.Writer, events []Event) error {
+	return WriteChromeTraceSpans(w, events, nil)
+}
+
+// WriteChromeTraceSpans is WriteChromeTrace plus an optional nested
+// causal-span process (pid ChromePidSpans, one lane per job).
+func WriteChromeTraceSpans(w io.Writer, events []Event, spans []ChromeSpan) error {
 	var out []chromeEvent
 	type lane struct{ pid, tid int }
 	lanes := make(map[lane]bool)
@@ -55,6 +81,7 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		lanes[lane{pid, tid}] = true
 	}
 
+	var switchEvs []Event
 	for _, e := range events {
 		switch e.Type {
 		case EvTaskStart:
@@ -79,6 +106,7 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			}
 		case EvJobSwitch:
 			touch(ChromePidExecution, e.GPU)
+			switchEvs = append(switchEvs, e)
 			out = append(out, chromeEvent{
 				Name: fmt.Sprintf("switch j%d>j%d", e.From, e.Job),
 				Cat:  "switch", Ph: "X",
@@ -140,6 +168,51 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		}
 	}
 
+	// Flow arrows from each preemption to the resumption it caused: a
+	// switch to job B on a GPU running job A is A's switch-out; A's
+	// next switch-in (on any device) is where it resumed. The "s" end
+	// lands on the evicting switch slice, the "f" end (binding point
+	// "e": enclosing slice) on the resuming one. Pairing walks the
+	// switches in global time order so out/in alternate per job.
+	sort.SliceStable(switchEvs, func(i, j int) bool {
+		if switchEvs[i].Time != switchEvs[j].Time { //lint:allow floateq stable-sort tie-break
+			return switchEvs[i].Time < switchEvs[j].Time
+		}
+		return switchEvs[i].GPU < switchEvs[j].GPU
+	})
+	flowID := 0
+	lastOut := make(map[int]Event) // job → switch event that evicted it
+	for _, e := range switchEvs {
+		if prev, ok := lastOut[e.Job]; ok {
+			flowID++
+			name := fmt.Sprintf("preempt j%d", e.Job)
+			out = append(out,
+				chromeEvent{
+					Name: name, Cat: "preempt", Ph: "s",
+					Ts:  prev.Time * usec,
+					Pid: ChromePidExecution, Tid: prev.GPU, ID: flowID,
+				},
+				chromeEvent{
+					Name: name, Cat: "preempt", Ph: "f", Bp: "e",
+					Ts:  e.Time * usec,
+					Pid: ChromePidExecution, Tid: e.GPU, ID: flowID,
+				})
+			delete(lastOut, e.Job)
+		}
+		if e.From >= 0 {
+			lastOut[e.From] = e
+		}
+	}
+
+	for _, s := range spans {
+		touch(ChromePidSpans, s.Tid)
+		out = append(out, chromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			Ts: s.Start * usec, Dur: (s.End - s.Start) * usec,
+			Pid: ChromePidSpans, Tid: s.Tid, Args: s.Args,
+		})
+	}
+
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
 
 	// Lane metadata first: process and thread names make the viewer
@@ -148,6 +221,12 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		{Name: "process_name", Ph: "M", Pid: ChromePidExecution, Args: map[string]any{"name": "execution"}},
 		{Name: "process_name", Ph: "M", Pid: ChromePidScheduler, Args: map[string]any{"name": "scheduler"}},
 		{Name: "process_name", Ph: "M", Pid: ChromePidJobs, Args: map[string]any{"name": "jobs"}},
+	}
+	if len(spans) > 0 {
+		meta = append(meta, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: ChromePidSpans,
+			Args: map[string]any{"name": "spans"},
+		})
 	}
 	var laneList []lane
 	for l := range lanes {
@@ -161,7 +240,7 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 	})
 	for _, l := range laneList {
 		name := fmt.Sprintf("GPU %d", l.tid)
-		if l.pid == ChromePidJobs {
+		if l.pid == ChromePidJobs || l.pid == ChromePidSpans {
 			name = fmt.Sprintf("job %d", l.tid)
 		}
 		meta = append(meta, chromeEvent{
@@ -177,11 +256,18 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 
 // SaveChromeTrace writes the trace-event JSON to path.
 func SaveChromeTrace(path string, events []Event) error {
+	return SaveChromeTraceSpans(path, events, nil)
+}
+
+// SaveChromeTraceSpans writes the trace-event JSON to path with an
+// extra "spans" process rendering the given causal span slices (see
+// internal/obs/span.ChromeSpans).
+func SaveChromeTraceSpans(path string, events []Event, spans []ChromeSpan) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("obs: create %s: %w", path, err)
 	}
-	if err := WriteChromeTrace(f, events); err != nil {
+	if err := WriteChromeTraceSpans(f, events, spans); err != nil {
 		f.Close()
 		return fmt.Errorf("obs: write chrome trace: %w", err)
 	}

@@ -247,6 +247,12 @@ type RingSink struct {
 	next    int
 	total   uint64
 	dropped uint64
+
+	// Optional registry mirrors of total/dropped (AttachMetrics), so a
+	// truncated /events stream is detectable from /metrics instead of
+	// silent.
+	cTotal   *Counter
+	cDropped *Counter
 }
 
 // NewRingSink returns a ring holding the last capacity events
@@ -266,10 +272,34 @@ func (s *RingSink) Record(e Event) {
 	} else {
 		s.buf[s.next] = e
 		s.dropped++
+		if s.cDropped != nil {
+			s.cDropped.Inc()
+		}
 	}
 	s.next = (s.next + 1) % cap(s.buf)
 	s.total++
+	if s.cTotal != nil {
+		s.cTotal.Inc()
+	}
 	s.mu.Unlock()
+}
+
+// AttachMetrics registers overflow gauges for this ring in reg:
+// hare_obs_ring_events_total counts every event recorded, and
+// hare_obs_ring_dropped_total counts events overwritten before being
+// read — a nonzero, growing dropped counter means the ring capacity is
+// too small for the event rate and /events is showing a truncated
+// stream.
+func (s *RingSink) AttachMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cTotal = reg.Counter("hare_obs_ring_events_total")
+	s.cDropped = reg.Counter("hare_obs_ring_dropped_total")
+	s.cTotal.Add(float64(s.total))
+	s.cDropped.Add(float64(s.dropped))
 }
 
 // Snapshot returns the retained events oldest-first without clearing.

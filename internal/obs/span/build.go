@@ -1,0 +1,329 @@
+package span
+
+import (
+	"fmt"
+	"sort"
+
+	"hare/internal/obs"
+)
+
+// taskKey identifies a task across engines; the distributed
+// coordinator's fencing guarantees at most one finish per key, which
+// is what lets retried and migrated executions stitch into one task
+// node with sibling attempts.
+type taskKey struct {
+	job, round, index int
+}
+
+func lessKey(a, b taskKey) bool {
+	if a.job != b.job {
+		return a.job < b.job
+	}
+	if a.round != b.round {
+		return a.round < b.round
+	}
+	return a.index < b.index
+}
+
+// taskObs is everything observed about one task before tree assembly.
+type taskObs struct {
+	finish  obs.Event
+	start   float64
+	gpu     int
+	hasWait bool
+	wait    obs.Event
+	hasSw   bool
+	sw      obs.Event
+	faults  []float64   // attempt boundaries (fault-injection times), ascending
+	marks   []obs.Event // EvTaskMigrated markers, in failure-time order
+}
+
+// laneStart is a task start on one GPU's serial timeline, used to
+// attach switch events to the task they preceded without comparing
+// floats for equality.
+type laneStart struct {
+	t   float64
+	job int
+	key taskKey
+}
+
+// Build derives the canonical span tree from a recorded event stream.
+// It consumes exactly the events the engines already emit (barrier
+// waits, switches, starts, fault injections, finishes, migrations) and
+// ignores everything else, so it works identically on streams from
+// internal/sim, the testbed executors, and the rpcnet coordinator.
+//
+// The result is deterministic given the *set* of events: tasks are
+// matched by (job, round, index), switches are attached by position on
+// their GPU's serial timeline, and the final tree is sorted by span
+// identity — goroutine interleaving in the source stream cannot change
+// the output. Tasks that never finished (e.g. an executor crash before
+// its gradient push) are dropped.
+func Build(events []obs.Event) (*Tree, error) {
+	tasks := make(map[taskKey]*taskObs)
+	get := func(e obs.Event) *taskObs {
+		k := taskKey{e.Job, e.Round, e.Index}
+		o := tasks[k]
+		if o == nil {
+			o = &taskObs{gpu: -1}
+			tasks[k] = o
+		}
+		return o
+	}
+	var starts, switches []obs.Event
+	for _, e := range events {
+		switch e.Type {
+		case obs.EvTaskFinish:
+			o := get(e)
+			if o.finish.Type == obs.EvTaskFinish {
+				return nil, fmt.Errorf("span: duplicate finish for job %d round %d index %d", e.Job, e.Round, e.Index)
+			}
+			o.finish = e
+		case obs.EvTaskStart:
+			starts = append(starts, e)
+		case obs.EvBarrierWait:
+			o := get(e)
+			if !o.hasWait {
+				o.hasWait, o.wait = true, e
+			}
+		case obs.EvJobSwitch:
+			switches = append(switches, e)
+		case obs.EvFaultInjected:
+			o := get(e)
+			o.faults = append(o.faults, e.Time)
+		case obs.EvTaskMigrated:
+			o := get(e)
+			o.marks = append(o.marks, e)
+		}
+	}
+
+	// Resolve each finished task's start: prefer an observed start on
+	// the finish GPU, fall back to finish.Time - finish.Dur (truncated
+	// streams).
+	keys := make([]taskKey, 0, len(tasks))
+	for k, o := range tasks { //lint:ordered filtered into keys and sorted below
+		if o.finish.Type != obs.EvTaskFinish {
+			continue // never finished: crashed executor or truncated stream
+		}
+		o.gpu = o.finish.GPU
+		o.start = o.finish.Time - o.finish.Dur
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return lessKey(keys[i], keys[j]) })
+	for _, e := range starts {
+		k := taskKey{e.Job, e.Round, e.Index}
+		if o := tasks[k]; o != nil && o.finish.Type == obs.EvTaskFinish && e.GPU == o.finish.GPU {
+			o.start = e.Time
+		}
+	}
+
+	// Per-GPU serial timelines of task starts, for switch attachment.
+	lanes := make(map[int][]laneStart)
+	maxGPU := -1
+	for _, k := range keys {
+		o := tasks[k]
+		lanes[o.gpu] = append(lanes[o.gpu], laneStart{t: o.start, job: k.job, key: k})
+		if o.gpu > maxGPU {
+			maxGPU = o.gpu
+		}
+	}
+	for g := 0; g <= maxGPU; g++ {
+		l := lanes[g]
+		sort.Slice(l, func(i, j int) bool {
+			if l[i].t != l[j].t { //lint:allow floateq sort tie-break on identical floats
+				return l[i].t < l[j].t
+			}
+			return lessKey(l[i].key, l[j].key)
+		})
+	}
+	// A switch stall [Time, Time+Dur] immediately precedes its task's
+	// start on the same lane, so the first lane start at or after
+	// Time with a matching job is the task it belongs to. Orphan
+	// switches (their task never finished) are dropped.
+	sort.SliceStable(switches, func(i, j int) bool {
+		if switches[i].Time != switches[j].Time { //lint:allow floateq stable-sort tie-break
+			return switches[i].Time < switches[j].Time
+		}
+		return switches[i].GPU < switches[j].GPU
+	})
+	for _, e := range switches {
+		l := lanes[e.GPU]
+		i := sort.Search(len(l), func(i int) bool { return l[i].t >= e.Time })
+		if i == len(l) || l[i].job != e.Job {
+			continue
+		}
+		if o := tasks[l[i].key]; !o.hasSw {
+			o.hasSw, o.sw = true, e
+		}
+	}
+
+	return assemble(keys, tasks)
+}
+
+// assemble lays the canonical tree out of per-task observations:
+// jobs ascending → rounds ascending → tasks by index → stranded
+// markers then attempts → phases in fixed kind order. IDs are
+// positions in that order.
+func assemble(keys []taskKey, tasks map[taskKey]*taskObs) (*Tree, error) {
+	t := &Tree{}
+	push := func(s Span) int {
+		s.ID = len(t.Spans)
+		t.Spans = append(t.Spans, s)
+		return s.ID
+	}
+	for i := 0; i < len(keys); {
+		job := keys[i].job
+		jobID := push(Span{
+			Parent: NoID, Kind: KindJob, Job: job,
+			Round: -1, Index: -1, Attempt: -1, GPU: -1, From: -1,
+		})
+		jobLo, jobHi := 0.0, 0.0
+		firstRound := true
+		for i < len(keys) && keys[i].job == job {
+			round := keys[i].round
+			roundID := push(Span{
+				Parent: jobID, Kind: KindRound, Job: job, Round: round,
+				Index: -1, Attempt: -1, GPU: -1, From: -1,
+			})
+			rLo, rHi := 0.0, 0.0
+			firstTask := true
+			for i < len(keys) && keys[i].job == job && keys[i].round == round {
+				k := keys[i]
+				lo, hi := emitTask(t, push, roundID, k, tasks[k])
+				if firstTask || lo < rLo {
+					rLo = lo
+				}
+				if firstTask || hi > rHi {
+					rHi = hi
+				}
+				firstTask = false
+				i++
+			}
+			t.Spans[roundID].Start, t.Spans[roundID].End = rLo, rHi
+			if firstRound || rLo < jobLo {
+				jobLo = rLo
+			}
+			if firstRound || rHi > jobHi {
+				jobHi = rHi
+			}
+			firstRound = false
+		}
+		t.Spans[jobID].Start, t.Spans[jobID].End = jobLo, jobHi
+	}
+	return t, t.Validate()
+}
+
+// emitTask appends one task's stranded markers, attempts, and phase
+// children, returning the [min, max] time extent it covers.
+func emitTask(t *Tree, push func(Span) int, roundID int, k taskKey, o *taskObs) (lo, hi float64) {
+	migrated := len(o.marks) > 0
+	from := -1
+	if migrated {
+		from = o.marks[len(o.marks)-1].From
+	}
+	lo, hi = o.start, o.finish.Time
+	// Stranded markers: zero-length Lost attempts on each failed GPU
+	// the task was rescheduled away from.
+	marks := append([]obs.Event(nil), o.marks...)
+	sort.SliceStable(marks, func(i, j int) bool {
+		if marks[i].Time != marks[j].Time { //lint:allow floateq stable-sort tie-break
+			return marks[i].Time < marks[j].Time
+		}
+		return marks[i].From < marks[j].From
+	})
+	for _, m := range marks {
+		push(Span{
+			Parent: roundID, Kind: KindTask, Job: k.job, Round: k.round, Index: k.index,
+			Attempt: -1, GPU: m.From, From: -1, Start: m.Time, End: m.Time,
+			Lost: true, Migrated: true, Note: "stranded",
+		})
+		if m.Time < lo {
+			lo = m.Time
+		}
+	}
+
+	// Attempt boundaries: fault-injection times split the occupancy
+	// [start, trainEnd] into lost attempts plus the final one.
+	bounds := append([]float64(nil), o.faults...)
+	sort.Float64s(bounds)
+	trainEnd := o.finish.Time - o.finish.Sync
+	if trainEnd < o.start {
+		trainEnd = o.start
+	}
+	if trainEnd > o.finish.Time {
+		trainEnd = o.finish.Time
+	}
+	n := len(bounds)
+	for a := 0; a <= n; a++ {
+		aStart := o.start
+		if a > 0 {
+			aStart = bounds[a-1]
+		}
+		aEnd := o.finish.Time
+		last := a == n
+		if !last {
+			aEnd = bounds[a]
+		}
+		att := Span{
+			Parent: roundID, Kind: KindTask, Job: k.job, Round: k.round, Index: k.index,
+			Attempt: a, GPU: o.gpu, From: from, Start: aStart, End: aEnd,
+			Lost: !last, Migrated: migrated, Note: o.finish.Note,
+		}
+		if a == 0 {
+			// The first attempt owns the pre-start phases.
+			if o.hasWait {
+				if o.wait.Time < att.Start {
+					att.Start = o.wait.Time
+				}
+			}
+			if o.hasSw {
+				if o.sw.Time < att.Start {
+					att.Start = o.sw.Time
+				}
+			}
+		}
+		attID := push(att)
+		if att.Start < lo {
+			lo = att.Start
+		}
+		if a == 0 {
+			if o.hasWait {
+				kind := KindBarrierWait
+				if o.wait.Note == "arrival" {
+					kind = KindQueue
+				}
+				push(Span{
+					Parent: attID, Kind: kind, Job: k.job, Round: k.round, Index: k.index,
+					Attempt: a, GPU: o.gpu, From: -1,
+					Start: o.wait.Time, End: o.wait.Time + o.wait.Dur, Note: o.wait.Note,
+				})
+			}
+			if o.hasSw {
+				push(Span{
+					Parent: attID, Kind: KindSwitchIn, Job: k.job, Round: k.round, Index: k.index,
+					Attempt: a, GPU: o.gpu, From: o.sw.From,
+					Start: o.sw.Time, End: o.sw.Time + o.sw.Dur, Hit: o.sw.Hit,
+				})
+			}
+		}
+		cEnd := aEnd
+		if last && trainEnd < cEnd {
+			cEnd = trainEnd
+		}
+		cStart := o.start
+		if a > 0 {
+			cStart = aStart
+		}
+		push(Span{
+			Parent: attID, Kind: KindCompute, Job: k.job, Round: k.round, Index: k.index,
+			Attempt: a, GPU: o.gpu, From: -1, Start: cStart, End: cEnd, Lost: !last,
+		})
+		if last && o.finish.Sync > 0 {
+			push(Span{
+				Parent: attID, Kind: KindComm, Job: k.job, Round: k.round, Index: k.index,
+				Attempt: a, GPU: o.gpu, From: -1, Start: trainEnd, End: o.finish.Time,
+			})
+		}
+	}
+	return lo, hi
+}

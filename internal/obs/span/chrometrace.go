@@ -1,0 +1,58 @@
+package span
+
+import (
+	"fmt"
+
+	"hare/internal/obs"
+)
+
+// ChromeSpans flattens a tree into slices for the chrome-trace "spans"
+// process (obs.ChromePidSpans): one lane per job, nesting job → round
+// → attempt → phase by slice containment. The tree's canonical order
+// already puts parents before children, which is what the exporter
+// needs for equal-timestamp nesting.
+func ChromeSpans(t *Tree) []obs.ChromeSpan {
+	if t == nil {
+		return nil
+	}
+	out := make([]obs.ChromeSpan, 0, len(t.Spans))
+	for _, s := range t.Spans {
+		cs := obs.ChromeSpan{
+			Cat:   s.Kind.String(),
+			Tid:   s.Job,
+			Start: s.Start,
+			End:   s.End,
+		}
+		switch s.Kind {
+		case KindJob:
+			cs.Name = fmt.Sprintf("job %d", s.Job)
+		case KindRound:
+			cs.Name = fmt.Sprintf("round %d", s.Round)
+		case KindTask:
+			switch {
+			case s.Attempt < 0:
+				cs.Name = fmt.Sprintf("task %d stranded gpu%d", s.Index, s.GPU)
+			case s.Lost:
+				cs.Name = fmt.Sprintf("task %d a%d lost", s.Index, s.Attempt)
+			default:
+				cs.Name = fmt.Sprintf("task %d gpu%d", s.Index, s.GPU)
+			}
+			cs.Args = map[string]any{
+				"gpu": s.GPU, "attempt": s.Attempt,
+				"lost": s.Lost, "migrated": s.Migrated,
+			}
+			if s.Note != "" {
+				cs.Args["note"] = s.Note
+			}
+		default:
+			cs.Name = s.Kind.String()
+			cs.Args = map[string]any{"gpu": s.GPU}
+			if s.Kind == KindSwitchIn {
+				cs.Args["residency_hit"] = s.Hit
+				cs.Args["from"] = s.From
+			}
+		}
+		out = append(out, cs)
+	}
+	return out
+}

@@ -204,9 +204,17 @@ type coordinator struct {
 	pushed    [][]int
 	tasksLeft int
 
-	failed     []bool
-	lease      []time.Time
-	reported   []bool
+	failed   []bool
+	lease    []time.Time
+	reported []bool
+	// prevJob/prevFree mirror each executor's switch state (last job
+	// run, trainEnd of its last task) so accepted pushes can be
+	// re-emitted as the same task-level event stream the sim and
+	// testbed engines record — one fenced, deduplicated stream per GPU
+	// lane, in execution order, that internal/obs/span stitches into
+	// the coordinator's failure/migration events.
+	prevJob    []core.JobID
+	prevFree   []float64
 	records    []trace.TaskRecord
 	switchTot  float64
 	switchCnt  int
@@ -361,6 +369,7 @@ func (c *coordinator) Push(args PushArgs, reply *PushReply) error {
 		Task: rep.Task, GPU: rep.GPU, Start: rep.Start,
 		Train: rep.TrainEnd - rep.Start, Sync: comp - rep.TrainEnd, Switch: rep.Switch,
 	})
+	c.emitTaskLocked(rep, comp)
 	c.switchTot += rep.Switch
 	if rep.Switch > 0 {
 		c.switchCnt++
@@ -374,6 +383,66 @@ func (c *coordinator) Push(args PushArgs, reply *PushReply) error {
 	c.cond.Broadcast()
 	reply.Completion = comp
 	return nil
+}
+
+// emitTaskLocked re-emits one accepted push as the engine-shaped task
+// event sequence (barrier-wait, switch, start, fault-injections,
+// finish) that sim and testbed record locally. Executors report
+// measurements, not events, so the coordinator derives the stream at
+// the only point where fencing and deduplication have already been
+// decided — which is what guarantees at most one finish per task and
+// lets retried/migrated executions stitch into sibling attempts
+// downstream. Per-GPU push order is execution order, so each lane's
+// stream is time-ordered. Caller holds c.mu.
+func (c *coordinator) emitTaskLocked(rep testbed.PushReport, comp float64) {
+	g := rep.GPU
+	free, prev := c.prevFree[g], c.prevJob[g]
+	c.prevFree[g], c.prevJob[g] = rep.TrainEnd, rep.Task.Job
+	rec := c.opts.Recorder
+	if !rec.Enabled() {
+		return
+	}
+	job, round, index := int(rep.Task.Job), rep.Task.Round, rep.Task.Index
+	if wait := rep.Start - rep.Switch - free; wait > 0 {
+		reason := "round"
+		if round == 0 {
+			reason = "arrival"
+		}
+		rec.Emit(obs.Event{
+			Type: obs.EvBarrierWait, Time: free, GPU: g,
+			Job: job, Round: round, Index: index, Dur: wait, Note: reason,
+		})
+	}
+	if rep.Switch > 0 {
+		// The executor reports the stall it actually paid but not its
+		// clean/context/init/transfer breakdown; Dur is authoritative.
+		rec.Emit(obs.Event{
+			Type: obs.EvJobSwitch, Time: rep.Start - rep.Switch, GPU: g,
+			Job: job, From: int(prev), Dur: rep.Switch, Hit: rep.Hit,
+		})
+	}
+	rec.Emit(obs.Event{
+		Type: obs.EvTaskStart, Time: rep.Start, GPU: g,
+		Job: job, Round: round, Index: index,
+	})
+	if rep.Retries > 0 {
+		// Lost-attempt boundaries are not in the report; divide the
+		// occupancy evenly, matching the sim's constant per-attempt
+		// training time.
+		train := (rep.TrainEnd - rep.Start) / float64(rep.Retries+1)
+		for a := 1; a <= rep.Retries; a++ {
+			rec.Emit(obs.Event{
+				Type: obs.EvFaultInjected, Time: rep.Start + train*float64(a), GPU: g,
+				Job: job, Round: round, Index: index, Dur: train,
+			})
+		}
+	}
+	rec.Emit(obs.Event{
+		Type: obs.EvTaskFinish, Time: comp, GPU: g,
+		Job: job, Round: round, Index: index,
+		Dur: comp - rep.Start, Train: rep.TrainEnd - rep.Start, Sync: comp - rep.TrainEnd,
+		Note: c.in.Jobs[job].Model,
+	})
 }
 
 // WaitRound blocks until the round completes.
@@ -620,6 +689,11 @@ func ServeDistributed(addr string, in *core.Instance, plan *core.Schedule, cl *c
 		failed:      make([]bool, in.NumGPUs),
 		lease:       make([]time.Time, in.NumGPUs),
 		reported:    make([]bool, in.NumGPUs),
+		prevJob:     make([]core.JobID, in.NumGPUs),
+		prevFree:    make([]float64, in.NumGPUs),
+	}
+	for g := range co.prevJob {
+		co.prevJob[g] = -1
 	}
 	co.cond = sync.NewCond(&co.mu)
 	co.pushed = make([][]int, len(in.Jobs))

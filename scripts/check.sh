@@ -22,6 +22,9 @@ echo "==> engine equivalence under -race (sim incremental-vs-reference, experime
 go test -race -run 'TestRunMatchesReference|TestRunGolden' ./internal/sim/
 go test -race -run 'TestParallelMatchesSerial' ./internal/experiments/
 
+echo "==> span-tree and attribution equivalence under -race (seed-42 goldens, sim/testbed/distributed 1e-9)"
+go test -race ./internal/obs/span/ ./internal/obs/critpath/
+
 echo "==> fault-injection and chaos suites under -race (sim failures, distributed crash/lease recovery)"
 go test -race -run 'TestSim(TransientFaults|Straggler|Failure|AllGPUs|RetriesMatch)|TestReference' ./internal/sim/
 go test -race -run 'TestResidual' ./internal/faults/
