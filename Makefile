@@ -1,6 +1,15 @@
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-obs check fmt
+# Perf-gate knobs (docs/PERFORMANCE.md): per-benchmark budget,
+# repetitions, default regression threshold, and the baseline archive.
+# The budget is time-based on purpose: a fixed iteration count leaves
+# the nanosecond-scale benchmarks at the mercy of timer noise.
+BENCH_TIME ?= 300ms
+BENCH_COUNT ?= 5
+BENCH_THRESHOLD ?= 1.0
+BENCH_BASE ?= bench/baseline.json
+
+.PHONY: all build test vet lint race bench bench-compare bench-obs check fmt
 
 all: build
 
@@ -23,10 +32,16 @@ lint:
 race:
 	$(GO) test -race ./...
 
-# Full benchmark suite with allocation stats, archived as
-# BENCH_<date>.json for cross-commit comparison (docs/PERFORMANCE.md).
+# Full benchmark suite with allocation stats, archived under bench/
+# as BENCH_<timestamp>_<commit>.json (docs/PERFORMANCE.md).
 bench:
 	./scripts/bench.sh
+
+# Perf regression gate: run the gate benchmark subset and compare
+# against the checked-in baseline. Non-zero exit on regression.
+bench-compare:
+	$(GO) run ./cmd/hareperf compare -base $(BENCH_BASE) -run \
+		-benchtime $(BENCH_TIME) -count $(BENCH_COUNT) -threshold $(BENCH_THRESHOLD)
 
 # Observability overhead: the nil-recorder path (BenchmarkObsDisabled)
 # must stay within noise of the uninstrumented BenchmarkSimulatorReplay.

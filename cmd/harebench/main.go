@@ -22,6 +22,7 @@ import (
 	"hare/internal/metrics"
 	"hare/internal/model"
 	"hare/internal/obs"
+	"hare/internal/obs/perf"
 	"hare/internal/switching"
 )
 
@@ -38,6 +39,7 @@ var (
 	parallel   = flag.Int("parallel", 1, "worker goroutines per experiment (1 = serial, <=0 = GOMAXPROCS); results are identical either way")
 	cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with 'go tool pprof')")
 	memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	perfOut    = flag.Bool("perf-summary", false, "print per-experiment wall time and process runtime stats after the run")
 )
 
 type runner struct {
@@ -84,6 +86,15 @@ func run() int {
 		collect = obs.NewCollectSink()
 		cfg.Recorder = obs.NewRecorder(collect)
 	}
+	// With -perf-summary every experiment runs under a phase timer and
+	// the registry (phase timings + a runtime/metrics sample) prints at
+	// the end — the CLI face of internal/obs/perf's self-telemetry.
+	var perfReg *obs.Registry
+	var phases *perf.PhaseRecorder
+	if *perfOut {
+		perfReg = obs.NewRegistry()
+		phases = perf.NewPhaseRecorder(perfReg)
+	}
 	want := strings.ToLower(*experiment)
 	ran := 0
 	for _, r := range runners {
@@ -91,7 +102,10 @@ func run() int {
 			continue
 		}
 		fmt.Printf("== %s: %s ==\n", r.id, r.desc)
-		if err := r.run(cfg); err != nil {
+		stopPhase := phases.Start("experiment_" + r.id)
+		err := r.run(cfg)
+		stopPhase()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "harebench: %s: %v\n", r.id, err)
 			return 1
 		}
@@ -135,6 +149,14 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("critical-path attribution saved to %s\n", *attribOut)
+	}
+	if perfReg != nil {
+		perf.SampleRuntime(perfReg)
+		fmt.Println("== perf summary ==")
+		if err := perfReg.WriteText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "harebench: %v\n", err)
+			return 1
+		}
 	}
 	return 0
 }

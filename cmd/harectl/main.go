@@ -14,11 +14,13 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strings"
 
 	"hare/internal/manager"
 	"hare/internal/metrics"
@@ -52,7 +54,7 @@ func main() {
 		tail(*debugAddr, cmdArgs)
 		return
 	case "stats":
-		stats(*debugAddr)
+		stats(*debugAddr, cmdArgs)
 		return
 	}
 
@@ -89,7 +91,9 @@ commands:
                       (critical-path attribution of its last batch)
   tail [-n N] [-type T] [-json]
                       show recent events from the daemon's ring buffer
-  stats               dump the daemon's metrics (text exposition)`)
+  stats [-family F]   dump the daemon's metrics (text exposition),
+                      optionally only families containing F
+                      (e.g. -family hare_perf, -family hare_runtime)`)
 }
 
 func submit(c *manager.Client, args []string) {
@@ -235,13 +239,46 @@ func tail(debugAddr string, args []string) {
 	}
 }
 
-// stats dumps the daemon's metrics in text exposition format.
-func stats(debugAddr string) {
-	body := get(fmt.Sprintf("http://%s/metrics", debugAddr))
-	defer body.Close()
-	if _, err := io.Copy(os.Stdout, body); err != nil {
+// stats dumps the daemon's metrics in text exposition format,
+// optionally filtered to families whose name contains a substring.
+func stats(debugAddr string, args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	fam := fs.String("family", "", "only print metric families containing this substring")
+	if err := fs.Parse(args); err != nil {
 		fatal(err)
 	}
+	body := get(fmt.Sprintf("http://%s/metrics", debugAddr))
+	defer body.Close()
+	if *fam == "" {
+		if _, err := io.Copy(os.Stdout, body); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if statsLineMatches(sc.Text(), *fam) {
+			fmt.Println(sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+// statsLineMatches reports whether an exposition line belongs to a
+// family whose name contains fam. Works on both "# TYPE name kind"
+// headers and "name{labels} value" samples.
+func statsLineMatches(line, fam string) bool {
+	name := line
+	if strings.HasPrefix(line, "# TYPE ") {
+		name = strings.TrimPrefix(line, "# TYPE ")
+	}
+	if i := strings.IndexAny(name, "{ "); i >= 0 {
+		name = name[:i]
+	}
+	return strings.Contains(name, fam)
 }
 
 // get fetches a debug URL, failing on transport or HTTP errors.

@@ -21,11 +21,13 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"hare/internal/cluster"
 	"hare/internal/faults"
 	"hare/internal/manager"
 	"hare/internal/obs"
+	"hare/internal/obs/perf"
 )
 
 var (
@@ -39,6 +41,7 @@ var (
 	faultSpec = flag.String("fault-spec", "", "fault injection applied to every batch: rate=R,seed=S,fail=G@T,slow=GxF")
 	timescale = flag.Float64("timescale", 1e-3, "testbed clock scale (wall s per simulated s)")
 	batches   = flag.Int("batches-per-task", 0, "profiler mini-batches per task (0 = default)")
+	sampleEvy = flag.Duration("runtime-sample", 5*time.Second, "runtime/metrics sampling interval for /metrics (needs -debug-addr)")
 )
 
 func main() {
@@ -60,6 +63,10 @@ func main() {
 		ring = obs.NewRingSink(*ringSize)
 		ring.AttachMetrics(reg)
 		rec = obs.NewRecorder(ring)
+		// Mirror GC/heap/goroutine stats into /metrics so the daemon's
+		// own health rides next to the scheduling counters.
+		sampler := perf.StartRuntimeSampler(reg, *sampleEvy)
+		defer sampler.Stop()
 	}
 
 	fplan, err := faults.Parse(*faultSpec)

@@ -84,6 +84,18 @@ type IndexedHeap struct {
 	ids []int     // heap-ordered ids
 	pos []int     // pos[id] = index into ids, or -1 when absent
 	pri []float64 // pri[id] = current priority (valid while present)
+	ops HeapOps
+}
+
+// HeapOps counts the structural operations an IndexedHeap has served.
+// They are plain integers bumped inline — cheap enough to stay on in
+// hot loops — and exist so the simulator can export "how much heap
+// work did this replay do" as telemetry after a run.
+type HeapOps struct {
+	Inserts uint64 // Set calls on an absent id
+	Updates uint64 // Set calls on a present id
+	Removes uint64 // successful removals, including those from PopMin
+	Pops    uint64 // PopMin calls that returned an id
 }
 
 // NewIndexedHeap returns an empty heap over ids 0..n-1.
@@ -110,11 +122,13 @@ func (h *IndexedHeap) Contains(id int) bool { return h.pos[id] >= 0 }
 func (h *IndexedHeap) Set(id int, priority float64) {
 	h.pri[id] = priority
 	if i := h.pos[id]; i >= 0 {
+		h.ops.Updates++
 		if !h.up(i) {
 			h.down(i)
 		}
 		return
 	}
+	h.ops.Inserts++
 	h.pos[id] = len(h.ids)
 	h.ids = append(h.ids, id)
 	h.up(len(h.ids) - 1)
@@ -126,6 +140,7 @@ func (h *IndexedHeap) Remove(id int) {
 	if i < 0 {
 		return
 	}
+	h.ops.Removes++
 	last := len(h.ids) - 1
 	h.swap(i, last)
 	h.ids = h.ids[:last]
@@ -151,10 +166,14 @@ func (h *IndexedHeap) Min() (id int, priority float64, ok bool) {
 func (h *IndexedHeap) PopMin() (id int, priority float64, ok bool) {
 	id, priority, ok = h.Min()
 	if ok {
+		h.ops.Pops++
 		h.Remove(id)
 	}
 	return id, priority, ok
 }
+
+// Ops returns the operation counts accumulated so far.
+func (h *IndexedHeap) Ops() HeapOps { return h.ops }
 
 func (h *IndexedHeap) less(a, b int) bool {
 	ia, ib := h.ids[a], h.ids[b]

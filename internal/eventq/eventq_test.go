@@ -221,3 +221,25 @@ func TestMinHeap(t *testing.T) {
 		t.Errorf("len %d", h.Len())
 	}
 }
+
+// TestIndexedHeapOps pins the operation-counter semantics the
+// simulator's telemetry export relies on: inserts vs updates are
+// distinguished, Removes includes PopMin removals, absent-id Remove
+// counts nothing.
+func TestIndexedHeapOps(t *testing.T) {
+	h := NewIndexedHeap(4)
+	if h.Ops() != (HeapOps{}) {
+		t.Fatalf("fresh heap ops %+v", h.Ops())
+	}
+	h.Set(0, 3) // insert
+	h.Set(1, 1) // insert
+	h.Set(0, 5) // update
+	h.Remove(2) // absent: no-op
+	h.Remove(1) // explicit removal
+	h.PopMin()  // pop (removes 0)
+	h.PopMin()  // empty: no-op
+	want := HeapOps{Inserts: 2, Updates: 1, Removes: 2, Pops: 1}
+	if got := h.Ops(); got != want {
+		t.Fatalf("ops %+v, want %+v", got, want)
+	}
+}

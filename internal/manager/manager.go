@@ -25,6 +25,7 @@ import (
 	"hare/internal/model"
 	"hare/internal/obs"
 	"hare/internal/obs/critpath"
+	"hare/internal/obs/perf"
 	"hare/internal/profile"
 	"hare/internal/sched"
 	"hare/internal/sim"
@@ -198,6 +199,9 @@ type Manager struct {
 	back  Backend
 	clock func() float64 // virtual submission clock, seconds
 	rec   *obs.Recorder
+	// phases times each batch's plan-solve / backend-execute /
+	// attribution spans into Options.Metrics (nil-safe no-op).
+	phases *perf.PhaseRecorder
 
 	// metric handles; all nil-safe no-ops when Options.Metrics is nil.
 	cSubmitted *obs.Counter
@@ -252,6 +256,7 @@ func New(cl *cluster.Cluster, opts Options) *Manager {
 		back:   opts.Backend,
 		status: make(map[int]*JobStatus),
 		rec:    opts.Recorder,
+		phases: perf.NewPhaseRecorder(opts.Metrics),
 
 		cSubmitted: opts.Metrics.Counter("hare_manager_jobs_submitted_total"),
 		cCompleted: opts.Metrics.Counter("hare_manager_jobs_completed_total"),
@@ -387,14 +392,20 @@ func (m *Manager) ExecuteBatch() (*BatchResult, error) {
 	if err != nil {
 		return fail(fmt.Errorf("manager: profile batch: %w", err))
 	}
+	stopPlan := m.phases.Start("plan_solve")
 	plan, err := m.algo.Schedule(in)
 	if err != nil {
+		stopPlan()
 		return fail(fmt.Errorf("manager: schedule batch: %w", err))
 	}
 	if err := core.ValidateSchedule(in, plan); err != nil {
+		stopPlan()
 		return fail(fmt.Errorf("manager: plan infeasible: %w", err))
 	}
+	stopPlan()
+	stopExec := m.phases.Start("backend_execute")
 	completions, tr, err := m.back.Execute(in, plan, m.cl, models)
+	stopExec()
 	if err != nil {
 		return fail(fmt.Errorf("manager: execute batch: %w", err))
 	}
@@ -408,9 +419,11 @@ func (m *Manager) ExecuteBatch() (*BatchResult, error) {
 	// backend that executed the batch, so harectl critpath reads the
 	// same numbers whether the batch ran on the testbed or the
 	// simulator. Failure here never fails the batch.
+	stopAttrib := m.phases.Start("plan_attribution")
 	_, attrib, attribErr := critpath.PlanAttribution(in, plan, m.cl, models, sim.Options{
 		Scheme: switching.Hare, Speculative: true,
 	})
+	stopAttrib()
 	if attribErr != nil {
 		attrib = nil
 	}

@@ -9,6 +9,7 @@ import (
 	"hare/internal/cluster"
 	"hare/internal/core"
 	"hare/internal/model"
+	"hare/internal/obs"
 	"hare/internal/trace"
 )
 
@@ -334,5 +335,35 @@ func TestAttributionAfterBatch(t *testing.T) {
 	}
 	if _, err := c.CritPath(99); err == nil {
 		t.Error("unknown ID accepted over RPC")
+	}
+}
+
+// TestBatchPhaseTelemetry: ExecuteBatch reports plan-solve, backend
+// execution and attribution spans into Options.Metrics.
+func TestBatchPhaseTelemetry(t *testing.T) {
+	cl := cluster.New([]cluster.Spec{
+		{Type: cluster.V100, Count: 2}, {Type: cluster.K80, Count: 2},
+	}, 4)
+	reg := obs.NewRegistry()
+	m := New(cl, Options{Backend: &SimBackend{}, Metrics: reg})
+	if _, err := m.Submit(req("ResNet50", 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ExecuteBatch(); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`hare_perf_phase_seconds_count{phase="plan_solve"} 1`,
+		`hare_perf_phase_seconds_count{phase="backend_execute"} 1`,
+		`hare_perf_phase_seconds_count{phase="plan_attribution"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
 	}
 }

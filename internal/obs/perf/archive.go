@@ -1,0 +1,192 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// SchemaVersion is the current archive schema. Bump it when the JSON
+// shape changes incompatibly; ReadArchive rejects unknown versions so
+// a comparison never silently mixes shapes.
+const SchemaVersion = 1
+
+// Env fingerprints the environment a benchmark run was measured in.
+// Absolute numbers are only comparable within a fingerprint; the
+// comparison engine prints both fingerprints when they differ so a
+// cross-machine delta is read with appropriate suspicion (the ratio
+// gates are the machine-independent part).
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Commit is the git commit the run measured ("unknown" outside a
+	// checkout).
+	Commit string `json:"commit"`
+	// Date is the run's start time, RFC 3339 UTC.
+	Date string `json:"date"`
+}
+
+// Fingerprint captures the current process environment. commit may be
+// empty ("unknown" is recorded); now stamps the run.
+func Fingerprint(commit string, now time.Time) Env {
+	if commit == "" {
+		commit = "unknown"
+	}
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Commit:     commit,
+		Date:       now.UTC().Format(time.RFC3339),
+	}
+}
+
+// Archive is one archived benchmark run: a fingerprint plus every
+// parsed result line (repetitions from -count appear as repeated
+// names, preserving the raw data for min/median aggregation).
+type Archive struct {
+	Schema     int         `json:"schema"`
+	Env        Env         `json:"env"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Validate checks the archive is well-formed: known schema, a
+// plausible fingerprint, and finite metric values under non-empty
+// names. It is run on both read and write so a malformed file fails
+// at the boundary, not deep inside a comparison.
+func (a *Archive) Validate() error {
+	if a == nil {
+		return fmt.Errorf("perf: nil archive")
+	}
+	if a.Schema != SchemaVersion {
+		return fmt.Errorf("perf: archive schema %d, this tool reads %d", a.Schema, SchemaVersion)
+	}
+	if a.Env.GoVersion == "" || a.Env.GOOS == "" || a.Env.GOARCH == "" {
+		return fmt.Errorf("perf: archive missing environment fingerprint")
+	}
+	if a.Env.GOMAXPROCS < 1 {
+		return fmt.Errorf("perf: archive fingerprint has gomaxprocs %d", a.Env.GOMAXPROCS)
+	}
+	if len(a.Benchmarks) == 0 {
+		return fmt.Errorf("perf: archive has no benchmarks")
+	}
+	for i, b := range a.Benchmarks {
+		if b.Name == "" {
+			return fmt.Errorf("perf: benchmark %d has an empty name", i)
+		}
+		if b.Iters <= 0 {
+			return fmt.Errorf("perf: benchmark %s has iters %d", b.Name, b.Iters)
+		}
+		if len(b.Metrics) == 0 {
+			return fmt.Errorf("perf: benchmark %s has no metrics", b.Name)
+		}
+		for _, unit := range sortedUnits(b.Metrics) {
+			if unit == "" {
+				return fmt.Errorf("perf: benchmark %s has an empty metric unit", b.Name)
+			}
+			if v := b.Metrics[unit]; math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("perf: benchmark %s metric %s is %v", b.Name, unit, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Write validates and streams the archive as indented JSON.
+func (a *Archive) Write(w io.Writer) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(a)
+}
+
+// WriteFile validates and writes the archive as indented JSON,
+// creating the directory if needed.
+func (a *Archive) WriteFile(path string) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("perf: %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("perf: %w", err)
+	}
+	if err := a.Write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("perf: write %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// ReadArchive loads and validates an archived run.
+func ReadArchive(path string) (*Archive, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("perf: %w", err)
+	}
+	var a Archive
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("perf: parse %s: %w", path, err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return &a, nil
+}
+
+// ArchiveFilename names one run's archive. Both the timestamp (to the
+// second) and the commit participate, so two runs from the same day —
+// or the same commit re-measured — never clobber each other the way
+// the old date-only BENCH_<date>.json scheme did.
+func ArchiveFilename(t time.Time, commit string) string {
+	if commit == "" {
+		commit = "unknown"
+	}
+	if len(commit) > 12 {
+		commit = commit[:12]
+	}
+	return fmt.Sprintf("BENCH_%s_%s.json", t.UTC().Format("20060102T150405Z"), commit)
+}
+
+// sortedUnits returns a metric map's keys in sorted order, so walks
+// over metrics are deterministic.
+func sortedUnits(m map[string]float64) []string {
+	units := make([]string, 0, len(m))
+	//lint:ordered keys are sorted before use
+	for u := range m {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	return units
+}
+
+// Names returns the sorted set of benchmark names in the archive.
+func (a *Archive) Names() []string {
+	seen := make(map[string]bool, len(a.Benchmarks))
+	var names []string
+	for _, b := range a.Benchmarks {
+		if !seen[b.Name] {
+			seen[b.Name] = true
+			names = append(names, b.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,413 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"hare/internal/metrics"
+)
+
+// Aggregation folds a benchmark's repetitions (-count N) into one
+// value per metric before comparison.
+type Aggregation string
+
+const (
+	// AggMin takes the fastest repetition — the conventional choice
+	// for time-like metrics, since noise only ever slows a run down.
+	AggMin Aggregation = "min"
+	// AggMedian takes the median repetition.
+	AggMedian Aggregation = "median"
+)
+
+// DefaultGated are the metrics the gate enforces, all lower-is-better.
+// Custom units (b.ReportMetric) are reported but not gated: the engine
+// cannot know their polarity.
+var DefaultGated = []string{"ns/op", "B/op", "allocs/op"}
+
+// RatioGate checks an intra-run ratio of two benchmarks' metrics —
+// e.g. BenchmarkObsDisabled over BenchmarkSimulatorReplay, the
+// nil-recorder overhead — against the same ratio in the baseline.
+// Because numerator and denominator are measured in the same run on
+// the same machine, the ratio survives hardware changes that make
+// absolute ns/op comparisons meaningless.
+type RatioGate struct {
+	// Name labels the gate in reports.
+	Name string `json:"name"`
+	// Num and Den are benchmark names; the gate checks
+	// agg(Num.Metric)/agg(Den.Metric).
+	Num string `json:"num"`
+	Den string `json:"den"`
+	// Metric is the compared unit ("ns/op" when empty).
+	Metric string `json:"metric,omitempty"`
+	// Threshold is the allowed fractional increase of the ratio over
+	// the baseline's ratio (Options.DefaultThreshold when 0).
+	Threshold float64 `json:"threshold,omitempty"`
+	// Max, when > 0, additionally caps the current ratio absolutely,
+	// regardless of what the baseline recorded.
+	Max float64 `json:"max,omitempty"`
+}
+
+// Options configures a comparison.
+type Options struct {
+	// Agg folds repetitions (AggMin when empty).
+	Agg Aggregation
+	// DefaultThreshold is the allowed fractional increase on gated
+	// metrics (0.25 when 0; CI uses a more generous value — noise on
+	// shared runners is real).
+	DefaultThreshold float64
+	// Thresholds overrides the default per metric unit.
+	Thresholds map[string]float64
+	// Gated lists the units that can fail the gate (DefaultGated when
+	// nil). All are treated as lower-is-better.
+	Gated []string
+	// Ratios are intra-run ratio gates.
+	Ratios []RatioGate
+}
+
+func (o Options) agg() Aggregation {
+	if o.Agg == "" {
+		return AggMin
+	}
+	return o.Agg
+}
+
+func (o Options) threshold(unit string) float64 {
+	if t, ok := o.Thresholds[unit]; ok {
+		return t
+	}
+	if o.DefaultThreshold > 0 {
+		return o.DefaultThreshold
+	}
+	return 0.25
+}
+
+func (o Options) gated() []string {
+	if o.Gated == nil {
+		return DefaultGated
+	}
+	return o.Gated
+}
+
+// Status classifies one compared metric.
+type Status string
+
+const (
+	// StatusOK: within the noise threshold.
+	StatusOK Status = "ok"
+	// StatusRegression: a gated metric got worse beyond its threshold.
+	StatusRegression Status = "REGRESSION"
+	// StatusImproved: a gated metric got better beyond its threshold —
+	// after an intentional optimization, the cue to refresh the
+	// baseline so the win is locked in.
+	StatusImproved Status = "improved"
+	// StatusInfo: reported but not gated (custom units, zero baseline).
+	StatusInfo Status = "info"
+)
+
+// Delta is one (benchmark, metric) comparison.
+type Delta struct {
+	Name   string  `json:"name"`
+	Metric string  `json:"metric"`
+	Base   float64 `json:"base"`
+	Cur    float64 `json:"cur"`
+	// Ratio is Cur/Base (NaN when Base is 0).
+	Ratio float64 `json:"ratio"`
+	// Threshold is the allowed fractional increase applied.
+	Threshold float64 `json:"threshold"`
+	Status    Status  `json:"status"`
+}
+
+// RatioResult is one evaluated RatioGate.
+type RatioResult struct {
+	Gate RatioGate `json:"gate"`
+	// Base and Cur are the baseline's and current run's ratios (NaN
+	// when either side is missing from the archive).
+	Base   float64 `json:"base"`
+	Cur    float64 `json:"cur"`
+	Status Status  `json:"status"`
+	// Reason explains a non-ok status.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Report is the outcome of Compare.
+type Report struct {
+	BaseEnv Env `json:"base_env"`
+	CurEnv  Env `json:"cur_env"`
+	// Deltas covers every benchmark present in both archives, sorted
+	// by name then metric.
+	Deltas []Delta       `json:"deltas"`
+	Ratios []RatioResult `json:"ratios,omitempty"`
+	// Added and Removed are benchmarks present on only one side —
+	// informational, never gating (a new benchmark must be able to
+	// land before the baseline is refreshed).
+	Added   []string `json:"added,omitempty"`
+	Removed []string `json:"removed,omitempty"`
+}
+
+// Regressions returns every gating failure in the report.
+func (r *Report) Regressions() []string {
+	var out []string
+	for _, d := range r.Deltas {
+		if d.Status == StatusRegression {
+			out = append(out, fmt.Sprintf("%s %s: %s -> %s (%+.1f%%, threshold %.0f%%)",
+				d.Name, d.Metric, formatMetric(d.Base), formatMetric(d.Cur),
+				100*(d.Ratio-1), 100*d.Threshold))
+		}
+	}
+	for _, rr := range r.Ratios {
+		if rr.Status == StatusRegression {
+			out = append(out, fmt.Sprintf("ratio %s (%s/%s): %s", rr.Gate.Name, rr.Gate.Num, rr.Gate.Den, rr.Reason))
+		}
+	}
+	return out
+}
+
+// Regressed reports whether the gate should fail.
+func (r *Report) Regressed() bool { return len(r.Regressions()) > 0 }
+
+// aggregate folds an archive into name -> unit -> aggregated value.
+func aggregate(a *Archive, agg Aggregation) map[string]map[string]float64 {
+	samples := make(map[string]map[string][]float64)
+	for _, b := range a.Benchmarks {
+		m, ok := samples[b.Name]
+		if !ok {
+			m = make(map[string][]float64)
+			samples[b.Name] = m
+		}
+		for _, unit := range sortedUnits(b.Metrics) {
+			m[unit] = append(m[unit], b.Metrics[unit])
+		}
+	}
+	out := make(map[string]map[string]float64, len(samples))
+	//lint:ordered per-key aggregation; downstream walks sort the keys
+	for name, units := range samples {
+		folded := make(map[string]float64, len(units))
+		//lint:ordered per-key aggregation; downstream walks sort the keys
+		for unit, vals := range units {
+			folded[unit] = fold(vals, agg)
+		}
+		out[name] = folded
+	}
+	return out
+}
+
+func fold(vals []float64, agg Aggregation) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	if agg == AggMedian {
+		n := len(sorted)
+		if n%2 == 1 {
+			return sorted[n/2]
+		}
+		return (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	return sorted[0]
+}
+
+// Compare pairs the two archives by benchmark name and evaluates
+// every gated metric and ratio gate.
+func Compare(base, cur *Archive, opts Options) *Report {
+	bAgg := aggregate(base, opts.agg())
+	cAgg := aggregate(cur, opts.agg())
+	gated := make(map[string]bool, len(opts.gated()))
+	for _, u := range opts.gated() {
+		gated[u] = true
+	}
+
+	rep := &Report{BaseEnv: base.Env, CurEnv: cur.Env}
+	for _, name := range base.Names() {
+		if _, ok := cAgg[name]; !ok {
+			rep.Removed = append(rep.Removed, name)
+		}
+	}
+	for _, name := range cur.Names() {
+		bm, ok := bAgg[name]
+		if !ok {
+			rep.Added = append(rep.Added, name)
+			continue
+		}
+		cm := cAgg[name]
+		units := make([]string, 0, len(cm))
+		//lint:ordered keys are sorted before use
+		for u := range cm {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			bv, ok := bm[unit]
+			if !ok {
+				continue // metric newly reported; nothing to compare
+			}
+			cv := cm[unit]
+			d := Delta{Name: name, Metric: unit, Base: bv, Cur: cv, Threshold: opts.threshold(unit)}
+			switch {
+			case !gated[unit]:
+				d.Ratio = ratioOf(cv, bv)
+				d.Status = StatusInfo
+			case bv <= 0:
+				// A zero baseline (0 B/op, 0 allocs/op) has no usable
+				// ratio; report, don't gate.
+				d.Ratio = math.NaN()
+				d.Status = StatusInfo
+			default:
+				d.Ratio = cv / bv
+				switch {
+				case d.Ratio > 1+d.Threshold:
+					d.Status = StatusRegression
+				case d.Ratio < 1-d.Threshold:
+					d.Status = StatusImproved
+				default:
+					d.Status = StatusOK
+				}
+			}
+			rep.Deltas = append(rep.Deltas, d)
+		}
+	}
+	sort.Slice(rep.Deltas, func(i, j int) bool {
+		if rep.Deltas[i].Name != rep.Deltas[j].Name {
+			return rep.Deltas[i].Name < rep.Deltas[j].Name
+		}
+		return rep.Deltas[i].Metric < rep.Deltas[j].Metric
+	})
+
+	for _, g := range opts.Ratios {
+		rep.Ratios = append(rep.Ratios, evalRatio(g, bAgg, cAgg, opts))
+	}
+	return rep
+}
+
+func ratioOf(cv, bv float64) float64 {
+	if bv <= 0 {
+		return math.NaN()
+	}
+	return cv / bv
+}
+
+func lookupRatio(agg map[string]map[string]float64, g RatioGate, metric string) float64 {
+	num, ok := agg[g.Num]
+	if !ok {
+		return math.NaN()
+	}
+	den, ok := agg[g.Den]
+	if !ok {
+		return math.NaN()
+	}
+	nv, ok := num[metric]
+	if !ok {
+		return math.NaN()
+	}
+	dv, ok := den[metric]
+	if !ok || dv <= 0 {
+		return math.NaN()
+	}
+	return nv / dv
+}
+
+func evalRatio(g RatioGate, bAgg, cAgg map[string]map[string]float64, opts Options) RatioResult {
+	metric := g.Metric
+	if metric == "" {
+		metric = "ns/op"
+	}
+	threshold := g.Threshold
+	if threshold <= 0 {
+		threshold = opts.threshold(metric)
+	}
+	res := RatioResult{
+		Gate: g,
+		Base: lookupRatio(bAgg, g, metric),
+		Cur:  lookupRatio(cAgg, g, metric),
+	}
+	switch {
+	case math.IsNaN(res.Cur):
+		res.Status = StatusInfo
+		res.Reason = "benchmarks missing from current run"
+	case g.Max > 0 && res.Cur > g.Max:
+		res.Status = StatusRegression
+		res.Reason = fmt.Sprintf("ratio %.3f exceeds absolute cap %.3f", res.Cur, g.Max)
+	case math.IsNaN(res.Base):
+		res.Status = StatusInfo
+		res.Reason = "benchmarks missing from baseline"
+	case res.Cur > res.Base*(1+threshold):
+		res.Status = StatusRegression
+		res.Reason = fmt.Sprintf("ratio %.3f vs baseline %.3f (%+.1f%%, threshold %.0f%%)",
+			res.Cur, res.Base, 100*(res.Cur/res.Base-1), 100*threshold)
+	case res.Cur < res.Base*(1-threshold):
+		res.Status = StatusImproved
+	default:
+		res.Status = StatusOK
+	}
+	return res
+}
+
+// WriteTable renders the report as human-readable tables: the
+// environment fingerprints when they differ, the per-benchmark delta
+// table, ratio gates, and added/removed names.
+func (r *Report) WriteTable(w io.Writer) {
+	if r.BaseEnv != r.CurEnv {
+		fmt.Fprintf(w, "baseline: %s %s/%s cpus=%d procs=%d commit=%s (%s)\n",
+			r.BaseEnv.GoVersion, r.BaseEnv.GOOS, r.BaseEnv.GOARCH,
+			r.BaseEnv.NumCPU, r.BaseEnv.GOMAXPROCS, r.BaseEnv.Commit, r.BaseEnv.Date)
+		fmt.Fprintf(w, "current:  %s %s/%s cpus=%d procs=%d commit=%s (%s)\n",
+			r.CurEnv.GoVersion, r.CurEnv.GOOS, r.CurEnv.GOARCH,
+			r.CurEnv.NumCPU, r.CurEnv.GOMAXPROCS, r.CurEnv.Commit, r.CurEnv.Date)
+		if r.BaseEnv.NumCPU != r.CurEnv.NumCPU || r.BaseEnv.GOOS != r.CurEnv.GOOS ||
+			r.BaseEnv.GOARCH != r.CurEnv.GOARCH {
+			fmt.Fprintln(w, "note: different machines — absolute deltas are indicative only; trust the ratio gates")
+		}
+	}
+	var rows [][]string
+	for _, d := range r.Deltas {
+		delta := "-"
+		if !math.IsNaN(d.Ratio) {
+			delta = fmt.Sprintf("%+.1f%%", 100*(d.Ratio-1))
+		}
+		rows = append(rows, []string{
+			strings.TrimPrefix(d.Name, "Benchmark"), d.Metric,
+			formatMetric(d.Base), formatMetric(d.Cur), delta, string(d.Status),
+		})
+	}
+	fmt.Fprint(w, metrics.Table([]string{"benchmark", "metric", "base", "current", "delta", "status"}, rows))
+	if len(r.Ratios) > 0 {
+		var rrows [][]string
+		for _, rr := range r.Ratios {
+			rrows = append(rrows, []string{
+				rr.Gate.Name,
+				strings.TrimPrefix(rr.Gate.Num, "Benchmark") + " / " + strings.TrimPrefix(rr.Gate.Den, "Benchmark"),
+				formatRatio(rr.Base), formatRatio(rr.Cur), string(rr.Status),
+			})
+		}
+		fmt.Fprintln(w, "\nratio gates (machine-independent):")
+		fmt.Fprint(w, metrics.Table([]string{"gate", "pair", "base", "current", "status"}, rrows))
+	}
+	for _, n := range r.Added {
+		fmt.Fprintf(w, "new benchmark (not in baseline): %s\n", n)
+	}
+	for _, n := range r.Removed {
+		fmt.Fprintf(w, "missing benchmark (in baseline only): %s\n", n)
+	}
+}
+
+func formatRatio(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// formatMetric renders a metric value compactly (ns/op values are
+// large integers; custom units are small floats).
+func formatMetric(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	if math.Abs(v) >= 1000 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}

@@ -1,0 +1,258 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func testEnv() Env {
+	return Env{
+		GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64",
+		NumCPU: 1, GOMAXPROCS: 1, Commit: "abc1234", Date: "2026-08-09T00:00:00Z",
+	}
+}
+
+func archiveOf(bs ...Benchmark) *Archive {
+	return &Archive{Schema: SchemaVersion, Env: testEnv(), Benchmarks: bs}
+}
+
+func bench(name string, ns float64) Benchmark {
+	return Benchmark{Name: name, Iters: 100, Metrics: map[string]float64{"ns/op": ns}}
+}
+
+// TestCompareWithinThreshold: small drift on a gated metric is ok.
+func TestCompareWithinThreshold(t *testing.T) {
+	base := archiveOf(bench("BenchmarkA", 1000))
+	cur := archiveOf(bench("BenchmarkA", 1100))
+	rep := Compare(base, cur, Options{DefaultThreshold: 0.25})
+	if rep.Regressed() {
+		t.Fatalf("10%% drift under a 25%% threshold regressed: %v", rep.Regressions())
+	}
+	if len(rep.Deltas) != 1 || rep.Deltas[0].Status != StatusOK {
+		t.Fatalf("deltas: %+v", rep.Deltas)
+	}
+}
+
+// TestCompareRegression: an injected slowdown beyond the threshold
+// fails the gate — the property `make bench-compare` relies on.
+func TestCompareRegression(t *testing.T) {
+	base := archiveOf(bench("BenchmarkA", 1000), bench("BenchmarkB", 500))
+	cur := archiveOf(bench("BenchmarkA", 1600), bench("BenchmarkB", 510))
+	rep := Compare(base, cur, Options{DefaultThreshold: 0.25})
+	if !rep.Regressed() {
+		t.Fatal("60% slowdown with 25% threshold did not regress")
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkA") {
+		t.Fatalf("regressions: %v", regs)
+	}
+}
+
+// TestCompareImprovement: a speedup beyond the threshold is labeled
+// improved (baseline-refresh cue), never a failure.
+func TestCompareImprovement(t *testing.T) {
+	base := archiveOf(bench("BenchmarkA", 1000))
+	cur := archiveOf(bench("BenchmarkA", 500))
+	rep := Compare(base, cur, Options{DefaultThreshold: 0.25})
+	if rep.Regressed() {
+		t.Fatal("improvement regressed")
+	}
+	if rep.Deltas[0].Status != StatusImproved {
+		t.Fatalf("status %s, want improved", rep.Deltas[0].Status)
+	}
+}
+
+// TestCompareAggregation: min takes the fastest repetition, median
+// the middle one.
+func TestCompareAggregation(t *testing.T) {
+	base := archiveOf(bench("BenchmarkA", 1000))
+	cur := archiveOf(bench("BenchmarkA", 900), bench("BenchmarkA", 5000), bench("BenchmarkA", 1100))
+	repMin := Compare(base, cur, Options{Agg: AggMin, DefaultThreshold: 0.25})
+	if repMin.Deltas[0].Cur != 900 {
+		t.Errorf("min aggregation picked %v, want 900", repMin.Deltas[0].Cur)
+	}
+	if repMin.Regressed() {
+		t.Error("min aggregation regressed despite a fast repetition")
+	}
+	repMed := Compare(base, cur, Options{Agg: AggMedian, DefaultThreshold: 0.25})
+	if repMed.Deltas[0].Cur != 1100 {
+		t.Errorf("median aggregation picked %v, want 1100", repMed.Deltas[0].Cur)
+	}
+}
+
+// TestComparePerMetricThresholds: a per-unit override beats the
+// default.
+func TestComparePerMetricThresholds(t *testing.T) {
+	base := archiveOf(Benchmark{Name: "BenchmarkA", Iters: 10,
+		Metrics: map[string]float64{"ns/op": 1000, "allocs/op": 100}})
+	cur := archiveOf(Benchmark{Name: "BenchmarkA", Iters: 10,
+		Metrics: map[string]float64{"ns/op": 1100, "allocs/op": 103}})
+	rep := Compare(base, cur, Options{
+		DefaultThreshold: 0.25,
+		Thresholds:       map[string]float64{"allocs/op": 0.01},
+	})
+	if !rep.Regressed() {
+		t.Fatal("3% alloc growth with a 1% allocs/op threshold did not regress")
+	}
+	regs := rep.Regressions()
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("regressions: %v", regs)
+	}
+}
+
+// TestCompareAddedRemovedAndCustomUnits: one-sided benchmarks and
+// custom units never gate.
+func TestCompareAddedRemovedAndCustomUnits(t *testing.T) {
+	base := archiveOf(bench("BenchmarkOld", 100), bench("BenchmarkShared", 100))
+	cur := archiveOf(
+		bench("BenchmarkNew", 100),
+		Benchmark{Name: "BenchmarkShared", Iters: 10,
+			Metrics: map[string]float64{"ns/op": 100, "hare/best-baseline": 9.0}},
+	)
+	rep := Compare(base, cur, Options{DefaultThreshold: 0.25})
+	if rep.Regressed() {
+		t.Fatalf("regressed: %v", rep.Regressions())
+	}
+	if len(rep.Added) != 1 || rep.Added[0] != "BenchmarkNew" {
+		t.Errorf("added: %v", rep.Added)
+	}
+	if len(rep.Removed) != 1 || rep.Removed[0] != "BenchmarkOld" {
+		t.Errorf("removed: %v", rep.Removed)
+	}
+}
+
+// TestCompareZeroBaseline: 0 B/op baselines are reported as info, not
+// divided by.
+func TestCompareZeroBaseline(t *testing.T) {
+	base := archiveOf(Benchmark{Name: "BenchmarkA", Iters: 10,
+		Metrics: map[string]float64{"ns/op": 100, "B/op": 0}})
+	cur := archiveOf(Benchmark{Name: "BenchmarkA", Iters: 10,
+		Metrics: map[string]float64{"ns/op": 100, "B/op": 16}})
+	rep := Compare(base, cur, Options{DefaultThreshold: 0.25})
+	if rep.Regressed() {
+		t.Fatalf("zero-baseline gated: %v", rep.Regressions())
+	}
+	for _, d := range rep.Deltas {
+		if d.Metric == "B/op" && d.Status != StatusInfo {
+			t.Errorf("B/op status %s, want info", d.Status)
+		}
+	}
+}
+
+// TestRatioGates: the intra-run ratio survives a uniformly slower
+// machine but catches a relative regression.
+func TestRatioGates(t *testing.T) {
+	gate := []RatioGate{{Name: "obs-overhead", Num: "BenchmarkObsDisabled", Den: "BenchmarkReplay", Threshold: 0.10}}
+	base := archiveOf(bench("BenchmarkObsDisabled", 1010), bench("BenchmarkReplay", 1000))
+
+	// Current machine is 3x slower across the board: absolute deltas
+	// blow past any threshold, the ratio does not.
+	slower := archiveOf(bench("BenchmarkObsDisabled", 3030), bench("BenchmarkReplay", 3000))
+	rep := Compare(base, slower, Options{DefaultThreshold: 10, Ratios: gate})
+	if rep.Regressed() {
+		t.Fatalf("uniform slowdown tripped the ratio gate: %v", rep.Regressions())
+	}
+
+	// Now the instrumented path alone got slower: ratio 1.5 vs 1.01.
+	skewed := archiveOf(bench("BenchmarkObsDisabled", 1500), bench("BenchmarkReplay", 1000))
+	rep = Compare(base, skewed, Options{DefaultThreshold: 10, Ratios: gate})
+	if !rep.Regressed() {
+		t.Fatal("50% relative overhead did not trip the 10% ratio gate")
+	}
+}
+
+// TestRatioGateAbsoluteCap: Max caps the current ratio even when the
+// baseline ratio was already bad.
+func TestRatioGateAbsoluteCap(t *testing.T) {
+	gate := []RatioGate{{Name: "cap", Num: "BenchmarkA", Den: "BenchmarkB", Threshold: 10, Max: 1.2}}
+	base := archiveOf(bench("BenchmarkA", 2000), bench("BenchmarkB", 1000))
+	cur := archiveOf(bench("BenchmarkA", 1900), bench("BenchmarkB", 1000))
+	rep := Compare(base, cur, Options{Ratios: gate})
+	if !rep.Regressed() {
+		t.Fatal("ratio 1.9 above absolute cap 1.2 did not regress")
+	}
+}
+
+// TestRatioGateMissingBenchmarks: missing sides degrade to info.
+func TestRatioGateMissingBenchmarks(t *testing.T) {
+	gate := []RatioGate{{Name: "gone", Num: "BenchmarkA", Den: "BenchmarkMissing"}}
+	base := archiveOf(bench("BenchmarkA", 1000))
+	cur := archiveOf(bench("BenchmarkA", 1000))
+	rep := Compare(base, cur, Options{Ratios: gate})
+	if rep.Regressed() {
+		t.Fatalf("missing ratio benchmarks gated: %v", rep.Regressions())
+	}
+	if rep.Ratios[0].Status != StatusInfo {
+		t.Fatalf("status %s, want info", rep.Ratios[0].Status)
+	}
+}
+
+// TestReportWriteTable smoke-tests the rendering.
+func TestReportWriteTable(t *testing.T) {
+	base := archiveOf(bench("BenchmarkA", 1000))
+	cur := archiveOf(bench("BenchmarkA", 2000), bench("BenchmarkNew", 5))
+	rep := Compare(base, cur, Options{DefaultThreshold: 0.25,
+		Ratios: []RatioGate{{Name: "self", Num: "BenchmarkA", Den: "BenchmarkA"}}})
+	var sb strings.Builder
+	rep.WriteTable(&sb)
+	out := sb.String()
+	for _, want := range []string{"REGRESSION", "+100.0%", "BenchmarkNew", "ratio gates"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestArchiveRoundTrip: write → read → validate, filename includes
+// time and commit.
+func TestArchiveRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	a := archiveOf(bench("BenchmarkA", 1000))
+	ts := time.Date(2026, 8, 9, 14, 30, 5, 0, time.UTC)
+	name := ArchiveFilename(ts, "deadbeefcafe0123")
+	if name != "BENCH_20260809T143005Z_deadbeefcafe.json" {
+		t.Fatalf("filename %q", name)
+	}
+	// Two runs the same day (even the same commit) must not collide.
+	if ArchiveFilename(ts.Add(time.Second), "deadbeefcafe0123") == name {
+		t.Fatal("filenames collide across runs")
+	}
+	path := dir + "/" + name
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArchive(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Benchmarks) != 1 || back.Benchmarks[0].Name != "BenchmarkA" {
+		t.Fatalf("round trip: %+v", back.Benchmarks)
+	}
+}
+
+// TestArchiveValidate rejects malformed archives.
+func TestArchiveValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Archive)
+	}{
+		{"wrong schema", func(a *Archive) { a.Schema = 99 }},
+		{"no fingerprint", func(a *Archive) { a.Env.GoVersion = "" }},
+		{"bad procs", func(a *Archive) { a.Env.GOMAXPROCS = 0 }},
+		{"no benchmarks", func(a *Archive) { a.Benchmarks = nil }},
+		{"empty name", func(a *Archive) { a.Benchmarks[0].Name = "" }},
+		{"zero iters", func(a *Archive) { a.Benchmarks[0].Iters = 0 }},
+		{"no metrics", func(a *Archive) { a.Benchmarks[0].Metrics = nil }},
+	}
+	for _, c := range cases {
+		a := archiveOf(bench("BenchmarkA", 1000))
+		c.mut(a)
+		if err := a.Validate(); err == nil {
+			t.Errorf("%s: validated", c.name)
+		}
+	}
+	if err := archiveOf(bench("BenchmarkA", 1000)).Validate(); err != nil {
+		t.Errorf("valid archive rejected: %v", err)
+	}
+}

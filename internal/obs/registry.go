@@ -207,6 +207,15 @@ func family(name string) string {
 	return name
 }
 
+// splitLabels splits a series name into its family and the braced
+// label suffix ("" when unlabeled).
+func splitLabels(name string) (fam, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
 // labeled splices extra label text into a series name, before the
 // closing brace when the name already carries labels.
 func labeled(name, kv string) string {
@@ -255,21 +264,26 @@ func (g *Registry) WriteText(w io.Writer) error {
 		sum, count := h.sum, h.count
 		h.mu.Unlock()
 		all = append(all, series{name, "histogram", func(w io.Writer, n string) error {
+			// A labeled histogram name ("hare_x_seconds{phase=\"p\"}")
+			// keeps its labels on every derived series, with the
+			// _bucket/_sum/_count suffix on the family name as the
+			// exposition format requires.
+			fam, labels := splitLabels(n)
 			cum := uint64(0)
 			for i, b := range bounds {
 				cum += counts[i]
-				if _, err := fmt.Fprintf(w, "%s %d\n", labeled(n+"_bucket", fmt.Sprintf("le=%q", formatValue(b))), cum); err != nil {
+				if _, err := fmt.Fprintf(w, "%s %d\n", labeled(fam+"_bucket"+labels, fmt.Sprintf("le=%q", formatValue(b))), cum); err != nil {
 					return err
 				}
 			}
 			cum += counts[len(bounds)]
-			if _, err := fmt.Fprintf(w, "%s %d\n", labeled(n+"_bucket", `le="+Inf"`), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", labeled(fam+"_bucket"+labels, `le="+Inf"`), cum); err != nil {
 				return err
 			}
-			if _, err := fmt.Fprintf(w, "%s_sum %s\n", n, formatValue(sum)); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam, labels, formatValue(sum)); err != nil {
 				return err
 			}
-			_, err := fmt.Fprintf(w, "%s_count %d\n", n, count)
+			_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam, labels, count)
 			return err
 		}})
 	}

@@ -33,6 +33,7 @@ import (
 	"hare/internal/gpumem"
 	"hare/internal/model"
 	"hare/internal/obs"
+	"hare/internal/obs/perf"
 	"hare/internal/sched"
 	"hare/internal/stats"
 	"hare/internal/switching"
@@ -86,8 +87,15 @@ type Options struct {
 	// BenchmarkObsDisabled for the zero-overhead guarantee.
 	Recorder *obs.Recorder
 	// Metrics, when set, accumulates run counters (tasks, switches,
-	// stall seconds, residency hits, barrier-wait seconds).
+	// stall seconds, residency hits, barrier-wait seconds) plus
+	// hare_sim_heap_*_total operation counts from the ready heap.
 	Metrics *obs.Registry
+	// Phases, when set, times the run's own machinery — validation and
+	// state construction ("sim_setup") and the incremental replay loop
+	// ("sim_event_loop") — into hare_perf_phase_seconds. The clock is
+	// read inside the perf package, never here, keeping this package
+	// wall-time free; a nil recorder costs two nil checks per Run.
+	Phases *perf.PhaseRecorder
 }
 
 // Result summarizes one simulation run.
@@ -471,6 +479,7 @@ type costKey struct {
 // switching costs are zero; otherwise models[j] must name job j's
 // model for switching and memory accounting.
 func Run(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, models []*model.Model, opts Options) (*Result, error) {
+	stopSetup := opts.Phases.Start("sim_setup")
 	r, err := newReplay(in, sch, cl, models, opts)
 	if err != nil {
 		return nil, err
@@ -671,6 +680,8 @@ func Run(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, models []*m
 	for m := range r.gpus {
 		refresh(m)
 	}
+	stopSetup()
+	stopLoop := opts.Phases.Start("sim_event_loop")
 	for r.pending > 0 {
 		m, start, ok := ready.Min()
 		if !ok {
@@ -690,6 +701,14 @@ func Run(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, models []*m
 		c := cands[m]
 		r.exec(m, c.start, c.sw, c.hit, c.b)
 		refresh(m)
+	}
+	stopLoop()
+	if opts.Metrics != nil {
+		ops := ready.Ops()
+		opts.Metrics.Counter("hare_sim_heap_inserts_total").Add(float64(ops.Inserts))
+		opts.Metrics.Counter("hare_sim_heap_updates_total").Add(float64(ops.Updates))
+		opts.Metrics.Counter("hare_sim_heap_removes_total").Add(float64(ops.Removes))
+		opts.Metrics.Counter("hare_sim_heap_pops_total").Add(float64(ops.Pops))
 	}
 	return r.finish(), nil
 }

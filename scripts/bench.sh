@@ -1,49 +1,25 @@
 #!/bin/sh
-# Run the benchmark suite with -benchmem and archive the results as
-# JSON, one object per benchmark, so runs are diffable across commits:
+# Thin wrapper over cmd/hareperf: run the benchmark suite with
+# -benchmem and archive the parsed results under bench/ as
+# BENCH_<timestamp>_<commit>.json (schema-versioned, fingerprinted —
+# see internal/obs/perf and docs/PERFORMANCE.md).
 #
-#   scripts/bench.sh                 # full suite -> BENCH_<date>.json
+#   scripts/bench.sh                 # full suite
 #   scripts/bench.sh SimulatorReplay # only matching benchmarks
 #   BENCH_TIME=5s scripts/bench.sh   # longer per-benchmark budget
+#   BENCH_COUNT=5 scripts/bench.sh   # more repetitions
 #
-# The headline pairs to compare (see docs/PERFORMANCE.md):
-#   BenchmarkSimulatorReplay      vs BenchmarkSimulatorReplayReference
-#   BenchmarkFig14GPUSweepParallel vs BenchmarkFig14GPUSweep
-#   BenchmarkObsDisabled          vs BenchmarkSimulatorReplay
+# The old awk pipeline this replaces had two bugs the Go harness
+# fixes: archives were named by date only (same-day runs clobbered
+# each other), and `sub(/-[0-9]+$/, "")` stripped a sub-benchmark's
+# trailing "-N" along with the GOMAXPROCS suffix.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 pattern="${1:-.}"
-benchtime="${BENCH_TIME:-1s}"
-out="BENCH_$(date +%Y-%m-%d).json"
-raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
-
-echo "==> go test -run ^\$ -bench $pattern -benchmem -benchtime $benchtime ./..."
-go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" ./... | tee "$raw"
-
-# A benchmark line looks like:
-#   BenchmarkName-8  1234  56789 ns/op  1024 B/op  12 allocs/op  0.87 extra/metric
-# Emit {"name","iters","ns_per_op","bytes_per_op","allocs_per_op",...custom}.
-awk -v date="$(date +%Y-%m-%dT%H:%M:%S)" '
-BEGIN { print "[" ; first = 1 }
-/^Benchmark/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)
-    line = sprintf("  {\"name\":\"%s\",\"date\":\"%s\",\"iters\":%s", name, date, $2)
-    for (i = 3; i + 1 <= NF; i += 2) {
-        unit = $(i + 1)
-        gsub(/[^A-Za-z0-9_\/-]/, "", unit)
-        gsub(/[\/-]/, "_", unit)
-        line = line sprintf(",\"%s\":%s", unit, $i)
-    }
-    line = line "}"
-    if (!first) print ","
-    printf "%s", line
-    first = 0
-}
-END { print "\n]" }
-' "$raw" > "$out"
-
-echo "==> wrote $out"
+set -- run -bench "$pattern" -count "${BENCH_COUNT:-5}"
+if [ -n "${BENCH_TIME:-}" ]; then
+    set -- "$@" -benchtime "$BENCH_TIME"
+fi
+exec go run ./cmd/hareperf "$@"

@@ -1,10 +1,10 @@
 #!/bin/sh
 # Full pre-merge check: vet, build, race-enabled tests (with the
-# engine-equivalence suites called out explicitly), and the overhead
-# benchmarks: BenchmarkObsDisabled must sit within noise of
-# BenchmarkSimulatorReplay, and BenchmarkSimulatorReplay must stay
-# well ahead of BenchmarkSimulatorReplayReference — compare the ns/op
-# columns (docs/PERFORMANCE.md records the expected gaps).
+# engine-equivalence suites called out explicitly), and the perf
+# regression gate: hareperf re-measures the gate benchmarks and
+# compares them — including the BenchmarkObsDisabled /
+# BenchmarkSimulatorReplay overhead ratio — against
+# bench/baseline.json, failing on regression (docs/PERFORMANCE.md).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -34,7 +34,7 @@ go test -race -run 'TestFaultSweep' ./internal/experiments/
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> overhead benchmarks (obs off/on, incremental vs reference replay)"
-go test -run '^$' -bench 'BenchmarkSimulatorReplay|BenchmarkObs' -benchtime 10x .
+echo "==> perf regression gate (hareperf vs bench/baseline.json, docs/PERFORMANCE.md)"
+make bench-compare
 
 echo "OK"
