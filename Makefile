@@ -9,7 +9,7 @@ BENCH_COUNT ?= 5
 BENCH_THRESHOLD ?= 1.0
 BENCH_BASE ?= bench/baseline.json
 
-.PHONY: all build test vet lint race bench bench-compare bench-obs check fmt
+.PHONY: all build test vet lint race bench bench-compare bench-obs bench-clean check fmt
 
 all: build
 
@@ -42,6 +42,12 @@ bench:
 bench-compare:
 	$(GO) run ./cmd/hareperf compare -base $(BENCH_BASE) -run \
 		-benchtime $(BENCH_TIME) -count $(BENCH_COUNT) -threshold $(BENCH_THRESHOLD)
+
+# Drop old benchmark archives, keeping the newest BENCH_KEEP runs per
+# commit. baseline.json is never touched.
+BENCH_KEEP ?= 3
+bench-clean:
+	$(GO) run ./cmd/hareperf prune -keep $(BENCH_KEEP)
 
 # Observability overhead: the nil-recorder path (BenchmarkObsDisabled)
 # must stay within noise of the uninstrumented BenchmarkSimulatorReplay.

@@ -22,6 +22,7 @@ import (
 	"hare/internal/sim"
 	"hare/internal/stats"
 	"hare/internal/switching"
+	"hare/internal/tenants"
 )
 
 // benchCfg is the scaled-down experiment configuration shared by the
@@ -428,6 +429,82 @@ func BenchmarkSimulatorReplayReference(b *testing.B) {
 		if _, err := sim.RunReference(in, plan, cl, models, sim.Options{
 			Scheme: switching.Hare, Speculative: true,
 		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPooledReplay measures the steady state of a reused
+// Simulator on BenchmarkSimulatorReplay's workload: after the first
+// run grows the arenas, replays recycle every buffer and the returned
+// Result, so allocs/op must stay near zero (hareperf's
+// pooled-replay-allocs cap holds it there absolutely).
+func BenchmarkPooledReplay(b *testing.B) {
+	cl := HeterogeneousCluster(HighHeterogeneity, 24)
+	_, in, models, err := BuildWorkload(WorkloadConfig{
+		Jobs: 60, Seed: 5, HorizonSeconds: 600, RoundsScale: 0.1,
+	}, cl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := sched.NewHare().Schedule(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := sim.Options{Scheme: switching.Hare, Speculative: true}
+	s := sim.NewSimulator()
+	if _, err := s.Run(in, plan, cl, models, opts); err != nil {
+		b.Fatal(err) // warm the arenas outside the timer
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(in, plan, cl, models, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// shardedBenchTrace builds the multi-tenant trace the sharded-replay
+// benchmarks share: 8 independent tenants, so Options.Parallel can
+// fan the replay across up to 8 workers.
+func shardedBenchTrace(b *testing.B) *tenants.Trace {
+	b.Helper()
+	tr, err := tenants.Build(tenants.Config{
+		Tenants: 8, JobsPerTenant: 20, GPUsPerTenant: 8,
+		RoundsScale: 0.2, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkShardedReplay replays the multi-tenant trace with
+// component sharding across GOMAXPROCS workers; against
+// BenchmarkShardedReplaySerial it reports the wall-clock speedup
+// sharding buys (≥2x expected at GOMAXPROCS ≥ 4; identical results
+// are pinned by TestShardedMatchesSerial).
+func BenchmarkShardedReplay(b *testing.B) {
+	tr := shardedBenchTrace(b)
+	opts := sim.Options{Scheme: switching.Hare, Speculative: true, Parallel: -1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(tr.Instance, tr.Schedule, tr.Cluster, tr.Models, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardedReplaySerial is the serial control for
+// BenchmarkShardedReplay: same trace, same pooled engine, no
+// sharding.
+func BenchmarkShardedReplaySerial(b *testing.B) {
+	tr := shardedBenchTrace(b)
+	opts := sim.Options{Scheme: switching.Hare, Speculative: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(tr.Instance, tr.Schedule, tr.Cluster, tr.Models, opts); err != nil {
 			b.Fatal(err)
 		}
 	}

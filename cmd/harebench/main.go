@@ -13,17 +13,22 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"hare/internal/experiments"
 	"hare/internal/metrics"
 	"hare/internal/model"
 	"hare/internal/obs"
 	"hare/internal/obs/perf"
+	"hare/internal/sim"
 	"hare/internal/switching"
+	"hare/internal/trace"
 )
 
 var (
@@ -224,7 +229,76 @@ func allRunners() []runner {
 		{"ext-seeds", "extension: fig16 across 3 seeds, mean±std per scheme", runExtSeeds},
 		{"faults", "robustness: weighted-JCT degradation vs fault rate and GPU failures", runFaults},
 		{"attrib", "diagnosis: WJCT critical-path attribution per scheme", runAttrib},
+		{"largetrace", "scale: sharded parallel replay of a multi-tenant trace vs serial", runLargeTrace},
 	}
+}
+
+// runLargeTrace builds a multi-tenant trace, replays it serially and
+// sharded, and reports the wall-clock ratio. The replays must agree
+// bit-for-bit — weighted JCT compared exactly and the full trace
+// fingerprinted — so the speedup column can never hide a divergence.
+func runLargeTrace(cfg experiments.Config) error {
+	const numTenants = 8
+	buildStart := time.Now()
+	tr, err := experiments.BuildLargeTrace(cfg, numTenants)
+	if err != nil {
+		return err
+	}
+	buildTime := time.Since(buildStart)
+
+	opts := sim.Options{Scheme: switching.Hare, Speculative: true, Seed: cfg.Seed}
+	serialStart := time.Now()
+	serial, err := sim.Run(tr.Instance, tr.Schedule, tr.Cluster, tr.Models, opts)
+	if err != nil {
+		return err
+	}
+	serialTime := time.Since(serialStart)
+
+	popts := opts
+	popts.Parallel = -1
+	shardedStart := time.Now()
+	sharded, err := sim.Run(tr.Instance, tr.Schedule, tr.Cluster, tr.Models, popts)
+	if err != nil {
+		return err
+	}
+	shardedTime := time.Since(shardedStart)
+
+	//lint:allow floateq sharded replay must match serial bit-for-bit, not approximately
+	if serial.WeightedJCT != sharded.WeightedJCT {
+		return fmt.Errorf("largetrace: sharded WJCT %.17g != serial %.17g",
+			sharded.WeightedJCT, serial.WeightedJCT)
+	}
+	if sh, gh := replayHash(serial.Trace), replayHash(sharded.Trace); sh != gh {
+		return fmt.Errorf("largetrace: sharded trace hash %#x != serial %#x", gh, sh)
+	}
+
+	fmt.Print(metrics.Table(
+		[]string{"tenants", "jobs", "gpus", "tasks", "build", "serial", "sharded", "speedup", "weighted JCT"},
+		[][]string{{
+			fmt.Sprintf("%d", numTenants),
+			fmt.Sprintf("%d", tr.NumJobs()),
+			fmt.Sprintf("%d", tr.Instance.NumGPUs),
+			fmt.Sprintf("%d", len(serial.Trace.Records)),
+			buildTime.Round(time.Millisecond).String(),
+			serialTime.Round(time.Millisecond).String(),
+			shardedTime.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2fx", float64(serialTime)/float64(shardedTime)),
+			fmt.Sprintf("%.0f", serial.WeightedJCT),
+		}}))
+	fmt.Printf("replays agree bit-for-bit (trace hash %#x, GOMAXPROCS=%d)\n",
+		replayHash(serial.Trace), runtime.GOMAXPROCS(0))
+	return nil
+}
+
+// replayHash fingerprints every realized field of a replay trace at
+// full float64 precision (the same digest the equivalence tests pin).
+func replayHash(tr *trace.Trace) uint64 {
+	h := fnv.New64a()
+	for _, r := range tr.Records {
+		fmt.Fprintf(h, "%v|%d|%.17g|%.17g|%.17g|%.17g\n",
+			r.Task, r.GPU, r.Start, r.Train, r.Sync, r.Switch)
+	}
+	return h.Sum64()
 }
 
 // attribRows carries the attrib experiment's result to the -attrib-out

@@ -34,7 +34,7 @@ import (
 // regression gate watches. Deliberately a subset — short enough for
 // CI, covering the planner, both replay engines, the obs overhead
 // pair, and the memory manager.
-const gatePattern = "BenchmarkSimulatorReplay|BenchmarkObs|BenchmarkHareSchedule|BenchmarkFluidRelaxation|BenchmarkHungarian|BenchmarkSwitchingCost|BenchmarkGPUMemManager"
+const gatePattern = "BenchmarkSimulatorReplay|BenchmarkPooledReplay|BenchmarkObs|BenchmarkHareSchedule|BenchmarkFluidRelaxation|BenchmarkHungarian|BenchmarkSwitchingCost|BenchmarkGPUMemManager"
 
 // defaultRatios are the machine-independent gates: both sides run in
 // the same process on the same hardware, so their quotient survives a
@@ -56,6 +56,17 @@ var defaultRatios = []perf.RatioGate{
 	},
 }
 
+// defaultAbs are absolute allocation caps. allocs/op is deterministic
+// per build — no machine noise — so these hold the zero-alloc replay
+// core to its contract even across baseline refreshes: a cold Run
+// (state construction + result clone) stays bounded, and a pooled
+// steady-state replay must stay allocation-free apart from the cloned
+// Result handed back to the caller.
+var defaultAbs = []perf.AbsGate{
+	{Name: "replay-allocs", Bench: "BenchmarkSimulatorReplay", Metric: "allocs/op", Max: 1100},
+	{Name: "pooled-replay-allocs", Bench: "BenchmarkPooledReplay", Metric: "allocs/op", Max: 64},
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
@@ -70,6 +81,8 @@ func main() {
 		err = cmdParse(args)
 	case "compare":
 		os.Exit(cmdCompare(args))
+	case "prune":
+		err = cmdPrune(args)
 	case "env":
 		err = cmdEnv()
 	default:
@@ -93,8 +106,11 @@ commands:
   parse -in FILE [-procs N] [-out FILE]
           convert raw 'go test -bench' output into an archive
   compare -base FILE (-cur FILE | -run) [run flags]
-          [-threshold F] [-agg min|median] [-no-ratios]
+          [-threshold F] [-agg min|median] [-no-ratios] [-no-abs]
           compare an archive against a baseline; exit 1 on regression
+  prune [-dir D] [-keep N]
+          delete old BENCH_*.json archives, keeping the newest N per
+          commit (baseline.json is never touched)
   env     print the current environment fingerprint`)
 }
 
@@ -223,6 +239,7 @@ func cmdCompare(args []string) int {
 	memThreshold := fs.Float64("mem-threshold", 0.10, "regression threshold for B/op and allocs/op (fraction)")
 	agg := fs.String("agg", "min", "aggregation across repetitions: min or median")
 	noRatios := fs.Bool("no-ratios", false, "disable the intra-run ratio gates")
+	noAbs := fs.Bool("no-abs", false, "disable the absolute allocation caps")
 	rf := addRunFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -261,6 +278,9 @@ func cmdCompare(args []string) int {
 	if !*noRatios {
 		opts.Ratios = defaultRatios
 	}
+	if !*noAbs {
+		opts.Abs = defaultAbs
+	}
 	rep := perf.Compare(baseA, curA, opts)
 	rep.WriteTable(os.Stdout)
 	if rep.Regressed() {
@@ -269,6 +289,24 @@ func cmdCompare(args []string) int {
 	}
 	fmt.Println("hareperf: no regressions")
 	return 0
+}
+
+func cmdPrune(args []string) error {
+	fs := flag.NewFlagSet("prune", flag.ExitOnError)
+	dir := fs.String("dir", "bench", "archive directory")
+	keep := fs.Int("keep", 3, "archives to keep per commit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	deleted, err := perf.Prune(*dir, *keep)
+	for _, p := range deleted {
+		fmt.Fprintf(os.Stderr, "hareperf: pruned %s\n", p)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hareperf: pruned %d archive(s) from %s (keeping %d per commit)\n", len(deleted), *dir, *keep)
+	return nil
 }
 
 func cmdEnv() error {

@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -233,6 +234,99 @@ func (s *Schedule) Sequences(numGPUs int) [][]TaskRef {
 	return seq
 }
 
+// placedTask pairs a task with its planned start for bucket sorting.
+type placedTask struct {
+	t     TaskRef
+	start float64
+}
+
+// SeqBuffer owns the reusable storage behind SequencesInto. A pooled
+// simulator keeps one per Simulator; once the backing arrays have
+// grown to the schedule's size, deriving sequences allocates nothing.
+type SeqBuffer struct {
+	pairs   []placedTask
+	refs    []TaskRef
+	counts  []int
+	buckets [][]placedTask
+	seqs    [][]TaskRef
+}
+
+// SequencesInto is Sequences with caller-owned storage: the returned
+// outer slice and every per-GPU sequence alias buf's backing arrays
+// and are valid until the next SequencesInto call on the same buffer.
+// The task order per GPU is identical to Sequences'.
+func (s *Schedule) SequencesInto(buf *SeqBuffer, numGPUs int) [][]TaskRef {
+	n := len(s.Placements)
+	if cap(buf.counts) < numGPUs {
+		buf.counts = make([]int, numGPUs)
+	} else {
+		buf.counts = buf.counts[:numGPUs]
+		for i := range buf.counts {
+			buf.counts[i] = 0
+		}
+	}
+	//lint:ordered counting pass is order-independent
+	for _, p := range s.Placements {
+		buf.counts[p.GPU]++
+	}
+	if cap(buf.pairs) < n {
+		buf.pairs = make([]placedTask, n)
+	}
+	if cap(buf.buckets) < numGPUs {
+		buf.buckets = make([][]placedTask, numGPUs)
+	} else {
+		buf.buckets = buf.buckets[:numGPUs]
+	}
+	off := 0
+	for m := 0; m < numGPUs; m++ {
+		buf.buckets[m] = buf.pairs[off : off : off+buf.counts[m]]
+		off += buf.counts[m]
+	}
+	//lint:ordered buckets are fully sorted below before use
+	for t, p := range s.Placements {
+		buf.buckets[p.GPU] = append(buf.buckets[p.GPU], placedTask{t: t, start: p.Start})
+	}
+	if cap(buf.seqs) < numGPUs {
+		buf.seqs = make([][]TaskRef, numGPUs)
+	} else {
+		buf.seqs = buf.seqs[:numGPUs]
+	}
+	if cap(buf.refs) < n {
+		buf.refs = make([]TaskRef, n)
+	} else {
+		buf.refs = buf.refs[:n]
+	}
+	off = 0
+	for m := 0; m < numGPUs; m++ {
+		tasks := buf.buckets[m]
+		// (start, task) keys are unique — tasks are placed once — so the
+		// unstable sort is deterministic and matches Sequences' order.
+		slices.SortFunc(tasks, func(a, b placedTask) int {
+			//lint:allow floateq exact comparison orders identical starts into the tie-break
+			if a.start != b.start {
+				if a.start < b.start {
+					return -1
+				}
+				return 1
+			}
+			if a.t == b.t {
+				return 0
+			}
+			if lessTask(a.t, b.t) {
+				return -1
+			}
+			return 1
+		})
+		out := buf.refs[off : off+len(tasks) : off+len(tasks)]
+		off += len(tasks)
+		for i, p := range tasks {
+			out[i] = p.t
+		}
+		buf.seqs[m] = out
+	}
+	return buf.seqs
+}
+
 func lessTask(a, b TaskRef) bool {
 	if a.Job != b.Job {
 		return a.Job < b.Job
@@ -331,22 +425,41 @@ func ApproxEqual(a, b, eps float64) bool {
 // It returns nil for a feasible schedule and a descriptive error for
 // the first violation found.
 func ValidateSchedule(in *Instance, s *Schedule) error {
-	// (5): every task placed exactly once, on a real GPU.
-	for _, t := range in.Tasks() {
-		p, ok := s.Placements[t]
-		if !ok {
-			return fmt.Errorf("core: task %v is not placed (constraint 5)", t)
-		}
-		if p.GPU < 0 || p.GPU >= in.NumGPUs {
-			return fmt.Errorf("core: task %v placed on invalid GPU %d", t, p.GPU)
-		}
-		if math.IsNaN(p.Start) || math.IsInf(p.Start, 0) {
-			return fmt.Errorf("core: task %v has invalid start %g", t, p.Start)
-		}
-		// (4): arrival.
-		if a := in.Jobs[t.Job].Arrival; p.Start < a-timeEps {
-			return fmt.Errorf("core: task %v starts at %.6g before arrival %.6g (constraint 4)",
-				t, p.Start, a)
+	if err := ValidatePlacements(in, s); err != nil {
+		return err
+	}
+	return ValidateScheduleSeqs(in, s, s.Sequences(in.NumGPUs))
+}
+
+// ValidatePlacements checks the placement-local constraints — (5)
+// every task placed exactly once on a real GPU, (4) no start before
+// arrival — without deriving sequences. It must pass before sequences
+// are derived at all: Sequences indexes buckets by the placement's GPU
+// and would panic on a GPU that fails the range check here.
+func ValidatePlacements(in *Instance, s *Schedule) error {
+	// (5): every task placed exactly once, on a real GPU. The nested
+	// loops visit tasks in the same (job, round, index) order as
+	// in.Tasks() without materializing the slice.
+	for _, j := range in.Jobs {
+		for r := 0; r < j.Rounds; r++ {
+			for k := 0; k < j.Scale; k++ {
+				t := TaskRef{Job: j.ID, Round: r, Index: k}
+				p, ok := s.Placements[t]
+				if !ok {
+					return fmt.Errorf("core: task %v is not placed (constraint 5)", t)
+				}
+				if p.GPU < 0 || p.GPU >= in.NumGPUs {
+					return fmt.Errorf("core: task %v placed on invalid GPU %d", t, p.GPU)
+				}
+				if math.IsNaN(p.Start) || math.IsInf(p.Start, 0) {
+					return fmt.Errorf("core: task %v has invalid start %g", t, p.Start)
+				}
+				// (4): arrival.
+				if a := in.Jobs[t.Job].Arrival; p.Start < a-timeEps {
+					return fmt.Errorf("core: task %v starts at %.6g before arrival %.6g (constraint 4)",
+						t, p.Start, a)
+				}
+			}
 		}
 	}
 	// Extraneous placements indicate a buggy scheduler.
@@ -354,6 +467,15 @@ func ValidateSchedule(in *Instance, s *Schedule) error {
 		return fmt.Errorf("core: schedule has %d placements for %d tasks",
 			len(s.Placements), in.NumTasks())
 	}
+	return nil
+}
+
+// ValidateScheduleSeqs checks the ordering constraints (7) and (8)
+// against caller-provided per-GPU sequences (from Sequences or
+// SequencesInto), letting a caller that already derived sequences
+// validate without deriving them a second time. ValidatePlacements
+// must have passed first.
+func ValidateScheduleSeqs(in *Instance, s *Schedule, seqs [][]TaskRef) error {
 	// (7): round barrier within each job.
 	for _, j := range in.Jobs {
 		prevEnd := 0.0
@@ -374,7 +496,7 @@ func ValidateSchedule(in *Instance, s *Schedule) error {
 	}
 	// (8): non-overlap of training intervals per GPU. The training
 	// occupancy of a task is [start, start+T^c); sync is off-GPU.
-	for m, seq := range s.Sequences(in.NumGPUs) {
+	for m, seq := range seqs {
 		var prevBusyEnd float64
 		var prevTask TaskRef
 		for i, t := range seq {

@@ -273,3 +273,96 @@ func greedyDispatch(in *Instance, rng *stats.RNG) *Schedule {
 	}
 	return s
 }
+
+// TestSequencesIntoMatchesSequences cross-checks the buffer-reusing
+// derivation against Sequences on randomized schedules, reusing one
+// buffer across schedules of different shapes.
+func TestSequencesIntoMatchesSequences(t *testing.T) {
+	rng := stats.New(61)
+	var buf SeqBuffer
+	for trial := 0; trial < 30; trial++ {
+		numGPUs := 1 + rng.Intn(12)
+		s := NewSchedule()
+		n := rng.Intn(200)
+		for i := 0; i < n; i++ {
+			t := TaskRef{Job: JobID(rng.Intn(20)), Round: rng.Intn(5), Index: rng.Intn(4)}
+			// Coarse starts force start ties resolved by task identity.
+			s.Place(t, rng.Intn(numGPUs), float64(rng.Intn(8)))
+		}
+		want := s.Sequences(numGPUs)
+		got := s.SequencesInto(&buf, numGPUs)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d GPUs, want %d", trial, len(got), len(want))
+		}
+		for m := range want {
+			if len(got[m]) != len(want[m]) {
+				t.Fatalf("trial %d GPU %d: len %d, want %d", trial, m, len(got[m]), len(want[m]))
+			}
+			for i := range want[m] {
+				if got[m][i] != want[m][i] {
+					t.Fatalf("trial %d GPU %d pos %d: %v, want %v", trial, m, i, got[m][i], want[m][i])
+				}
+			}
+		}
+	}
+}
+
+// TestValidateSplitMatchesCombined pins that the split validators
+// reproduce ValidateSchedule's verdicts (including error text) on
+// valid and broken schedules.
+func TestValidateSplitMatchesCombined(t *testing.T) {
+	in := &Instance{
+		Jobs: []*Job{
+			{ID: 0, Weight: 1, Rounds: 2, Scale: 2},
+			{ID: 1, Weight: 1, Arrival: 5, Rounds: 1, Scale: 1},
+		},
+		NumGPUs: 2,
+		Train:   [][]float64{{1, 2}, {3, 4}},
+		Sync:    [][]float64{{0.5, 0.5}, {0, 0}},
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	valid := NewSchedule()
+	valid.Place(TaskRef{0, 0, 0}, 0, 0)
+	valid.Place(TaskRef{0, 0, 1}, 1, 0)
+	valid.Place(TaskRef{0, 1, 0}, 0, 2.5)
+	valid.Place(TaskRef{0, 1, 1}, 1, 2.5)
+	valid.Place(TaskRef{1, 0, 0}, 0, 5)
+
+	breakGPU := NewSchedule()
+	//lint:ordered copying placements into a map is order-independent
+	for t, p := range valid.Placements {
+		breakGPU.Placements[t] = p
+	}
+	breakGPU.Place(TaskRef{1, 0, 0}, 99, 5) // constraint-5 range violation
+
+	breakBarrier := NewSchedule()
+	//lint:ordered copying placements into a map is order-independent
+	for t, p := range valid.Placements {
+		breakBarrier.Placements[t] = p
+	}
+	breakBarrier.Place(TaskRef{0, 1, 0}, 0, 1) // starts before round-0 barrier
+
+	cases := []struct {
+		name string
+		s    *Schedule
+	}{
+		{"valid", valid}, {"bad-gpu", breakGPU}, {"bad-barrier", breakBarrier},
+	}
+	for _, tc := range cases {
+		name, s := tc.name, tc.s
+		combined := ValidateSchedule(in, s)
+		split := ValidatePlacements(in, s)
+		if split == nil {
+			var buf SeqBuffer
+			split = ValidateScheduleSeqs(in, s, s.SequencesInto(&buf, in.NumGPUs))
+		}
+		switch {
+		case (combined == nil) != (split == nil):
+			t.Errorf("%s: combined err %v, split err %v", name, combined, split)
+		case combined != nil && combined.Error() != split.Error():
+			t.Errorf("%s: combined %q, split %q", name, combined, split)
+		}
+	}
+}

@@ -114,6 +114,29 @@ func NewIndexedHeap(n int) *IndexedHeap {
 // Len reports the number of ids currently in the heap.
 func (h *IndexedHeap) Len() int { return len(h.ids) }
 
+// Reset empties the heap and re-sizes its universe to ids 0..n-1,
+// reusing the existing storage when it is large enough. The operation
+// counters restart from zero, so a pooled simulator's per-run
+// telemetry matches a freshly constructed heap's exactly.
+func (h *IndexedHeap) Reset(n int) {
+	if cap(h.ids) < n {
+		h.ids = make([]int, 0, n)
+	} else {
+		h.ids = h.ids[:0]
+	}
+	if cap(h.pos) < n {
+		h.pos = make([]int, n)
+		h.pri = make([]float64, n)
+	} else {
+		h.pos = h.pos[:n]
+		h.pri = h.pri[:n]
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	h.ops = HeapOps{}
+}
+
 // Contains reports whether id is currently in the heap.
 func (h *IndexedHeap) Contains(id int) bool { return h.pos[id] >= 0 }
 

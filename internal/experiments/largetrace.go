@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hare/internal/tenants"
+)
+
+// BuildLargeTrace scales a Config onto a multi-tenant replay trace:
+// the configured job and GPU budgets are split evenly across
+// numTenants mutually independent tenants, each planned by Hare on
+// its private partition. The merged trace decomposes into one
+// component per tenant, which is the input shape sim.Options.Parallel
+// replays concurrently; cmd/harebench's "largetrace" experiment and
+// the sharded-replay benchmarks build their workloads through this
+// wrapper so the scale knobs stay the familiar Config fields.
+func BuildLargeTrace(cfg Config, numTenants int) (*tenants.Trace, error) {
+	cfg = cfg.Defaults()
+	if numTenants <= 0 {
+		numTenants = 4
+	}
+	if cfg.Jobs < numTenants || cfg.GPUs < numTenants {
+		return nil, fmt.Errorf("experiments: %d jobs on %d GPUs cannot split across %d tenants",
+			cfg.Jobs, cfg.GPUs, numTenants)
+	}
+	return tenants.Build(tenants.Config{
+		Tenants:        numTenants,
+		JobsPerTenant:  cfg.Jobs / numTenants,
+		GPUsPerTenant:  cfg.GPUs / numTenants,
+		HorizonSeconds: cfg.HorizonSeconds,
+		RoundsScale:    cfg.RoundsScale,
+		Seed:           cfg.Seed,
+	})
+}

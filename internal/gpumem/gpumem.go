@@ -17,6 +17,7 @@ package gpumem
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"hare/internal/obs"
@@ -67,12 +68,26 @@ type Manager struct {
 	used     int64 // bytes held by resident models (excludes active task)
 	active   int64 // bytes held by the currently running task
 
-	models map[JobKey]*resident
+	// models holds the speculatively kept entries, ordered by
+	// completion (callers report nondecreasing times, so appends keep
+	// it sorted). A slice, not a map: the resident set is a handful of
+	// models at most, linear scans beat hashing at that size, and —
+	// what matters for the pooled replay core — a reused slice never
+	// allocates, while a churned map periodically re-grows its buckets.
+	models []resident
 	// positions lists, per job, the indices of its tasks in this
 	// GPU's planned sequence; cursor counts Begins so nextUse can be
-	// answered relative to the current point in the sequence.
-	positions map[JobKey][]int
-	cursor    int
+	// answered relative to the current point in the sequence. The
+	// position lists are carved out of posBacking so a pooled manager's
+	// SetLookahead allocates nothing once the backing array has grown
+	// to the sequence length; posCount is the reusable counting pass.
+	positions  map[JobKey][]int
+	posBacking []int
+	posCount   map[JobKey]int
+	cursor     int
+
+	// victimsBuf is the reusable eviction-order scratch for evictFor.
+	victimsBuf []resident
 
 	// Counters for experiments.
 	hits, misses, evictions int
@@ -88,14 +103,32 @@ type Manager struct {
 // NewManager returns a manager for a device with the given capacity
 // in bytes, using the paper's KeepLatest policy.
 func NewManager(capacity int64) *Manager {
+	m := new(Manager)
+	m.Reset(capacity)
+	return m
+}
+
+// Reset returns the manager to the state NewManager(capacity) would
+// produce — empty device, KeepLatest policy, no recorder, zeroed
+// counters and clock — while keeping the map and scratch storage for
+// reuse. It works on a zero-value Manager, so a pooled simulator can
+// hold managers by value and Reset them per run.
+func (m *Manager) Reset(capacity int64) {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("gpumem: non-positive capacity %d", capacity))
 	}
-	return &Manager{
-		capacity:  capacity,
-		models:    make(map[JobKey]*resident),
-		positions: make(map[JobKey][]int),
+	m.capacity = capacity
+	m.policy = KeepLatest
+	m.used, m.active = 0, 0
+	m.models = m.models[:0]
+	if m.positions == nil {
+		m.positions = make(map[JobKey][]int)
+	} else {
+		clear(m.positions)
 	}
+	m.cursor = 0
+	m.hits, m.misses, m.evictions = 0, 0, 0
+	m.rec, m.gpu, m.lastNow = nil, 0, 0
 }
 
 // SetPolicy switches the eviction policy; call before traffic starts.
@@ -116,7 +149,29 @@ func (m *Manager) Policy() Policy { return m.policy }
 // GPU: order[i] is the job of the i-th future task. It resets the
 // sequence cursor.
 func (m *Manager) SetLookahead(order []JobKey) {
-	m.positions = make(map[JobKey][]int, len(order))
+	clear(m.positions)
+	if m.posCount == nil {
+		m.posCount = make(map[JobKey]int, len(order))
+	} else {
+		clear(m.posCount)
+	}
+	for _, k := range order {
+		m.posCount[k]++
+	}
+	if cap(m.posBacking) < len(order) {
+		m.posBacking = make([]int, len(order))
+	}
+	// Carve one zero-length slice per job out of the backing array, in
+	// first-appearance order so each job's appends stay in bounds.
+	off := 0
+	for _, k := range order {
+		if _, ok := m.positions[k]; ok {
+			continue
+		}
+		n := m.posCount[k]
+		m.positions[k] = m.posBacking[off : off : n+off]
+		off += n
+	}
 	for i, k := range order {
 		m.positions[k] = append(m.positions[k], i)
 	}
@@ -138,8 +193,23 @@ func (m *Manager) nextUseOf(k JobKey) int {
 // Resident reports whether the job's model weights are currently on
 // the device.
 func (m *Manager) Resident(k JobKey) bool {
-	_, ok := m.models[k]
-	return ok
+	return m.indexOf(k) >= 0
+}
+
+// indexOf returns the position of job k's resident entry, or -1.
+func (m *Manager) indexOf(k JobKey) int {
+	for i := range m.models {
+		if m.models[i].key == k {
+			return i
+		}
+	}
+	return -1
+}
+
+// removeAt deletes entry i, preserving completion order.
+func (m *Manager) removeAt(i int) {
+	copy(m.models[i:], m.models[i+1:])
+	m.models = m.models[:len(m.models)-1]
 }
 
 // Begin claims memory for a task of job k whose full training
@@ -161,7 +231,8 @@ func (m *Manager) BeginAt(k JobKey, footprintBytes int64, now float64) (hit bool
 		panic(fmt.Sprintf("gpumem: task footprint %d exceeds capacity %d", footprintBytes, m.capacity))
 	}
 	m.lastNow = now
-	if r, ok := m.models[k]; ok {
+	if i := m.indexOf(k); i >= 0 {
+		r := m.models[i]
 		hit = true
 		m.hits++
 		m.used -= r.weightBytes
@@ -171,7 +242,7 @@ func (m *Manager) BeginAt(k JobKey, footprintBytes int64, now float64) (hit bool
 				Bytes: r.weightBytes, Hit: true,
 			})
 		}
-		delete(m.models, k)
+		m.removeAt(i)
 	} else {
 		m.misses++
 	}
@@ -188,17 +259,24 @@ func (m *Manager) evictFor(need int64, now float64) {
 	if m.used+need <= m.capacity {
 		return
 	}
-	victims := make([]*resident, 0, len(m.models))
-	for _, r := range m.models {
-		victims = append(victims, r)
-	}
-	sort.Slice(victims, func(i, j int) bool { return m.evictsBefore(victims[i], victims[j]) })
+	victims := append(m.victimsBuf[:0], m.models...)
+	// evictsBefore is a strict weak order with a total key tie-break,
+	// so the unstable sort is deterministic.
+	slices.SortFunc(victims, func(a, b resident) int {
+		if m.evictsBefore(a, b) {
+			return -1
+		}
+		if m.evictsBefore(b, a) {
+			return 1
+		}
+		return 0
+	})
 	for _, v := range victims {
 		if m.used+need <= m.capacity {
-			return
+			break
 		}
 		m.used -= v.weightBytes
-		delete(m.models, v.key)
+		m.removeAt(m.indexOf(v.key))
 		m.evictions++
 		if m.rec.Enabled() {
 			m.rec.Emit(obs.Event{
@@ -207,10 +285,11 @@ func (m *Manager) evictFor(need int64, now float64) {
 			})
 		}
 	}
+	m.victimsBuf = victims[:0]
 }
 
 // evictsBefore orders eviction victims according to the policy.
-func (m *Manager) evictsBefore(a, b *resident) bool {
+func (m *Manager) evictsBefore(a, b resident) bool {
 	switch m.policy {
 	case Belady:
 		au, bu := m.nextUseOf(a.key), m.nextUseOf(b.key)
@@ -236,9 +315,9 @@ func (m *Manager) Complete(k JobKey, weightBytes int64, now float64) {
 	if weightBytes <= 0 {
 		return
 	}
-	if old, ok := m.models[k]; ok {
-		m.used -= old.weightBytes
-		delete(m.models, k)
+	if i := m.indexOf(k); i >= 0 {
+		m.used -= m.models[i].weightBytes
+		m.removeAt(i)
 	}
 	if m.used+weightBytes > m.capacity {
 		m.evictFor(weightBytes, now)
@@ -246,7 +325,7 @@ func (m *Manager) Complete(k JobKey, weightBytes int64, now float64) {
 			return // cannot keep; drop silently (not an error)
 		}
 	}
-	m.models[k] = &resident{key: k, weightBytes: weightBytes, completedAt: now}
+	m.models = append(m.models, resident{key: k, weightBytes: weightBytes, completedAt: now})
 	m.used += weightBytes
 	if m.rec.Enabled() {
 		m.rec.Emit(obs.Event{

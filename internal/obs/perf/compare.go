@@ -50,6 +50,33 @@ type RatioGate struct {
 	Max float64 `json:"max,omitempty"`
 }
 
+// AbsGate caps one benchmark metric absolutely, independent of the
+// baseline. Use it for metrics that are deterministic per build —
+// allocs/op above all — where "no worse than the baseline" is too
+// weak: a pooled hot path that starts allocating again should fail
+// even if someone refreshes the baseline past it.
+type AbsGate struct {
+	// Name labels the gate in reports.
+	Name string `json:"name"`
+	// Bench is the benchmark name, Metric the compared unit
+	// ("allocs/op" when empty).
+	Bench  string `json:"bench"`
+	Metric string `json:"metric,omitempty"`
+	// Max is the inclusive cap on the aggregated current value.
+	Max float64 `json:"max"`
+}
+
+// AbsResult is one evaluated AbsGate.
+type AbsResult struct {
+	Gate AbsGate `json:"gate"`
+	// Cur is the current run's aggregated value (NaN when the
+	// benchmark or metric is missing).
+	Cur    float64 `json:"cur"`
+	Status Status  `json:"status"`
+	// Reason explains a non-ok status.
+	Reason string `json:"reason,omitempty"`
+}
+
 // Options configures a comparison.
 type Options struct {
 	// Agg folds repetitions (AggMin when empty).
@@ -65,6 +92,8 @@ type Options struct {
 	Gated []string
 	// Ratios are intra-run ratio gates.
 	Ratios []RatioGate
+	// Abs are absolute caps on current-run metrics.
+	Abs []AbsGate
 }
 
 func (o Options) agg() Aggregation {
@@ -140,6 +169,7 @@ type Report struct {
 	// by name then metric.
 	Deltas []Delta       `json:"deltas"`
 	Ratios []RatioResult `json:"ratios,omitempty"`
+	Abs    []AbsResult   `json:"abs,omitempty"`
 	// Added and Removed are benchmarks present on only one side —
 	// informational, never gating (a new benchmark must be able to
 	// land before the baseline is refreshed).
@@ -160,6 +190,11 @@ func (r *Report) Regressions() []string {
 	for _, rr := range r.Ratios {
 		if rr.Status == StatusRegression {
 			out = append(out, fmt.Sprintf("ratio %s (%s/%s): %s", rr.Gate.Name, rr.Gate.Num, rr.Gate.Den, rr.Reason))
+		}
+	}
+	for _, ar := range r.Abs {
+		if ar.Status == StatusRegression {
+			out = append(out, fmt.Sprintf("abs %s (%s %s): %s", ar.Gate.Name, ar.Gate.Bench, ar.Gate.Metric, ar.Reason))
 		}
 	}
 	return out
@@ -279,7 +314,34 @@ func Compare(base, cur *Archive, opts Options) *Report {
 	for _, g := range opts.Ratios {
 		rep.Ratios = append(rep.Ratios, evalRatio(g, bAgg, cAgg, opts))
 	}
+	for _, g := range opts.Abs {
+		rep.Abs = append(rep.Abs, evalAbs(g, cAgg))
+	}
 	return rep
+}
+
+func evalAbs(g AbsGate, cAgg map[string]map[string]float64) AbsResult {
+	if g.Metric == "" {
+		g.Metric = "allocs/op"
+	}
+	res := AbsResult{Gate: g, Cur: math.NaN()}
+	if m, ok := cAgg[g.Bench]; ok {
+		if v, ok := m[g.Metric]; ok {
+			res.Cur = v
+		}
+	}
+	switch {
+	case math.IsNaN(res.Cur):
+		res.Status = StatusInfo
+		res.Reason = "benchmark missing from current run"
+	case res.Cur > g.Max:
+		res.Status = StatusRegression
+		res.Reason = fmt.Sprintf("%s %s exceeds absolute cap %s",
+			formatMetric(res.Cur), g.Metric, formatMetric(g.Max))
+	default:
+		res.Status = StatusOK
+	}
+	return res
 }
 
 func ratioOf(cv, bv float64) float64 {
@@ -384,6 +446,18 @@ func (r *Report) WriteTable(w io.Writer) {
 		}
 		fmt.Fprintln(w, "\nratio gates (machine-independent):")
 		fmt.Fprint(w, metrics.Table([]string{"gate", "pair", "base", "current", "status"}, rrows))
+	}
+	if len(r.Abs) > 0 {
+		var arows [][]string
+		for _, ar := range r.Abs {
+			arows = append(arows, []string{
+				ar.Gate.Name,
+				strings.TrimPrefix(ar.Gate.Bench, "Benchmark") + " " + ar.Gate.Metric,
+				formatMetric(ar.Gate.Max), formatMetric(ar.Cur), string(ar.Status),
+			})
+		}
+		fmt.Fprintln(w, "\nabsolute caps:")
+		fmt.Fprint(w, metrics.Table([]string{"gate", "metric", "cap", "current", "status"}, arows))
 	}
 	for _, n := range r.Added {
 		fmt.Fprintf(w, "new benchmark (not in baseline): %s\n", n)

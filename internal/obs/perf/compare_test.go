@@ -256,3 +256,48 @@ func TestArchiveValidate(t *testing.T) {
 		t.Errorf("valid archive rejected: %v", err)
 	}
 }
+
+// TestAbsGates: absolute caps gate on the current run alone, so a cap
+// violation fails even when the baseline is equally bad.
+func TestAbsGates(t *testing.T) {
+	mem := func(name string, allocs float64) Benchmark {
+		return Benchmark{Name: name, Iters: 100, Metrics: map[string]float64{
+			"ns/op": 1000, "allocs/op": allocs,
+		}}
+	}
+	base := archiveOf(mem("BenchmarkA", 5000))
+	cur := archiveOf(mem("BenchmarkA", 5000))
+	gate := AbsGate{Name: "a-allocs", Bench: "BenchmarkA", Max: 1100}
+
+	rep := Compare(base, cur, Options{Abs: []AbsGate{gate}})
+	if !rep.Regressed() {
+		t.Fatal("5000 allocs/op under a 1100 cap must regress even with a matching baseline")
+	}
+	if len(rep.Abs) != 1 || rep.Abs[0].Status != StatusRegression || rep.Abs[0].Cur != 5000 {
+		t.Fatalf("abs results: %+v", rep.Abs)
+	}
+	if !strings.Contains(rep.Regressions()[0], "absolute cap") {
+		t.Fatalf("regression message: %v", rep.Regressions())
+	}
+
+	rep = Compare(base, archiveOf(mem("BenchmarkA", 900)), Options{Abs: []AbsGate{gate}})
+	if rep.Regressed() {
+		t.Fatalf("900 allocs/op under a 1100 cap regressed: %v", rep.Regressions())
+	}
+	if rep.Abs[0].Status != StatusOK {
+		t.Fatalf("abs status: %+v", rep.Abs[0])
+	}
+
+	// A missing benchmark is informational, never a failure: caps on
+	// new benchmarks must be addable before the benchmark lands.
+	missing := AbsGate{Name: "nope", Bench: "BenchmarkMissing", Max: 1}
+	rep = Compare(base, cur, Options{Abs: []AbsGate{missing}})
+	if rep.Regressed() || rep.Abs[0].Status != StatusInfo {
+		t.Fatalf("missing benchmark: %+v", rep.Abs[0])
+	}
+
+	// Defaulted metric is allocs/op.
+	if rep.Abs[0].Gate.Metric != "allocs/op" {
+		t.Fatalf("defaulted metric: %q", rep.Abs[0].Gate.Metric)
+	}
+}

@@ -1,0 +1,62 @@
+package perf
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+)
+
+// archiveNameRE matches ArchiveFilename's output and captures the
+// timestamp and commit components.
+var archiveNameRE = regexp.MustCompile(`^BENCH_(\d{8}T\d{6}Z)_([0-9a-zA-Z]+)\.json$`)
+
+// Prune deletes old benchmark archives from dir, keeping the newest
+// keep archives per commit (newest by the filename's embedded
+// timestamp, which sorts lexicographically). Files that do not match
+// the BENCH_<timestamp>_<commit>.json pattern — baseline.json above
+// all — are never touched. It returns the deleted paths, sorted.
+func Prune(dir string, keep int) ([]string, error) {
+	if keep < 1 {
+		return nil, fmt.Errorf("perf: Prune keep must be >= 1, got %d", keep)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	byCommit := make(map[string][]string)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		m := archiveNameRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		byCommit[m[2]] = append(byCommit[m[2]], e.Name())
+	}
+	commits := make([]string, 0, len(byCommit))
+	//lint:ordered keys are sorted before use
+	for c := range byCommit {
+		commits = append(commits, c)
+	}
+	sort.Strings(commits)
+
+	var deleted []string
+	for _, c := range commits {
+		names := byCommit[c]
+		// Newest first: the timestamp prefix is zero-padded UTC, so
+		// reverse-lexicographic is reverse-chronological.
+		sort.Sort(sort.Reverse(sort.StringSlice(names)))
+		for _, name := range names[min(keep, len(names)):] {
+			path := filepath.Join(dir, name)
+			if err := os.Remove(path); err != nil {
+				return deleted, err
+			}
+			deleted = append(deleted, path)
+		}
+	}
+	sort.Strings(deleted)
+	return deleted, nil
+}

@@ -1,0 +1,71 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func TestPrune(t *testing.T) {
+	dir := t.TempDir()
+	files := []string{
+		"BENCH_20260801T000000Z_aaaa.json",
+		"BENCH_20260802T000000Z_aaaa.json",
+		"BENCH_20260803T000000Z_aaaa.json",
+		"BENCH_20260804T000000Z_aaaa.json",
+		"BENCH_20260801T120000Z_bbbb.json",
+		"baseline.json",
+		"notes.txt",
+	}
+	for _, f := range files {
+		if err := os.WriteFile(filepath.Join(dir, f), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deleted, err := Prune(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		filepath.Join(dir, "BENCH_20260801T000000Z_aaaa.json"),
+		filepath.Join(dir, "BENCH_20260802T000000Z_aaaa.json"),
+	}
+	if len(deleted) != 2 || deleted[0] != want[0] || deleted[1] != want[1] {
+		t.Fatalf("deleted %v, want %v", deleted, want)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var left []string
+	for _, e := range entries {
+		left = append(left, e.Name())
+	}
+	sort.Strings(left)
+	wantLeft := []string{
+		"BENCH_20260801T120000Z_bbbb.json", // under the cap for its commit
+		"BENCH_20260803T000000Z_aaaa.json",
+		"BENCH_20260804T000000Z_aaaa.json",
+		"baseline.json", // never touched
+		"notes.txt",     // non-archive, never touched
+	}
+	if len(left) != len(wantLeft) {
+		t.Fatalf("left %v, want %v", left, wantLeft)
+	}
+	for i := range left {
+		if left[i] != wantLeft[i] {
+			t.Fatalf("left %v, want %v", left, wantLeft)
+		}
+	}
+
+	// Idempotent: a second prune removes nothing.
+	deleted, err = Prune(dir, 2)
+	if err != nil || len(deleted) != 0 {
+		t.Fatalf("second prune: %v, %v", deleted, err)
+	}
+
+	if _, err := Prune(dir, 0); err == nil {
+		t.Fatal("keep=0 must error; it would delete every archive")
+	}
+}

@@ -43,7 +43,8 @@ func RunReference(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, mo
 		var bestStart, bestSwitch float64
 		var bestHit bool
 		var bestB switching.Breakdown
-		for m, g := range r.gpus {
+		for m := range r.gpus {
+			g := &r.gpus[m]
 			if g.next >= len(g.seq) {
 				continue
 			}

@@ -11,24 +11,30 @@
 // the previous round has completed (training + synchronization).
 // Planned start times in the schedule are advisory only.
 //
-// Run's inner loop is incremental: each GPU's head-task feasible
-// start lives in an eventq.IndexedHeap and is recomputed only when an
-// event can change it — the GPU executed a task, or the round barrier
-// its head was blocked on released. Switching costs are memoized per
-// (GPU type, predecessor job, successor job, residency), since those
-// are the only inputs of switching.Cost. RunReference keeps the
-// original O(tasks·GPUs) full-rescan loop as an executable
-// specification; TestRunMatchesReference pins the two engines to
-// byte-identical results. See docs/PERFORMANCE.md.
+// Three execution paths share one replay core:
+//
+//   - Run, the default entry point, replays on a pooled Simulator —
+//     all run state (executor lanes, barrier tables, candidate heap,
+//     switching memo, fault scratch) is reused across runs, so a
+//     steady-state replay allocates close to nothing beyond its
+//     returned Result. With Options.Parallel it additionally shards
+//     independent GPU/job components across goroutines and merges
+//     their traces deterministically (see sharded.go).
+//   - Simulator.Run exposes the pooled engine directly for callers
+//     that replay in a tight loop and can treat the Result as
+//     borrowed until the next Run.
+//   - RunReference keeps the original O(tasks·GPUs) full-rescan loop
+//     as an executable specification; TestRunMatchesReference pins
+//     all paths to byte-identical results. See docs/PERFORMANCE.md.
 package sim
 
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"hare/internal/cluster"
 	"hare/internal/core"
-	"hare/internal/eventq"
 	"hare/internal/faults"
 	"hare/internal/gpumem"
 	"hare/internal/model"
@@ -81,6 +87,14 @@ type Options struct {
 	// GPU failure. Defaults to Algorithm 1 (sched.NewHare()). Only
 	// consulted when Faults contains fail=/crash= entries.
 	Replanner sched.Algorithm
+	// Parallel, when > 1 (or < 0, meaning GOMAXPROCS), lets Run
+	// partition the replay into independent GPU/job components and
+	// replay them concurrently. The merged result is byte-identical
+	// to a serial run; schedules that do not decompose, or option
+	// sets whose accounting is order-global (jitter, faults,
+	// utilization series, recorders/metrics), silently fall back to
+	// the serial engine. 0 and 1 mean serial.
+	Parallel int
 	// Recorder receives structured events (task start/finish, barrier
 	// waits, inter-job switches with stall breakdown, gpumem traffic).
 	// nil — the default — keeps the replay loop uninstrumented; see
@@ -134,6 +148,31 @@ type Result struct {
 // MeanUtilization averages Utilization across GPUs.
 func (r *Result) MeanUtilization() float64 { return stats.Mean(r.Utilization) }
 
+// Clone deep-copies a Result, detaching it from any pooled Simulator
+// that owns the original's storage. Nil-ness of the optional slices
+// (UtilSeries, FailedGPUs) is preserved so a cloned result stays
+// deep-equal to a freshly built one.
+func (r *Result) Clone() *Result {
+	out := *r
+	if r.Trace != nil {
+		out.Trace = &trace.Trace{Records: append([]trace.TaskRecord(nil), r.Trace.Records...)}
+	}
+	out.JobCompletion = append([]float64(nil), r.JobCompletion...)
+	out.BusySeconds = append([]float64(nil), r.BusySeconds...)
+	out.OverheadSeconds = append([]float64(nil), r.OverheadSeconds...)
+	out.Utilization = append([]float64(nil), r.Utilization...)
+	if r.UtilSeries != nil {
+		out.UtilSeries = make([][]float64, len(r.UtilSeries))
+		for i, s := range r.UtilSeries {
+			out.UtilSeries[i] = append([]float64(nil), s...)
+		}
+	}
+	if r.FailedGPUs != nil {
+		out.FailedGPUs = append([]int(nil), r.FailedGPUs...)
+	}
+	return &out
+}
+
 type gpuState struct {
 	seq     []core.TaskRef
 	next    int
@@ -146,11 +185,25 @@ type gpuState struct {
 
 type interval struct{ from, to float64 }
 
-// replay is the state shared by both replay engines: the validated
+// roundWaker receives the round-completion hook: roundDone fires after
+// the last task of (job, round) completes — the instant the round's
+// barrier value becomes final. The incremental engine implements it to
+// wake GPUs whose head task was blocked on that round. An interface
+// (rather than a closure) keeps the pooled hookup allocation-free.
+type roundWaker interface {
+	roundDone(job core.JobID, round int)
+}
+
+// replay is the state shared by every replay engine: the validated
 // inputs, per-GPU executor state, round-barrier bookkeeping, and the
 // accumulating Result. Selection strategy is the only thing the
 // engines disagree on; execution accounting (exec) is common, so the
 // realized times, events, and counters cannot drift apart.
+//
+// All state is held in capacity-reusing slices and reset by init, so
+// a pooled owner replays schedule after schedule without reallocating;
+// newReplay builds the same state on a fresh value for the one-shot
+// reference engine.
 type replay struct {
 	in            *core.Instance
 	cl            *cluster.Cluster
@@ -173,107 +226,224 @@ type replay struct {
 	cTasks, cSwitches, cStall, cHits, cWait, cTrain *obs.Counter
 	cRetries, cLost, cFailures, cMigrated, cResched *obs.Counter
 
-	gpus []*gpuState
-	// Barrier bookkeeping: remaining tasks and realized end per round.
-	remaining [][]int
-	roundEnd  [][]float64
+	gpus []gpuState
+	// mems backs the per-GPU speculative memory managers by value;
+	// gpus[m].mem points into it when speculation is on.
+	mems []gpumem.Manager
+	// lookBuf is the scratch lookahead order handed to SetLookahead
+	// (which copies what it needs).
+	lookBuf []gpumem.JobKey
+
+	// Barrier bookkeeping, flattened: job j's rounds occupy
+	// [roundOff[j], roundOff[j+1]) in remaining and roundEnd. One
+	// backing array instead of two slices per job keeps million-job
+	// setups O(1) allocations.
+	roundOff  []int
+	remaining []int
+	roundEnd  []float64
 	// psHost anchors each job's parameter server to the host of its
-	// first executed task (host-aware sync).
-	psHost map[core.JobID]int
+	// first executed task (host-aware sync); -1 while unanchored.
+	psHost []int
 
-	res     *Result
-	pending int
+	res      Result
+	traceOwn trace.Trace
+	pending  int
 
-	// onRoundDone, when set, fires after the last task of (job,
-	// round) completes — i.e. the instant the round's barrier value
-	// becomes final. The incremental engine hooks it to wake GPUs
-	// whose head task was blocked on that round.
-	onRoundDone func(job core.JobID, round int)
+	// waker, when set, is the round-completion hook (see roundWaker).
+	waker roundWaker
 }
 
-func newReplay(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, models []*model.Model, opts Options) (*replay, error) {
-	if err := in.Validate(); err != nil {
-		return nil, err
+// growZero returns s with length n and every element zeroed, reusing
+// capacity when possible.
+func growZero[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
 	}
-	if err := core.ValidateSchedule(in, sch); err != nil {
-		return nil, fmt.Errorf("sim: invalid plan: %w", err)
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// growCap returns s emptied with capacity at least n.
+func growCap[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, 0, n)
+	}
+	return s[:0]
+}
+
+// init validates the inputs and (re)builds the full replay state in
+// place, reusing any storage a previous run left behind. seqBuf, when
+// non-nil, receives the derived per-GPU sequences (the pooled path);
+// a nil seqBuf derives them with fresh storage. Both engines and the
+// pool construct state through this one path, so they cannot drift.
+func (r *replay) init(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, models []*model.Model, opts Options, seqBuf *core.SeqBuffer) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	if err := core.ValidatePlacements(in, sch); err != nil {
+		return fmt.Errorf("sim: invalid plan: %w", err)
 	}
 	if cl != nil && cl.Size() != in.NumGPUs {
-		return nil, fmt.Errorf("sim: cluster has %d GPUs, instance %d", cl.Size(), in.NumGPUs)
+		return fmt.Errorf("sim: cluster has %d GPUs, instance %d", cl.Size(), in.NumGPUs)
 	}
 	if models != nil && len(models) != len(in.Jobs) {
-		return nil, fmt.Errorf("sim: %d models for %d jobs", len(models), len(in.Jobs))
+		return fmt.Errorf("sim: %d models for %d jobs", len(models), len(in.Jobs))
 	}
 	if err := opts.Faults.Validate(in.NumGPUs); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
+		return fmt.Errorf("sim: %w", err)
 	}
-	r := &replay{
-		in:            in,
-		cl:            cl,
-		models:        models,
-		opts:          opts,
-		withSwitching: cl != nil && models != nil && !opts.DisableSwitching,
-		rng:           stats.New(opts.Seed),
-		rec:           opts.Recorder,
-		observed:      opts.Recorder.Enabled(),
-		// Counters are resolved once up front; on a nil registry they
-		// are nil and every Add is a no-op.
-		cTasks:    opts.Metrics.Counter("hare_sim_tasks_total"),
-		cSwitches: opts.Metrics.Counter("hare_sim_switches_total"),
-		cStall:    opts.Metrics.Counter("hare_sim_switch_stall_seconds_total"),
-		cHits:     opts.Metrics.Counter("hare_sim_residency_hits_total"),
-		cWait:     opts.Metrics.Counter("hare_sim_barrier_wait_seconds_total"),
-		cTrain:    opts.Metrics.Counter("hare_sim_train_seconds_total"),
-		cRetries:  opts.Metrics.Counter("hare_sim_faults_injected_total"),
-		cLost:     opts.Metrics.Counter("hare_sim_fault_lost_seconds_total"),
-		cFailures: opts.Metrics.Counter("hare_sim_gpu_failures_total"),
-		cMigrated: opts.Metrics.Counter("hare_sim_tasks_migrated_total"),
-		cResched:  opts.Metrics.Counter("hare_sim_reschedules_total"),
-		psHost:    make(map[core.JobID]int),
-		pending:   in.NumTasks(),
+	var seqs [][]core.TaskRef
+	if seqBuf != nil {
+		seqs = sch.SequencesInto(seqBuf, in.NumGPUs)
+	} else {
+		seqs = sch.Sequences(in.NumGPUs)
 	}
+	if err := core.ValidateScheduleSeqs(in, sch, seqs); err != nil {
+		return fmt.Errorf("sim: invalid plan: %w", err)
+	}
+
+	r.in, r.cl, r.models, r.opts = in, cl, models, opts
+	r.withSwitching = cl != nil && models != nil && !opts.DisableSwitching
+	if r.rng == nil {
+		r.rng = stats.New(opts.Seed)
+	} else {
+		r.rng.Reseed(opts.Seed)
+	}
+	r.rec = opts.Recorder
+	r.observed = opts.Recorder.Enabled()
+	// Counters are resolved once up front; on a nil registry they
+	// are nil and every Add is a no-op.
+	r.cTasks = opts.Metrics.Counter("hare_sim_tasks_total")
+	r.cSwitches = opts.Metrics.Counter("hare_sim_switches_total")
+	r.cStall = opts.Metrics.Counter("hare_sim_switch_stall_seconds_total")
+	r.cHits = opts.Metrics.Counter("hare_sim_residency_hits_total")
+	r.cWait = opts.Metrics.Counter("hare_sim_barrier_wait_seconds_total")
+	r.cTrain = opts.Metrics.Counter("hare_sim_train_seconds_total")
+	r.cRetries = opts.Metrics.Counter("hare_sim_faults_injected_total")
+	r.cLost = opts.Metrics.Counter("hare_sim_fault_lost_seconds_total")
+	r.cFailures = opts.Metrics.Counter("hare_sim_gpu_failures_total")
+	r.cMigrated = opts.Metrics.Counter("hare_sim_tasks_migrated_total")
+	r.cResched = opts.Metrics.Counter("hare_sim_reschedules_total")
+	r.pending = in.NumTasks()
+	r.waker = nil
+
 	r.faultRate = opts.Faults.TransientRate()
 	if r.faultRate > 0 {
-		r.faultRNG = make([]*stats.RNG, in.NumGPUs)
-		for m := range r.faultRNG {
-			r.faultRNG[m] = stats.New(faults.RetrySeed(opts.Faults.TransientSeed(), m))
+		if cap(r.faultRNG) < in.NumGPUs {
+			r.faultRNG = append(r.faultRNG[:cap(r.faultRNG)], make([]*stats.RNG, in.NumGPUs-cap(r.faultRNG))...)
 		}
+		r.faultRNG = r.faultRNG[:in.NumGPUs]
+		for m := range r.faultRNG {
+			seed := faults.RetrySeed(opts.Faults.TransientSeed(), m)
+			if r.faultRNG[m] == nil {
+				r.faultRNG[m] = stats.New(seed)
+			} else {
+				r.faultRNG[m].Reseed(seed)
+			}
+		}
+	} else {
+		r.faultRNG = r.faultRNG[:0]
 	}
+	r.slows = nil
 	if opts.Faults != nil && len(opts.Faults.Stragglers) > 0 {
-		r.slows = make([]float64, in.NumGPUs)
+		r.slows = growZero(r.slows, in.NumGPUs)
 		for m := range r.slows {
 			r.slows[m] = opts.Faults.SlowdownOf(m)
 		}
 	}
-	r.gpus = make([]*gpuState, in.NumGPUs)
-	for m, seq := range sch.Sequences(in.NumGPUs) {
-		r.gpus[m] = &gpuState{seq: seq, prevJob: -1}
-		if r.withSwitching && opts.Speculative {
-			r.gpus[m].mem = gpumem.NewManager(cl.GPUs[m].Type.MemBytes)
-			r.gpus[m].mem.SetPolicy(opts.MemPolicy)
-			r.gpus[m].mem.SetRecorder(opts.Recorder, m)
-			look := make([]gpumem.JobKey, len(seq))
-			for i, t := range seq {
-				look[i] = gpumem.JobKey(t.Job)
+
+	if cap(r.gpus) < in.NumGPUs {
+		r.gpus = make([]gpuState, in.NumGPUs)
+	} else {
+		r.gpus = r.gpus[:in.NumGPUs]
+	}
+	speculate := r.withSwitching && opts.Speculative
+	if speculate {
+		if cap(r.mems) < in.NumGPUs {
+			r.mems = make([]gpumem.Manager, in.NumGPUs)
+		} else {
+			r.mems = r.mems[:in.NumGPUs]
+		}
+	}
+	for m := range r.gpus {
+		g := &r.gpus[m]
+		seq := seqs[m]
+		g.seq, g.next, g.free, g.prevJob = seq, 0, 0, -1
+		// Pre-size the interval lanes: a sequence of k tasks appends at
+		// most k busy and k switch intervals.
+		g.busy = growCap(g.busy, len(seq))
+		g.over = growCap(g.over, len(seq))
+		g.mem = nil
+		if speculate {
+			mem := &r.mems[m]
+			mem.Reset(cl.GPUs[m].Type.MemBytes)
+			mem.SetPolicy(opts.MemPolicy)
+			mem.SetRecorder(opts.Recorder, m)
+			r.lookBuf = growCap(r.lookBuf, len(seq))
+			for _, t := range seq {
+				r.lookBuf = append(r.lookBuf, gpumem.JobKey(t.Job))
 			}
-			r.gpus[m].mem.SetLookahead(look)
+			mem.SetLookahead(r.lookBuf)
+			g.mem = mem
 		}
 	}
-	r.remaining = make([][]int, len(in.Jobs))
-	r.roundEnd = make([][]float64, len(in.Jobs))
+
+	totalRounds := 0
+	r.roundOff = growCap(r.roundOff, len(in.Jobs)+1)
 	for _, j := range in.Jobs {
-		r.remaining[j.ID] = make([]int, j.Rounds)
-		r.roundEnd[j.ID] = make([]float64, j.Rounds)
-		for rd := range r.remaining[j.ID] {
-			r.remaining[j.ID][rd] = j.Scale
+		r.roundOff = append(r.roundOff, totalRounds)
+		totalRounds += j.Rounds
+	}
+	r.roundOff = append(r.roundOff, totalRounds)
+	r.remaining = growZero(r.remaining, totalRounds)
+	r.roundEnd = growZero(r.roundEnd, totalRounds)
+	for _, j := range in.Jobs {
+		off := r.roundOff[j.ID]
+		for rd := 0; rd < j.Rounds; rd++ {
+			r.remaining[off+rd] = j.Scale
 		}
 	}
-	r.res = &Result{
-		Trace:           &trace.Trace{},
-		JobCompletion:   make([]float64, len(in.Jobs)),
-		BusySeconds:     make([]float64, in.NumGPUs),
-		OverheadSeconds: make([]float64, in.NumGPUs),
-		Utilization:     make([]float64, in.NumGPUs),
+	r.psHost = growZero(r.psHost, len(in.Jobs))
+	for j := range r.psHost {
+		r.psHost[j] = -1
+	}
+
+	// The Result reuses its per-job/per-GPU slices; the optional
+	// UtilSeries and FailedGPUs start nil (not empty) so results match
+	// a freshly allocated run's deep-equality shape.
+	jc := growZero(r.res.JobCompletion, len(in.Jobs))
+	busy := growZero(r.res.BusySeconds, in.NumGPUs)
+	over := growZero(r.res.OverheadSeconds, in.NumGPUs)
+	util := growZero(r.res.Utilization, in.NumGPUs)
+	r.traceOwn.Records = growCap(r.traceOwn.Records, in.NumTasks())
+	r.res = Result{
+		Trace:           &r.traceOwn,
+		JobCompletion:   jc,
+		BusySeconds:     busy,
+		OverheadSeconds: over,
+		Utilization:     util,
+	}
+	return nil
+}
+
+// release drops references to the caller-owned inputs so a pooled
+// replay does not pin them between runs; scratch storage is kept.
+func (r *replay) release() {
+	r.in, r.cl, r.models = nil, nil, nil
+	r.opts = Options{}
+	r.rec, r.waker = nil, nil
+	r.cTasks, r.cSwitches, r.cStall, r.cHits, r.cWait, r.cTrain = nil, nil, nil, nil, nil, nil
+	r.cRetries, r.cLost, r.cFailures, r.cMigrated, r.cResched = nil, nil, nil, nil, nil
+	for m := range r.gpus {
+		r.gpus[m].seq = nil
+	}
+}
+
+func newReplay(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, models []*model.Model, opts Options) (*replay, error) {
+	r := new(replay)
+	if err := r.init(in, sch, cl, models, opts, nil); err != nil {
+		return nil, err
 	}
 	return r, nil
 }
@@ -285,10 +455,11 @@ func (r *replay) barrierOf(t core.TaskRef) (float64, bool) {
 	if t.Round == 0 {
 		return r.in.Jobs[t.Job].Arrival, true
 	}
-	if r.remaining[t.Job][t.Round-1] > 0 {
+	prev := r.roundOff[t.Job] + t.Round - 1
+	if r.remaining[prev] > 0 {
 		return 0, false
 	}
-	return math.Max(r.roundEnd[t.Job][t.Round-1], r.in.Jobs[t.Job].Arrival), true
+	return math.Max(r.roundEnd[prev], r.in.Jobs[t.Job].Arrival), true
 }
 
 // exec runs the chosen GPU's head task with the pre-computed start
@@ -297,7 +468,7 @@ func (r *replay) barrierOf(t core.TaskRef) (float64, bool) {
 // with identical arguments in the identical order, which is what
 // makes their outputs byte-identical.
 func (r *replay) exec(bestGPU int, bestStart, bestSwitch float64, bestHit bool, bestB switching.Breakdown) {
-	g := r.gpus[bestGPU]
+	g := &r.gpus[bestGPU]
 	t := g.seq[g.next]
 	g.next++
 	r.pending--
@@ -306,7 +477,7 @@ func (r *replay) exec(bestGPU int, bestStart, bestSwitch float64, bestHit bool, 
 	syncT := r.in.Sync[t.Job][bestGPU]
 	if r.opts.HostAwareSync && r.cl != nil && r.cl.IntraHostBps > 0 {
 		host := r.cl.GPUs[bestGPU].Host
-		if h, anchored := r.psHost[t.Job]; !anchored {
+		if h := r.psHost[t.Job]; h < 0 {
 			// The job's first executed task anchors its PS.
 			r.psHost[t.Job] = host
 			syncT *= r.cl.NetworkBps / r.cl.IntraHostBps
@@ -415,9 +586,10 @@ func (r *replay) exec(bestGPU int, bestStart, bestSwitch float64, bestHit bool, 
 	g.free = trainEnd
 	g.prevJob = t.Job
 
-	r.remaining[t.Job][t.Round]--
-	if end > r.roundEnd[t.Job][t.Round] {
-		r.roundEnd[t.Job][t.Round] = end
+	slot := r.roundOff[t.Job] + t.Round
+	r.remaining[slot]--
+	if end > r.roundEnd[slot] {
+		r.roundEnd[slot] = end
 	}
 	if end > r.res.JobCompletion[t.Job] {
 		r.res.JobCompletion[t.Job] = end
@@ -429,14 +601,14 @@ func (r *replay) exec(bestGPU int, bestStart, bestSwitch float64, bestHit bool, 
 		Task: t, GPU: bestGPU, Start: start,
 		Train: total, Sync: syncT, Switch: bestSwitch,
 	})
-	if r.remaining[t.Job][t.Round] == 0 && r.onRoundDone != nil {
-		r.onRoundDone(t.Job, t.Round)
+	if r.remaining[slot] == 0 && r.waker != nil {
+		r.waker.roundDone(t.Job, t.Round)
 	}
 }
 
 // finish derives the aggregate metrics once every task has run.
 func (r *replay) finish() *Result {
-	res := r.res
+	res := &r.res
 	for j, c := range res.JobCompletion {
 		res.WeightedJCT += r.in.Jobs[j].Weight * c
 	}
@@ -447,8 +619,8 @@ func (r *replay) finish() *Result {
 	}
 	if r.opts.UtilBins > 0 && res.Makespan > 0 {
 		res.UtilSeries = make([][]float64, r.in.NumGPUs)
-		for m, g := range r.gpus {
-			res.UtilSeries[m] = binIntervals(g.busy, res.Makespan, r.opts.UtilBins)
+		for m := range r.gpus {
+			res.UtilSeries[m] = binIntervals(r.gpus[m].busy, res.Makespan, r.opts.UtilBins)
 		}
 	}
 	return res
@@ -465,252 +637,33 @@ type candidate struct {
 	b     switching.Breakdown
 }
 
-// costKey memoizes switching.Cost: its output depends only on the GPU
-// type, the predecessor job (-1 for a cold start), the successor job,
-// and whether the successor's weights are resident.
-type costKey struct {
-	gpuType  int
-	prev     core.JobID
-	next     core.JobID
-	resident bool
-}
+// simPool recycles Simulators across package-level Run calls, so every
+// caller — the experiment engine above all — reuses the replay arenas
+// without holding a Simulator itself.
+var simPool = sync.Pool{New: func() any { return NewSimulator() }}
 
 // Run replays the schedule. cl and models may be nil, in which case
 // switching costs are zero; otherwise models[j] must name job j's
 // model for switching and memory accounting.
+//
+// The replay executes on a pooled Simulator; the returned Result is
+// freshly allocated and owned by the caller. With Options.Parallel,
+// decomposable schedules replay as concurrent shards (see sharded.go)
+// with a deterministically merged, byte-identical result.
 func Run(in *core.Instance, sch *core.Schedule, cl *cluster.Cluster, models []*model.Model, opts Options) (*Result, error) {
-	stopSetup := opts.Phases.Start("sim_setup")
-	r, err := newReplay(in, sch, cl, models, opts)
-	if err != nil {
-		return nil, err
-	}
-
-	// typeIdx collapses the fleet onto its few distinct GPU types so
-	// switching costs memoize across GPUs, not just per GPU.
-	var typeIdx []int
-	if r.withSwitching {
-		typeIdx = make([]int, in.NumGPUs)
-		types := make(map[cluster.GPUType]int)
-		for m := range typeIdx {
-			id, ok := types[cl.GPUs[m].Type]
-			if !ok {
-				id = len(types)
-				types[cl.GPUs[m].Type] = id
-			}
-			typeIdx[m] = id
+	if workers := shardWorkers(opts); workers > 1 {
+		if res, err, handled := runSharded(in, sch, cl, models, opts, workers); handled {
+			return res, err
 		}
 	}
-	memo := make(map[costKey]switching.Breakdown)
-
-	// ready holds every GPU whose head task has a final barrier,
-	// keyed by its cached feasible start; ties pop in GPU-id order,
-	// matching the reference scan's first-best-index selection.
-	// waiters[j][rd] lists the GPUs whose head task is blocked on
-	// round rd of job j completing.
-	ready := eventq.NewIndexedHeap(in.NumGPUs)
-	cands := make([]candidate, in.NumGPUs)
-	waiters := make([][][]int, len(in.Jobs))
-	for _, j := range in.Jobs {
-		waiters[j.ID] = make([][]int, j.Rounds)
+	s := simPool.Get().(*Simulator)
+	res, err := s.Run(in, sch, cl, models, opts)
+	if err == nil {
+		res = res.Clone()
 	}
-
-	// alive[m] turns false when a planned GPU failure fires; dead GPUs
-	// never re-enter the ready pool.
-	alive := make([]bool, in.NumGPUs)
-	for m := range alive {
-		alive[m] = true
-	}
-	failures := opts.Faults.SortedFailures()
-	nextFail := 0
-	replanner := opts.Replanner
-	if replanner == nil && len(failures) > 0 {
-		replanner = sched.NewHare()
-	}
-
-	refresh := func(m int) {
-		g := r.gpus[m]
-		if !alive[m] || g.next >= len(g.seq) {
-			return // dead, or sequence exhausted; GPU leaves the pool
-		}
-		t := g.seq[g.next]
-		barrier, ok := r.barrierOf(t)
-		if !ok {
-			waiters[t.Job][t.Round-1] = append(waiters[t.Job][t.Round-1], m)
-			return
-		}
-		var c candidate
-		if r.withSwitching && g.prevJob != t.Job {
-			resident := g.mem != nil && g.mem.Resident(gpumem.JobKey(t.Job))
-			key := costKey{gpuType: typeIdx[m], prev: g.prevJob, next: t.Job, resident: resident}
-			b, ok := memo[key]
-			if !ok {
-				var prev *model.Model
-				if g.prevJob >= 0 {
-					prev = models[g.prevJob]
-				}
-				b = switching.Cost(opts.Scheme, cl.GPUs[m].Type, prev, models[t.Job], resident)
-				memo[key] = b
-			}
-			c.b = b
-			c.sw, c.hit = b.Total(), b.ResidentHit
-		}
-		c.start = math.Max(g.free+c.sw, barrier)
-		cands[m] = c
-		ready.Set(m, c.start)
-	}
-
-	r.onRoundDone = func(job core.JobID, round int) {
-		woken := waiters[job][round]
-		waiters[job][round] = nil
-		for _, m := range woken {
-			refresh(m)
-		}
-	}
-
-	// failGPU applies one permanent failure: the GPU is cut from the
-	// pool, its remaining tasks are stranded, and the replanner is
-	// re-run on the residual instance (all not-yet-executed tasks ×
-	// surviving GPUs) to refill the survivors' sequences. Tasks whose
-	// training already committed stand — pops are globally
-	// nondecreasing in start time, so everything committed started at
-	// or before the failure instant, and a task whose training began
-	// before the failure is allowed to finish (detection at task
-	// granularity, mirroring the distributed plane's lease
-	// granularity). Re-execution elsewhere restarts a round-r task
-	// from the round-(r-1) checkpoint, so migration never changes
-	// learned parameters (relaxed scale-fixed synchronization).
-	failGPU := func(f faults.GPUFailure) error {
-		m := f.GPU
-		alive[m] = false
-		r.res.GPUFailures++
-		r.res.FailedGPUs = append(r.res.FailedGPUs, m)
-		r.cFailures.Inc()
-		if r.observed {
-			kind := "device failure"
-			if f.Crash {
-				kind = "executor crash"
-			}
-			r.rec.Emit(obs.Event{
-				Type: obs.EvGPUFailed, Time: f.Time, GPU: m, Job: -1,
-				Note: fmt.Sprintf("injected %s at t=%g", kind, f.Time),
-			})
-		}
-		g := r.gpus[m]
-		stranded := append([]core.TaskRef(nil), g.seq[g.next:]...)
-		g.seq, g.next = nil, 0
-		if ready.Contains(m) {
-			ready.Remove(m)
-		}
-		var pending []core.TaskRef
-		var aliveList []int
-		for mm, gg := range r.gpus {
-			if !alive[mm] {
-				continue
-			}
-			aliveList = append(aliveList, mm)
-			pending = append(pending, gg.seq[gg.next:]...)
-		}
-		pending = append(pending, stranded...)
-		if len(pending) == 0 {
-			return nil // dead GPU had already drained; nothing to move
-		}
-		if len(aliveList) == 0 {
-			return fmt.Errorf("sim: no surviving GPUs with %d tasks pending (GPU %d failed at t=%g)",
-				len(pending), m, f.Time)
-		}
-		residual, err := faults.NewResidual(r.in, pending, aliveList)
-		if err != nil {
-			return fmt.Errorf("sim: recovery from GPU %d failure: %w", m, err)
-		}
-		plan2, err := replanner.Schedule(residual.Instance)
-		if err != nil {
-			return fmt.Errorf("sim: re-plan after GPU %d failure: %w", m, err)
-		}
-		seqs, err := residual.Sequences(plan2)
-		if err != nil {
-			return fmt.Errorf("sim: re-plan after GPU %d failure: %w", m, err)
-		}
-		strandedSet := make(map[core.TaskRef]bool, len(stranded))
-		for _, t := range stranded {
-			strandedSet[t] = true
-		}
-		for j := range waiters {
-			for rd := range waiters[j] {
-				waiters[j][rd] = nil
-			}
-		}
-		for _, mm := range aliveList {
-			gg := r.gpus[mm]
-			gg.seq, gg.next = seqs[mm], 0
-			if gg.mem != nil {
-				look := make([]gpumem.JobKey, len(gg.seq))
-				for i, t := range gg.seq {
-					look[i] = gpumem.JobKey(t.Job)
-				}
-				gg.mem.SetLookahead(look)
-			}
-			if ready.Contains(mm) {
-				ready.Remove(mm)
-			}
-			refresh(mm)
-		}
-		r.res.Reschedules++
-		r.cResched.Inc()
-		r.res.TasksMigrated += len(stranded)
-		r.cMigrated.Add(float64(len(stranded)))
-		if r.observed {
-			r.rec.Emit(obs.Event{
-				Type: obs.EvReschedule, Time: f.Time, GPU: m, Job: -1,
-				Note: fmt.Sprintf("tasks=%d gpus=%d", len(pending), len(aliveList)),
-			})
-			for mm, seq := range seqs {
-				for _, t := range seq {
-					if strandedSet[t] {
-						r.rec.Emit(obs.Event{
-							Type: obs.EvTaskMigrated, Time: f.Time, GPU: mm,
-							Job: int(t.Job), Round: t.Round, Index: t.Index, From: m,
-						})
-					}
-				}
-			}
-		}
-		return nil
-	}
-
-	for m := range r.gpus {
-		refresh(m)
-	}
-	stopSetup()
-	stopLoop := opts.Phases.Start("sim_event_loop")
-	for r.pending > 0 {
-		m, start, ok := ready.Min()
-		if !ok {
-			return nil, fmt.Errorf("sim: deadlock with %d tasks pending (round barrier never satisfied)", r.pending)
-		}
-		// A planned failure due at or before the next task start fires
-		// first: it may strand that very task.
-		if nextFail < len(failures) && failures[nextFail].Time <= start {
-			f := failures[nextFail]
-			nextFail++
-			if err := failGPU(f); err != nil {
-				return nil, err
-			}
-			continue
-		}
-		ready.PopMin()
-		c := cands[m]
-		r.exec(m, c.start, c.sw, c.hit, c.b)
-		refresh(m)
-	}
-	stopLoop()
-	if opts.Metrics != nil {
-		ops := ready.Ops()
-		opts.Metrics.Counter("hare_sim_heap_inserts_total").Add(float64(ops.Inserts))
-		opts.Metrics.Counter("hare_sim_heap_updates_total").Add(float64(ops.Updates))
-		opts.Metrics.Counter("hare_sim_heap_removes_total").Add(float64(ops.Removes))
-		opts.Metrics.Counter("hare_sim_heap_pops_total").Add(float64(ops.Pops))
-	}
-	return r.finish(), nil
+	s.release()
+	simPool.Put(s)
+	return res, err
 }
 
 // binIntervals converts busy intervals into a busy-fraction series of

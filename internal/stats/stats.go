@@ -27,6 +27,11 @@ func New(seed int64) *RNG {
 	return &RNG{r: rand.New(rand.NewSource(seed))}
 }
 
+// Reseed resets the stream in place to exactly the state New(seed)
+// would produce, letting pooled owners reuse an RNG across runs
+// without allocating a new generator.
+func (g *RNG) Reseed(seed int64) { g.r.Seed(seed) }
+
 // Split derives an independent child stream from the parent. The child
 // is seeded from the parent's stream, so splitting is itself
 // deterministic and order-dependent.

@@ -201,3 +201,26 @@ func TestMeanSum(t *testing.T) {
 		t.Error("Sum wrong")
 	}
 }
+
+// TestReseedMatchesFresh: after any amount of prior consumption,
+// Reseed(s) must put the stream into exactly New(s)'s state — the
+// property the pooled simulator relies on to keep jitter and fault
+// draws byte-identical across reused run state.
+func TestReseedMatchesFresh(t *testing.T) {
+	reused := New(1)
+	for i := 0; i < 137; i++ { // dirty the stream
+		reused.Float64()
+	}
+	for _, seed := range []int64{0, 42, -7, 1 << 40} {
+		fresh := New(seed)
+		reused.Reseed(seed)
+		for i := 0; i < 200; i++ {
+			if a, b := fresh.Float64(), reused.Float64(); a != b {
+				t.Fatalf("seed %d draw %d: fresh %g, reseeded %g", seed, i, a, b)
+			}
+			if a, b := fresh.Int63(), reused.Int63(); a != b {
+				t.Fatalf("seed %d draw %d: fresh int %d, reseeded %d", seed, i, a, b)
+			}
+		}
+	}
+}

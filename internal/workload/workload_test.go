@@ -161,3 +161,41 @@ func TestJobsExtraction(t *testing.T) {
 		}
 	}
 }
+
+func TestGenerateTenants(t *testing.T) {
+	base := Options{NumJobs: 7, Seed: 11, RoundsScale: 0.2}
+	pops := GenerateTenants(base, 3)
+	if len(pops) != 3 {
+		t.Fatalf("got %d tenants, want 3", len(pops))
+	}
+	next := 0
+	for ti, specs := range pops {
+		if len(specs) != base.NumJobs {
+			t.Fatalf("tenant %d has %d jobs, want %d", ti, len(specs), base.NumJobs)
+		}
+		for _, s := range specs {
+			if int(s.Job.ID) != next {
+				t.Fatalf("tenant %d: job ID %d, want dense %d", ti, s.Job.ID, next)
+			}
+			next++
+		}
+	}
+	// Tenant t must equal a standalone population at the strided seed
+	// (modulo renumbering), and distinct tenants must differ.
+	solo := Generate(Options{NumJobs: 7, Seed: 11 + TenantSeedStride, RoundsScale: 0.2})
+	for i, s := range pops[1] {
+		if s.Model != solo[i].Model || s.Job.Rounds != solo[i].Job.Rounds ||
+			s.Job.Weight != solo[i].Job.Weight || s.Sync != solo[i].Sync {
+			t.Fatalf("tenant 1 job %d differs from strided-seed population", i)
+		}
+	}
+	same := true
+	for i := range pops[0] {
+		if pops[0][i].Model != pops[1][i].Model || pops[0][i].Job.Rounds != pops[1][i].Job.Rounds {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("tenant populations 0 and 1 are identical; seeds not independent")
+	}
+}

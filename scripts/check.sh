@@ -18,8 +18,9 @@ go run ./cmd/harelint ./...
 echo "==> go build ./..."
 go build ./...
 
-echo "==> engine equivalence under -race (sim incremental-vs-reference, experiments parallel-vs-serial)"
+echo "==> engine equivalence under -race (sim incremental-vs-reference, sharded-vs-serial, experiments parallel-vs-serial)"
 go test -race -run 'TestRunMatchesReference|TestRunGolden' ./internal/sim/
+go test -race -run 'TestSharded|TestSimulatorReuse|TestRunShardedHandles' ./internal/sim/
 go test -race -run 'TestParallelMatchesSerial' ./internal/experiments/
 
 echo "==> span-tree and attribution equivalence under -race (seed-42 goldens, sim/testbed/distributed 1e-9)"
