@@ -9,7 +9,7 @@ BENCH_COUNT ?= 5
 BENCH_THRESHOLD ?= 1.0
 BENCH_BASE ?= bench/baseline.json
 
-.PHONY: all build test vet lint race bench bench-compare bench-obs bench-clean check fmt
+.PHONY: all build test vet lint race bench bench-compare bench-obs bench-clean chaos check fmt
 
 all: build
 
@@ -53,6 +53,13 @@ bench-clean:
 # must stay within noise of the uninstrumented BenchmarkSimulatorReplay.
 bench-obs:
 	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorReplay|BenchmarkObs' -benchtime 10x .
+
+# Crash-safety soak (docs/ROBUSTNESS.md): the deterministic harechaos
+# seed matrix the CI chaos job runs. CHAOS_SEEDS/CHAOS_START tune it.
+CHAOS_SEEDS ?= 20
+CHAOS_START ?= 1
+chaos:
+	$(GO) run ./cmd/harechaos -seeds $(CHAOS_SEEDS) -start $(CHAOS_START)
 
 check:
 	./scripts/check.sh

@@ -3,9 +3,13 @@
 // haretestbed -distributed or rpcnet.ServeDistributed), fetches its
 // task sequence, profiled times and clock epoch, executes its tasks
 // against the remote parameter servers, and reports the measured
-// records back.
+// records back. A -fault-spec with net* clauses injects seeded network
+// chaos (drops, duplicates, delays, reordering, partitions) into this
+// executor's calls; crash and transient faults are configured by the
+// coordinator and need no flags here.
 //
 //	hare-executor -addr 127.0.0.1:7462 -gpu 3
+//	hare-executor -addr 127.0.0.1:7462 -gpu 3 -fault-spec netdrop=0.05,netdelay=1ms~5ms
 package main
 
 import (
@@ -13,12 +17,15 @@ import (
 	"fmt"
 	"os"
 
+	"hare/internal/faults"
 	"hare/internal/rpcnet"
 )
 
 var (
-	addr = flag.String("addr", "127.0.0.1:7462", "coordinator address")
-	gpu  = flag.Int("gpu", -1, "this executor's GPU index (required)")
+	addr      = flag.String("addr", "127.0.0.1:7462", "coordinator address")
+	gpu       = flag.Int("gpu", -1, "this executor's GPU index (required)")
+	faultSpec = flag.String("fault-spec", "", "client-side network chaos: netdrop=P,netdup=P,netreorder=P,netdelay=A~B,partition=G@T+D")
+	chaosSeed = flag.Int64("chaos-seed", 0, "chaos decision-stream seed (overrides netseed= in -fault-spec)")
 )
 
 func main() {
@@ -27,7 +34,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hare-executor: -gpu is required")
 		os.Exit(2)
 	}
-	if err := rpcnet.RunExecutor(*addr, *gpu); err != nil {
+	fplan, err := faults.Parse(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hare-executor: %v\n", err)
+		os.Exit(2)
+	}
+	seed := fplan.NetSeed()
+	if *chaosSeed != 0 {
+		seed = *chaosSeed
+	}
+	if err := rpcnet.RunExecutorOpts(*addr, *gpu, rpcnet.ExecutorOptions{
+		Chaos: fplan.NetModel(), ChaosSeed: seed,
+	}); err != nil {
 		fmt.Fprintf(os.Stderr, "hare-executor: %v\n", err)
 		os.Exit(1)
 	}

@@ -3,7 +3,10 @@
 // a GPU fleet, accepts job submissions over net/rpc (see
 // cmd/harectl), profiles them with the reuse database, plans each
 // batch with Hare's algorithm, and executes on the in-process testbed
-// (or, with -sim, the instant simulator).
+// (or, with -sim, the instant simulator; or, with -backend dist, the
+// distributed rpcnet control plane, which with -wal-dir is crash-safe:
+// a daemon killed mid-batch finishes that batch from its write-ahead
+// log at next boot).
 //
 // Example session:
 //
@@ -28,6 +31,7 @@ import (
 	"hare/internal/manager"
 	"hare/internal/obs"
 	"hare/internal/obs/perf"
+	"hare/internal/rpcnet"
 )
 
 var (
@@ -38,7 +42,9 @@ var (
 	tbFleet   = flag.Bool("testbed-fleet", false, "use the paper's 15-GPU testbed fleet")
 	het       = flag.String("het", "high", "heterogeneity level: low, mid, high")
 	useSim    = flag.Bool("sim", false, "execute batches on the simulator instead of the testbed")
-	faultSpec = flag.String("fault-spec", "", "fault injection applied to every batch: rate=R,seed=S,fail=G@T,slow=GxF")
+	backendNm = flag.String("backend", "", "batch executor: testbed, sim, or dist (default testbed; overrides -sim)")
+	walDir    = flag.String("wal-dir", "", "durable WAL/snapshot directory for the dist backend; leftover state is recovered at boot")
+	faultSpec = flag.String("fault-spec", "", "fault injection applied to every batch: rate=R,seed=S,fail=G@T,slow=GxF,netdrop=P,netdelay=A~B,partition=G@T+D")
 	timescale = flag.Float64("timescale", 1e-3, "testbed clock scale (wall s per simulated s)")
 	batches   = flag.Int("batches-per-task", 0, "profiler mini-batches per task (0 = default)")
 	sampleEvy = flag.Duration("runtime-sample", 5*time.Second, "runtime/metrics sampling interval for /metrics (needs -debug-addr)")
@@ -76,14 +82,9 @@ func main() {
 	if err := fplan.Validate(cl.Size()); err != nil {
 		fatal(err)
 	}
-	var backend manager.Backend
-	if *useSim {
-		backend = &manager.SimBackend{Faults: fplan, Recorder: rec, Metrics: reg}
-	} else {
-		if fplan.HasGPUFailures() {
-			fatal(fmt.Errorf("the testbed backend cannot replay permanent GPU failures; add -sim"))
-		}
-		backend = &manager.TestbedBackend{TimeScale: *timescale, Faults: fplan, Recorder: rec}
+	backend, err := buildBackend(fplan, rec, reg)
+	if err != nil {
+		fatal(err)
 	}
 	m := manager.New(cl, manager.Options{
 		Backend: backend, BatchesPerTask: *batches,
@@ -112,6 +113,90 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("\nhared: shutting down")
+}
+
+// buildBackend resolves -backend/-sim into a batch executor, failing
+// fast on fault clauses the chosen backend cannot replay. The dist
+// backend opens the -wal-dir journal and, if a previous process died
+// mid-batch, finishes that batch from the WAL before the daemon
+// accepts new work.
+func buildBackend(fplan *faults.Plan, rec *obs.Recorder, reg *obs.Registry) (manager.Backend, error) {
+	name := strings.ToLower(*backendNm)
+	if name == "" {
+		if *useSim {
+			name = "sim"
+		} else {
+			name = "testbed"
+		}
+	}
+	if name != "dist" && !fplan.NetModel().Empty() {
+		return nil, fmt.Errorf("network chaos in -fault-spec requires -backend dist")
+	}
+	switch name {
+	case "sim":
+		return &manager.SimBackend{Faults: fplan, Recorder: rec, Metrics: reg}, nil
+	case "testbed":
+		if fplan.HasGPUFailures() {
+			return nil, fmt.Errorf("the testbed backend cannot replay permanent GPU failures; add -backend sim or dist")
+		}
+		return &manager.TestbedBackend{TimeScale: *timescale, Faults: fplan, Recorder: rec}, nil
+	case "dist":
+		journal := rpcnet.NewMemJournal()
+		if *walDir != "" {
+			var err error
+			journal, err = rpcnet.OpenDirJournal(*walDir)
+			if err != nil {
+				return nil, err
+			}
+			leftover, err := journal.HasState()
+			if err != nil {
+				return nil, err
+			}
+			if leftover {
+				if err := resumeBatch(journal, rec, reg); err != nil {
+					return nil, fmt.Errorf("resume interrupted batch from %s: %w", *walDir, err)
+				}
+			}
+		}
+		return &manager.DistributedBackend{
+			TimeScale: *timescale, Faults: fplan, Journal: journal,
+			Recorder: rec, Metrics: reg,
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown backend %q (want testbed, sim, or dist)", name)
+}
+
+// resumeBatch finishes a batch a previous hared process left in the
+// WAL: recover the coordinator from the journal, respawn one executor
+// per GPU of the snapshotted fleet, and wait it out. The resumed
+// batch's jobs predate this process so their completions are only
+// logged, but their checkpoints land in the recovered run's store and
+// the journal is cleared — without this, the durable state would
+// shadow every future batch.
+func resumeBatch(journal *rpcnet.Journal, rec *obs.Recorder, reg *obs.Registry) error {
+	srv, bound, wait, err := rpcnet.RecoverDistributed("127.0.0.1:0", journal, rpcnet.RecoverOptions{
+		Recorder: rec, Metrics: reg,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hared: recovering interrupted batch from WAL (epoch %d executors on %s)\n", srv.FleetSize(), bound)
+	chaos := srv.FaultPlan()
+	for g := 0; g < srv.FleetSize(); g++ {
+		go func(g int) {
+			_ = rpcnet.RunExecutorOpts(bound, g, rpcnet.ExecutorOptions{
+				Chaos: chaos.NetModel(), ChaosSeed: chaos.NetSeed(),
+				Recorder: rec, Metrics: reg,
+			})
+		}(g)
+	}
+	res, err := wait()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hared: recovered batch complete: %d jobs, makespan %.2fs, %d recoveries\n",
+		len(res.JobCompletion), res.Makespan, res.Recoveries)
+	return nil
 }
 
 func buildCluster() (*cluster.Cluster, error) {

@@ -81,6 +81,9 @@ func main() {
 	if err := fplan.Validate(in.NumGPUs); err != nil {
 		fatal(err)
 	}
+	if !fplan.NetModel().Empty() {
+		fatal(fmt.Errorf("the simulator has no network to disturb; net* chaos in -fault-spec requires the distributed control plane (hared -backend dist or haretestbed -distributed)"))
+	}
 	fmt.Printf("cluster: %s\n", cl)
 	fmt.Printf("workload: %d jobs, %d tasks, alpha=%.2f\n", len(in.Jobs), in.NumTasks(), in.Alpha())
 	if !fplan.Empty() {

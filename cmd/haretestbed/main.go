@@ -42,7 +42,16 @@ var (
 func main() {
 	flag.Parse()
 	if *execMode {
-		if err := rpcnet.RunExecutor(*addr, *execGPU); err != nil {
+		// Network chaos is injected executor-side (above the codec), so
+		// the child re-parses the spec it was spawned with; crash and
+		// transient faults arrive via the coordinator's Config RPC.
+		fplan, err := hare.ParseFaults(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rpcnet.RunExecutorOpts(*addr, *execGPU, rpcnet.ExecutorOptions{
+			Chaos: fplan.NetModel(), ChaosSeed: fplan.NetSeed(),
+		}); err != nil {
 			fatal(err)
 		}
 		return
@@ -78,6 +87,9 @@ func main() {
 	}
 	if fplan.HasGPUFailures() {
 		fatal(fmt.Errorf("permanent GPU failures need the distributed control plane (add -distributed)"))
+	}
+	if !fplan.NetModel().Empty() {
+		fatal(fmt.Errorf("the in-process testbed has no network to disturb; net* chaos in -fault-spec requires -distributed"))
 	}
 
 	opts := hare.TestbedOptions{
@@ -154,7 +166,8 @@ func runDistributed(in *hare.Instance, plan *hare.Schedule, cl *hare.Cluster, mo
 	fmt.Printf("coordinator on %s; spawning %d executor processes\n", bound, in.NumGPUs)
 	procs := make([]*exec.Cmd, in.NumGPUs)
 	for g := 0; g < in.NumGPUs; g++ {
-		cmd := exec.Command(self, "-executor", "-addr", bound, "-executor-gpu", fmt.Sprint(g))
+		cmd := exec.Command(self, "-executor", "-addr", bound, "-executor-gpu", fmt.Sprint(g),
+			"-fault-spec", fplan.String())
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
 			fatal(err)

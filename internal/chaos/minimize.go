@@ -1,0 +1,154 @@
+package chaos
+
+import (
+	"fmt"
+
+	"hare/internal/faults"
+)
+
+// maxMinimizeRuns caps the minimizer's total re-runs so a flaky or
+// slow violation cannot stall a CI job indefinitely.
+const maxMinimizeRuns = 24
+
+// Minimize shrinks a violating fault spec by greedy clause removal:
+// for each ingredient (drop, dup, reorder, delay, then each partition,
+// outage and failure individually, then the transient rate and
+// stragglers) it re-runs the seed's workload without that clause and
+// keeps the removal whenever the violation persists. Two sweeps, since
+// a removal can unlock earlier candidates. Returns the smallest spec
+// that still violates and the number of re-runs spent. If the original
+// spec no longer reproduces (a timing-dependent finding), the spec is
+// returned unchanged with reproduced == false.
+func Minimize(seed int64, spec string, opts Options) (minSpec string, runs int, reproduced bool, err error) {
+	// The minimizer owns journal lifetime: every re-run gets a fresh
+	// in-memory journal regardless of what the caller's runs used.
+	opts.Journal = nil
+	jobs := GenerateScenario(seed).Jobs
+	if opts.Jobs > 0 {
+		jobs = opts.Jobs
+	}
+	h, err := newHarness(seed, jobs, opts)
+	if err != nil {
+		return spec, 0, false, err
+	}
+	cur, err := faults.Parse(spec)
+	if err != nil {
+		return spec, 0, false, err
+	}
+
+	violates := func(p *faults.Plan) (bool, error) {
+		runs++
+		out := h.run(p)
+		if out.Err != nil {
+			return false, out.Err
+		}
+		return out.Violation != nil, nil
+	}
+
+	// Confirm the violation reproduces at all (twice — chaos runs race
+	// real clocks, so one clean run is not an acquittal).
+	confirmed := false
+	for i := 0; i < 2 && !confirmed; i++ {
+		v, verr := violates(cur)
+		if verr != nil {
+			return spec, runs, false, verr
+		}
+		confirmed = v
+	}
+	if !confirmed {
+		return spec, runs, false, nil
+	}
+
+	for sweep := 0; sweep < 2; sweep++ {
+		shrunk := false
+		for _, cand := range removals(cur) {
+			if runs >= maxMinimizeRuns {
+				return cur.String(), runs, true, nil
+			}
+			v, verr := violates(cand.plan)
+			if verr != nil {
+				return cur.String(), runs, true, verr
+			}
+			if v {
+				opts.logf("minimize seed %d: dropped %s, violation persists", seed, cand.what)
+				cur = cand.plan
+				shrunk = true
+			}
+		}
+		if !shrunk {
+			break
+		}
+	}
+	return cur.String(), runs, true, nil
+}
+
+type removal struct {
+	what string
+	plan *faults.Plan
+}
+
+// removals enumerates single-clause reductions of a plan.
+func removals(p *faults.Plan) []removal {
+	var out []removal
+	add := func(what string, mutate func(*faults.Plan)) {
+		c := clonePlan(p)
+		mutate(c)
+		if c.Net.Empty() {
+			c.Net = nil
+		}
+		out = append(out, removal{what: what, plan: c})
+	}
+	n := p.NetModel()
+	if n != nil && n.Drop != 0 {
+		add("netdrop", func(c *faults.Plan) { c.Net.Drop = 0 })
+	}
+	if n != nil && n.Dup != 0 {
+		add("netdup", func(c *faults.Plan) { c.Net.Dup = 0 })
+	}
+	if n != nil && n.Reorder != 0 {
+		add("netreorder", func(c *faults.Plan) { c.Net.Reorder = 0 })
+	}
+	if n != nil && (n.DelayMin != 0 || n.DelayMax != 0) {
+		add("netdelay", func(c *faults.Plan) { c.Net.DelayMin, c.Net.DelayMax = 0, 0 })
+	}
+	if n != nil {
+		for i := range n.Partitions {
+			add(fmt.Sprintf("partition %d", i), func(c *faults.Plan) {
+				c.Net.Partitions = append(c.Net.Partitions[:i:i], c.Net.Partitions[i+1:]...)
+			})
+		}
+		for i := range n.CoordDowns {
+			add(fmt.Sprintf("codown %d", i), func(c *faults.Plan) {
+				c.Net.CoordDowns = append(c.Net.CoordDowns[:i:i], c.Net.CoordDowns[i+1:]...)
+			})
+		}
+	}
+	for i := range p.Failures {
+		add(fmt.Sprintf("failure of GPU %d", p.Failures[i].GPU), func(c *faults.Plan) {
+			c.Failures = append(c.Failures[:i:i], c.Failures[i+1:]...)
+		})
+	}
+	for i := range p.Stragglers {
+		add(fmt.Sprintf("straggler on GPU %d", p.Stragglers[i].GPU), func(c *faults.Plan) {
+			c.Stragglers = append(c.Stragglers[:i:i], c.Stragglers[i+1:]...)
+		})
+	}
+	if p.Rate != 0 {
+		add("transient rate", func(c *faults.Plan) { c.Rate = 0 })
+	}
+	return out
+}
+
+// clonePlan deep-copies a fault plan so removals don't alias.
+func clonePlan(p *faults.Plan) *faults.Plan {
+	c := &faults.Plan{Rate: p.Rate, Seed: p.Seed}
+	c.Failures = append([]faults.GPUFailure(nil), p.Failures...)
+	c.Stragglers = append([]faults.Straggler(nil), p.Stragglers...)
+	if p.Net != nil {
+		nc := *p.Net
+		nc.Partitions = append([]faults.Partition(nil), p.Net.Partitions...)
+		nc.CoordDowns = append([]faults.CoordDown(nil), p.Net.CoordDowns...)
+		c.Net = &nc
+	}
+	return c
+}

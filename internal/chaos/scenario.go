@@ -1,0 +1,141 @@
+// Package chaos is the invariant-checking soak harness of the
+// distributed control plane. Each seed deterministically generates a
+// fault scenario — network drops, duplicates, reordering, delays,
+// executor↔coordinator partitions, coordinator kill/restart cycles and
+// executor crashes — runs a real workload through the rpcnet
+// coordinator under that schedule, and checks the safety properties
+// the crash-safe design promises: every gradient applied exactly once,
+// no GPU fenced that was not supposed to fail, fencing monotone and
+// bounded, and final checkpoints equal to a fault-free run of the same
+// plan. A violation carries the failing seed and a -fault-spec string
+// that reproduces it; Minimize shrinks that spec by greedy clause
+// removal so the repro is as small as the bug allows.
+package chaos
+
+import (
+	"sort"
+	"time"
+
+	"hare/internal/faults"
+	"hare/internal/stats"
+)
+
+// Fleet shape of every soak run: two fast V100s and one slow T4 on one
+// host — the smallest fleet that exercises heterogeneity, migration
+// (two survivors after one failure) and cross-GPU gradient merges.
+const fleetSize = 3
+
+// PartitionSketch is a partition window with its start expressed as a
+// fraction of the planned makespan (resolved once the plan is known).
+type PartitionSketch struct {
+	GPU  int
+	Frac float64
+	Dur  time.Duration
+}
+
+// DownSketch is a coordinator kill/restart window, start as a makespan
+// fraction, downtime in wall time.
+type DownSketch struct {
+	Frac float64
+	Dur  time.Duration
+}
+
+// FailureSketch is a planned GPU failure (executor crash or device
+// fault) at a makespan fraction.
+type FailureSketch struct {
+	GPU   int
+	Frac  float64
+	Crash bool
+}
+
+// Scenario is one seed's fault schedule before resolution against a
+// concrete plan. All times are makespan fractions so the same scenario
+// scales to any workload.
+type Scenario struct {
+	Seed int64
+	// Jobs is the scenario's workload size.
+	Jobs int
+
+	Drop, Dup, Reorder float64
+	DelayMin, DelayMax time.Duration
+	Partitions         []PartitionSketch
+	CoordDowns         []DownSketch
+	Failures           []FailureSketch
+}
+
+// GenerateScenario derives seed's fault schedule. The ranges are tuned
+// against the harness's detection parameters (5ms heartbeats, 400ms
+// lease, 2s reconnect grace): partitions stay well under the lease so
+// a partitioned-but-alive executor is never fenced, coordinator
+// downtime stays within what the executors' reconnect budget rides
+// out, and at most one GPU fails so migration always has survivors.
+func GenerateScenario(seed int64) *Scenario {
+	rng := stats.New(seed)
+	s := &Scenario{Seed: seed, Jobs: 4 + rng.Intn(3)}
+	s.Drop = rng.Uniform(0, 0.05)
+	s.Dup = rng.Uniform(0, 0.06)
+	s.Reorder = rng.Uniform(0, 0.10)
+	if rng.Float64() < 0.5 {
+		s.DelayMax = time.Duration(rng.Uniform(0.2, 2.0) * float64(time.Millisecond))
+	}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		s.Partitions = append(s.Partitions, PartitionSketch{
+			GPU:  rng.Intn(fleetSize),
+			Frac: rng.Uniform(0.10, 0.80),
+			Dur:  time.Duration(rng.Uniform(30, 120)) * time.Millisecond,
+		})
+	}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		s.CoordDowns = append(s.CoordDowns, DownSketch{
+			Frac: rng.Uniform(0.15, 0.75),
+			Dur:  time.Duration(rng.Uniform(80, 220)) * time.Millisecond,
+		})
+	}
+	sort.Slice(s.CoordDowns, func(i, j int) bool { return s.CoordDowns[i].Frac < s.CoordDowns[j].Frac })
+	// Keep kill windows apart so each recovery completes (executors
+	// re-handshaken, fresh snapshot) before the next kill arms.
+	for i := 1; i < len(s.CoordDowns); i++ {
+		if s.CoordDowns[i].Frac-s.CoordDowns[i-1].Frac < 0.15 {
+			s.CoordDowns[i].Frac = s.CoordDowns[i-1].Frac + 0.15
+		}
+	}
+	if rng.Float64() < 0.4 {
+		s.Failures = append(s.Failures, FailureSketch{
+			GPU:   rng.Intn(fleetSize),
+			Frac:  rng.Uniform(0.20, 0.60),
+			Crash: rng.Float64() < 0.7,
+		})
+	}
+	return s
+}
+
+// Resolve turns the scenario into a concrete fault plan against a
+// planned makespan (simulated seconds). The plan's String() is the
+// run's reproduction spec.
+func (s *Scenario) Resolve(makespan float64) *faults.Plan {
+	p := &faults.Plan{}
+	for _, f := range s.Failures {
+		p.Failures = append(p.Failures, faults.GPUFailure{
+			GPU: f.GPU, Time: f.Frac * makespan, Crash: f.Crash,
+		})
+	}
+	net := &faults.NetChaos{
+		Drop: s.Drop, Dup: s.Dup, Reorder: s.Reorder,
+		DelayMin: s.DelayMin, DelayMax: s.DelayMax,
+		Seed: s.Seed,
+	}
+	for _, w := range s.Partitions {
+		net.Partitions = append(net.Partitions, faults.Partition{
+			GPU: w.GPU, At: w.Frac * makespan, Dur: w.Dur,
+		})
+	}
+	for _, d := range s.CoordDowns {
+		net.CoordDowns = append(net.CoordDowns, faults.CoordDown{
+			At: d.Frac * makespan, Dur: d.Dur,
+		})
+	}
+	if !net.Empty() || net.Seed != 0 {
+		p.Net = net
+	}
+	return p
+}

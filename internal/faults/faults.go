@@ -67,11 +67,16 @@ type Plan struct {
 	Failures []GPUFailure
 	// Stragglers lists per-GPU slowdown factors.
 	Stragglers []Straggler
+	// Net, when non-nil, adds network-level chaos (message drop, delay,
+	// duplication, reorder, partitions, coordinator outages). Only the
+	// distributed engine honors it; the simulator and in-process
+	// testbed have no network and reject plans that set it.
+	Net *NetChaos
 }
 
 // Empty reports whether the plan injects nothing. Nil-safe.
 func (p *Plan) Empty() bool {
-	return p == nil || (p.Rate == 0 && len(p.Failures) == 0 && len(p.Stragglers) == 0)
+	return p == nil || (p.Rate == 0 && len(p.Failures) == 0 && len(p.Stragglers) == 0 && p.Net.Empty())
 }
 
 // TransientRate returns the transient fault probability. Nil-safe.
@@ -174,7 +179,7 @@ func (p *Plan) Validate(numGPUs int) error {
 		}
 		seenSlow[s.GPU] = true
 	}
-	return nil
+	return p.Net.Validate(numGPUs)
 }
 
 // String renders the plan in the -fault-spec grammar Parse accepts, so
@@ -201,6 +206,7 @@ func (p *Plan) String() string {
 	for _, s := range p.Stragglers {
 		parts = append(parts, fmt.Sprintf("slow=%dx%s", s.GPU, strconv.FormatFloat(s.Factor, 'g', -1, 64)))
 	}
+	parts = append(parts, p.Net.netString()...)
 	return strings.Join(parts, ",")
 }
 
@@ -213,9 +219,21 @@ func (p *Plan) String() string {
 //	crash=G@T  GPU G's executor crashes at simulated time T
 //	slow=GxF   GPU G trains F times slower (F >= 1)
 //
-// fail, crash and slow may repeat. An empty spec yields an empty plan.
-// GPU indices are range-checked later, against the instance, via
-// Validate.
+// plus the network-chaos grammar (distributed engine only):
+//
+//	netdrop=F          per-call loss probability in [0, 1)
+//	netdup=F           per-call duplication probability in [0, 1)
+//	netreorder=F       per-call reorder probability in [0, 1)
+//	netdelay=MIN~MAX   uniform injected latency (durations, e.g. 10ms~50ms)
+//	netseed=N          chaos decision-stream seed (defaults to seed=N)
+//	partition=G@T+D    GPU G partitioned from the coordinator at
+//	                   simulated time T for wall duration D
+//	codown=T+D         coordinator killed at simulated time T, restarted
+//	                   from its WAL after wall duration D
+//
+// fail, crash, slow, partition and codown may repeat. An empty spec
+// yields an empty plan. GPU indices are range-checked later, against
+// the instance, via Validate.
 func Parse(spec string) (*Plan, error) {
 	p := &Plan{}
 	for _, field := range strings.FieldsFunc(spec, func(r rune) bool { return r == ',' || r == ';' }) {
@@ -269,7 +287,13 @@ func Parse(spec string) (*Plan, error) {
 			}
 			p.Stragglers = append(p.Stragglers, Straggler{GPU: gpu, Factor: factor})
 		default:
-			return nil, fmt.Errorf("faults: unknown field %q (want rate/seed/fail/crash/slow)", key)
+			handled, err := p.parseNetField(key, val)
+			if err != nil {
+				return nil, err
+			}
+			if !handled {
+				return nil, fmt.Errorf("faults: unknown field %q (want rate/seed/fail/crash/slow or the net* chaos grammar)", key)
+			}
 		}
 	}
 	if err := p.Validate(0); err != nil {

@@ -1,0 +1,139 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseNetChaos(t *testing.T) {
+	spec := "netdrop=0.05,netdelay=10ms~50ms,partition=1@40+2s,codown=80+0.5s"
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	n := p.Net
+	if n == nil {
+		t.Fatal("Parse left Net nil")
+	}
+	if n.Drop != 0.05 {
+		t.Errorf("Drop = %g, want 0.05", n.Drop)
+	}
+	if n.DelayMin != 10*time.Millisecond || n.DelayMax != 50*time.Millisecond {
+		t.Errorf("Delay = %v~%v, want 10ms~50ms", n.DelayMin, n.DelayMax)
+	}
+	if len(n.Partitions) != 1 || n.Partitions[0] != (Partition{GPU: 1, At: 40, Dur: 2 * time.Second}) {
+		t.Errorf("Partitions = %+v", n.Partitions)
+	}
+	if len(n.CoordDowns) != 1 || n.CoordDowns[0] != (CoordDown{At: 80, Dur: 500 * time.Millisecond}) {
+		t.Errorf("CoordDowns = %+v", n.CoordDowns)
+	}
+	if p.Empty() {
+		t.Error("plan with net chaos reports Empty")
+	}
+}
+
+func TestNetChaosStringRoundTrip(t *testing.T) {
+	specs := []string{
+		"netdrop=0.05,netdup=0.02,netreorder=0.01,netdelay=10ms~50ms,netseed=7",
+		"rate=0.1,seed=3,crash=1@40,netdrop=0.2,partition=0@10+1s,partition=2@20+500ms,codown=30+250ms",
+		"netdelay=5ms~5ms",
+	}
+	for _, spec := range specs {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		back, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", p.String(), err)
+		}
+		if back.String() != p.String() {
+			t.Errorf("round trip %q -> %q -> %q", spec, p.String(), back.String())
+		}
+	}
+}
+
+func TestNetChaosSingleDelayShorthand(t *testing.T) {
+	p, err := Parse("netdelay=25ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Net.DelayMin != 25*time.Millisecond || p.Net.DelayMax != 25*time.Millisecond {
+		t.Errorf("Delay = %v~%v, want 25ms~25ms", p.Net.DelayMin, p.Net.DelayMax)
+	}
+}
+
+func TestNetChaosValidate(t *testing.T) {
+	bad := []string{
+		"netdrop=1.5",
+		"netdup=-0.1",
+		"netreorder=1",
+		"netdelay=50ms~10ms",
+		"partition=0@-1+1s",
+		"partition=0@10+0s",
+		"codown=-5+1s",
+		"partition=0@10",
+		"codown=10",
+		"netdelay=banana",
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted an invalid spec", spec)
+		}
+	}
+	// Range check against the fleet only when a size is given.
+	p, err := Parse("partition=9@10+1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(4); err == nil {
+		t.Error("Validate(4) accepted partition of GPU 9")
+	}
+	if err := p.Validate(0); err != nil {
+		t.Errorf("Validate(0) rejected un-ranged plan: %v", err)
+	}
+}
+
+func TestNetSeedFallback(t *testing.T) {
+	p, err := Parse("seed=11,netdrop=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.NetSeed(); got != 11 {
+		t.Errorf("NetSeed = %d, want fallback 11", got)
+	}
+	p, err = Parse("seed=11,netdrop=0.1,netseed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.NetSeed(); got != 42 {
+		t.Errorf("NetSeed = %d, want 42", got)
+	}
+	var nilPlan *Plan
+	if nilPlan.NetSeed() != 0 || !nilPlan.NetModel().Empty() {
+		t.Error("nil plan accessors not nil-safe")
+	}
+}
+
+func TestNetChaosSorted(t *testing.T) {
+	p, err := Parse("partition=2@20+1s,partition=1@10+1s,partition=0@10+1s,codown=30+1s,codown=5+1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := p.Net.SortedPartitions()
+	if parts[0].GPU != 0 || parts[1].GPU != 1 || parts[2].GPU != 2 {
+		t.Errorf("SortedPartitions order: %+v", parts)
+	}
+	downs := p.Net.SortedCoordDowns()
+	if downs[0].At != 5 || downs[1].At != 30 {
+		t.Errorf("SortedCoordDowns order: %+v", downs)
+	}
+}
+
+func TestUnknownFieldMentionsNetGrammar(t *testing.T) {
+	_, err := Parse("bogus=1")
+	if err == nil || !strings.Contains(err.Error(), "net") {
+		t.Errorf("unknown-field error should hint at the net grammar, got %v", err)
+	}
+}

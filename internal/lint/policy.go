@@ -109,6 +109,10 @@ func DefaultPolicy(module string) Policy {
 	}
 	per[module+"/internal/testbed"] = realtime
 	per[module+"/internal/rpcnet"] = realtime
+	// chaos drives real coordinator kill/restart cycles on wall-clock
+	// deadlines, so it sits in the real-time tier with the transport it
+	// torments.
+	per[module+"/internal/chaos"] = realtime
 	per[module+"/cmd"] = Rules{
 		MapRange: LevelWarn, WallTime: LevelOff,
 		GlobalRand: LevelError, FloatEq: LevelWarn, ObsRecorder: LevelError,

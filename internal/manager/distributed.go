@@ -1,0 +1,104 @@
+package manager
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hare/internal/cluster"
+	"hare/internal/core"
+	"hare/internal/faults"
+	"hare/internal/model"
+	"hare/internal/obs"
+	"hare/internal/rpcnet"
+	"hare/internal/store"
+	"hare/internal/trace"
+)
+
+// DistributedBackend executes batches on the distributed testbed: the
+// rpcnet coordinator serves the control plane on a real TCP listener
+// and one executor client per GPU dials in and pulls tasks. It is the
+// only backend that replays the full fault surface — executor crashes,
+// device failures, network chaos (Faults.Net) — and, with a Journal,
+// the only crash-safe one: a batch interrupted by a coordinator death
+// resumes from the WAL (see rpcnet.RecoverDistributed and cmd/hared's
+// boot-time resume).
+type DistributedBackend struct {
+	// TimeScale is the shared clock scale (default 1e-3).
+	TimeScale float64
+	// Addr is the coordinator listen address (default 127.0.0.1:0).
+	Addr string
+	// Store receives checkpoints (in-memory by default).
+	Store store.Store
+	// Faults is the full fault plan, including network chaos.
+	Faults *faults.Plan
+	// Journal, when set, makes every batch crash-safe.
+	Journal *rpcnet.Journal
+	// HeartbeatInterval and LeaseTimeout tune failure detection.
+	HeartbeatInterval time.Duration
+	LeaseTimeout      time.Duration
+	// Recorder receives coordinator and executor events; Metrics the
+	// counters. Both optional.
+	Recorder *obs.Recorder
+	Metrics  *obs.Registry
+}
+
+// Execute implements Backend.
+func (b *DistributedBackend) Execute(in *core.Instance, plan *core.Schedule, cl *cluster.Cluster, models []*model.Model) ([]float64, *trace.Trace, error) {
+	ts := b.TimeScale
+	if ts <= 0 {
+		ts = 1e-3
+	}
+	addr := b.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	if n := b.Faults.NetModel(); len(n.SortedCoordDowns()) > 0 {
+		return nil, nil, fmt.Errorf("manager: codown windows are orchestrated by the chaos harness (harechaos), not the distributed backend")
+	}
+	_, bound, wait, err := rpcnet.ServeDistributed(addr, in, plan, cl, models, rpcnet.DistributedOptions{
+		TimeScale:         ts,
+		Store:             b.Store,
+		Faults:            b.Faults,
+		Journal:           b.Journal,
+		HeartbeatInterval: b.HeartbeatInterval,
+		LeaseTimeout:      b.LeaseTimeout,
+		Recorder:          b.Recorder,
+		Metrics:           b.Metrics,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < cl.Size(); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Executor errors surface through the coordinator (lease
+			// fencing or error reports); a crashed executor is an
+			// expected outcome under crash faults.
+			_ = rpcnet.RunExecutorOpts(bound, g, rpcnet.ExecutorOptions{
+				Chaos:     b.Faults.NetModel(),
+				ChaosSeed: b.Faults.NetSeed(),
+				Recorder:  b.Recorder,
+				Metrics:   b.Metrics,
+			})
+		}(g)
+	}
+	res, err := wait()
+	wg.Wait()
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.JobCompletion, res.Trace, nil
+}
+
+// rejectNetChaos guards the backends whose transports are in-process
+// function calls: network chaos would silently inject nothing there,
+// so asking for it is an error rather than a no-op.
+func rejectNetChaos(p *faults.Plan, backend string) error {
+	if !p.NetModel().Empty() {
+		return fmt.Errorf("manager: %s backend has no network to disturb; net* chaos in %q requires the distributed backend", backend, p.String())
+	}
+	return nil
+}

@@ -119,6 +119,9 @@ type TestbedBackend struct {
 
 // Execute implements Backend.
 func (b *TestbedBackend) Execute(in *core.Instance, plan *core.Schedule, cl *cluster.Cluster, models []*model.Model) ([]float64, *trace.Trace, error) {
+	if err := rejectNetChaos(b.Faults, "testbed"); err != nil {
+		return nil, nil, err
+	}
 	ts := b.TimeScale
 	if ts <= 0 {
 		ts = 1e-3
@@ -149,6 +152,9 @@ type SimBackend struct {
 
 // Execute implements Backend.
 func (b *SimBackend) Execute(in *core.Instance, plan *core.Schedule, cl *cluster.Cluster, models []*model.Model) ([]float64, *trace.Trace, error) {
+	if err := rejectNetChaos(b.Faults, "simulator"); err != nil {
+		return nil, nil, err
+	}
 	res, err := sim.Run(in, plan, cl, models, sim.Options{
 		Scheme: switching.Hare, Speculative: true, Seed: b.Seed,
 		Faults:   b.Faults,

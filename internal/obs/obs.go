@@ -74,6 +74,15 @@ const (
 	// residual instance after GPU failed. Dur is unused; Note carries
 	// "tasks=N gpus=M" for the residual size.
 	EvReschedule
+	// EvNetFault records one injected network fault on the
+	// executor↔coordinator path (chaos transport): Note carries the
+	// kind (drop-request, drop-reply, dup, reorder, delay, partition),
+	// GPU the executor side, Dur any injected latency in seconds.
+	EvNetFault
+	// EvCoordRecovered records a coordinator restart from its
+	// write-ahead log: Time is the restored simulated watermark and
+	// Note carries "epoch=E pushes=N fenced=M" for the recovered state.
+	EvCoordRecovered
 )
 
 func (t Type) String() string {
@@ -106,13 +115,17 @@ func (t Type) String() string {
 		return "task.migrated"
 	case EvReschedule:
 		return "resched.triggered"
+	case EvNetFault:
+		return "net.fault"
+	case EvCoordRecovered:
+		return "coord.recovered"
 	}
 	return fmt.Sprintf("Type(%d)", int(t))
 }
 
 // TypeByName resolves an event type from its String form.
 func TypeByName(name string) (Type, error) {
-	for t := EvTaskStart; t <= EvReschedule; t++ {
+	for t := EvTaskStart; t <= EvCoordRecovered; t++ {
 		if t.String() == name {
 			return t, nil
 		}
@@ -188,6 +201,10 @@ func (e Event) Format() string {
 		detail = fmt.Sprintf(" (%s)", e.Note)
 	case EvTaskMigrated:
 		detail = fmt.Sprintf(" from=gpu%d", e.From)
+	case EvNetFault:
+		detail = fmt.Sprintf(" (%s)", e.Note)
+	case EvCoordRecovered:
+		detail = fmt.Sprintf(" (%s)", e.Note)
 	}
 	note := ""
 	if e.Note != "" && e.Type != EvBarrierWait && e.Type != EvGPUFailed {

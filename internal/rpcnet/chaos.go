@@ -1,0 +1,232 @@
+package rpcnet
+
+import (
+	"errors"
+	"net/rpc"
+	"reflect"
+	"sync"
+	"time"
+
+	"hare/internal/faults"
+	"hare/internal/obs"
+	"hare/internal/stats"
+	"hare/internal/testbed"
+)
+
+// Network chaos injection (faults.NetChaos, the netdrop=/netdelay=/
+// partition= grammar). Faults are injected at the RPC-call boundary —
+// below it the stdlib gob stream is stateful, so corrupting raw bytes
+// would wedge the connection rather than model message loss:
+//
+//   - drop-request: the call never reaches the coordinator;
+//   - drop-reply: the call executes but its reply is lost — this is
+//     the half that exercises Push/Next/Report idempotency, because
+//     the executor retries an operation the coordinator already
+//     performed;
+//   - duplicate: the call is transparently issued twice;
+//   - delay/reorder: the call is holdable for a bounded time, letting
+//     concurrent calls (heartbeats vs pushes) overtake it;
+//   - partition: calls from a partitioned GPU fail outright while the
+//     simulated clock is inside the partition window.
+//
+// All draws come from one seeded stream per executor, so a failing
+// schedule is reproducible from (spec, seed) alone.
+
+// Injected-fault sentinels. They surface as *rpc* errors on the
+// executor side: drops are retried at the call level, partitions at
+// the session level (the executor waits the window out).
+var (
+	errInjectedDrop      = errors.New("rpcnet: injected message drop")
+	errInjectedPartition = errors.New("rpcnet: injected network partition")
+)
+
+// netChaos wraps RPC calls of one executor with fault injection. A nil
+// *netChaos is a transparent pass-through.
+type netChaos struct {
+	spec  *faults.NetChaos
+	gpu   int
+	parts []faults.Partition // this GPU's windows, ordered by At
+	rec   *obs.Recorder
+
+	cDrops, cDups, cDelays, cReorders, cPartitioned *obs.Counter
+
+	mu    sync.Mutex
+	rng   *stats.RNG
+	clock *testbed.Clock // set after the Config handshake
+}
+
+// newNetChaos builds the injector, or nil when the spec injects
+// nothing. The stream is seeded per GPU so executors draw
+// independently but deterministically.
+func newNetChaos(spec *faults.NetChaos, seed int64, gpu int, rec *obs.Recorder, reg *obs.Registry) *netChaos {
+	if spec.Empty() {
+		return nil
+	}
+	ch := &netChaos{
+		spec:         spec,
+		gpu:          gpu,
+		rec:          rec,
+		rng:          stats.New(seed ^ (int64(gpu)+1)*0x9e3779b9),
+		cDrops:       reg.Counter("hare_net_drops_total"),
+		cDups:        reg.Counter("hare_net_dups_total"),
+		cDelays:      reg.Counter("hare_net_delays_total"),
+		cReorders:    reg.Counter("hare_net_reorders_total"),
+		cPartitioned: reg.Counter("hare_net_partitioned_calls_total"),
+	}
+	for _, p := range spec.SortedPartitions() {
+		if p.GPU == gpu {
+			ch.parts = append(ch.parts, p)
+		}
+	}
+	return ch
+}
+
+// setClock arms partition windows once the executor learns the shared
+// clock from its Config handshake.
+func (ch *netChaos) setClock(c *testbed.Clock) {
+	if ch == nil {
+		return
+	}
+	ch.mu.Lock()
+	ch.clock = c
+	ch.mu.Unlock()
+}
+
+// partitionWindow returns the active or next partition window for this
+// GPU as simulated [start, end), or ok=false when none remains.
+func (ch *netChaos) partitionWindow(simNow float64) (start, end float64, ok bool) {
+	ch.mu.Lock()
+	clock := ch.clock
+	ch.mu.Unlock()
+	if clock == nil {
+		return 0, 0, false
+	}
+	for _, p := range ch.parts {
+		pEnd := p.At + p.Dur.Seconds()/clock.Scale()
+		if simNow < pEnd {
+			return p.At, pEnd, true
+		}
+	}
+	return 0, 0, false
+}
+
+// partitionRemaining returns the wall time until the current partition
+// window (if the executor is inside one) ends, else 0. The session
+// loop uses it to wait a partition out instead of burning reconnect
+// attempts.
+func (ch *netChaos) partitionRemaining() time.Duration {
+	if ch == nil {
+		return 0
+	}
+	ch.mu.Lock()
+	clock := ch.clock
+	ch.mu.Unlock()
+	if clock == nil {
+		return 0
+	}
+	simNow := clock.Now()
+	start, end, ok := ch.partitionWindow(simNow)
+	if !ok || simNow < start {
+		return 0
+	}
+	return clock.Until(end)
+}
+
+// inPartition reports whether the simulated clock is inside one of
+// this GPU's partition windows.
+func (ch *netChaos) inPartition() bool {
+	ch.mu.Lock()
+	clock := ch.clock
+	ch.mu.Unlock()
+	if clock == nil {
+		return false
+	}
+	simNow := clock.Now()
+	start, end, ok := ch.partitionWindow(simNow)
+	return ok && simNow >= start && simNow < end
+}
+
+// draw samples one call's fate under the mutex (the heartbeat
+// goroutine shares the stream with the pull loop).
+func (ch *netChaos) draw() (dropReq, dropReply, dup bool, delay, hold time.Duration) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if ch.spec.Drop > 0 && ch.rng.Float64() < ch.spec.Drop {
+		// Split drops evenly between the request and the reply leg;
+		// the reply leg is the one that forces duplicate deliveries.
+		if ch.rng.Float64() < 0.5 {
+			dropReq = true
+		} else {
+			dropReply = true
+		}
+	}
+	if ch.spec.Dup > 0 && ch.rng.Float64() < ch.spec.Dup {
+		dup = true
+	}
+	if ch.spec.Reorder > 0 && ch.rng.Float64() < ch.spec.Reorder {
+		hold = time.Duration(ch.rng.Uniform(0, float64(2*time.Millisecond)))
+	}
+	if ch.spec.DelayMax > 0 {
+		delay = time.Duration(ch.rng.Uniform(float64(ch.spec.DelayMin), float64(ch.spec.DelayMax)))
+	}
+	return
+}
+
+// emit records one injected fault as a net.fault event.
+func (ch *netChaos) emit(kind string) {
+	if !ch.rec.Enabled() {
+		return
+	}
+	ch.mu.Lock()
+	clock := ch.clock
+	ch.mu.Unlock()
+	t := 0.0
+	if clock != nil {
+		t = clock.Now()
+	}
+	ch.rec.Emit(obs.Event{Type: obs.EvNetFault, Time: t, GPU: ch.gpu, Job: -1, Note: kind})
+}
+
+// do performs one RPC through the injector. A nil receiver is a plain
+// call.
+func (ch *netChaos) do(conn *rpc.Client, method string, args, reply any) error {
+	if ch == nil {
+		return conn.Call(method, args, reply)
+	}
+	if ch.inPartition() {
+		ch.cPartitioned.Inc()
+		ch.emit("partition")
+		return errInjectedPartition
+	}
+	dropReq, dropReply, dup, delay, hold := ch.draw()
+	if dropReq {
+		ch.cDrops.Inc()
+		ch.emit("drop-request")
+		return errInjectedDrop
+	}
+	if delay > 0 {
+		ch.cDelays.Inc()
+		time.Sleep(delay)
+	}
+	err := conn.Call(method, args, reply)
+	if dup && err == nil {
+		// Deliver the same message again, discarding the second
+		// reply — the coordinator must answer both idempotently.
+		ch.cDups.Inc()
+		ch.emit("duplicate")
+		shadow := reflect.New(reflect.TypeOf(reply).Elem()).Interface()
+		_ = conn.Call(method, args, shadow)
+	}
+	if hold > 0 {
+		// Hold the reply briefly so concurrent calls overtake it.
+		ch.cReorders.Inc()
+		ch.emit("reorder")
+		time.Sleep(hold)
+	}
+	if dropReply {
+		ch.cDrops.Inc()
+		ch.emit("drop-reply")
+		return errInjectedDrop
+	}
+	return err
+}

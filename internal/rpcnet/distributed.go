@@ -1,6 +1,7 @@
 package rpcnet
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
@@ -38,6 +39,19 @@ import (
 // synchronization, §2.2.3). Task measurements travel with each
 // gradient push, so the coordinator's trace is complete even for GPUs
 // that die later.
+//
+// Crash safety (docs/ROBUSTNESS.md): with a Journal attached, every
+// accepted push, fence, and executor report is written ahead to a WAL
+// and the full coordinator state (plan, queues, dedup set, fences,
+// parameter-server models) is snapshotted periodically, so a killed
+// coordinator restarts via RecoverDistributed and resumes the batch.
+// The RPC protocol is built to survive the restart: every call after
+// the handshake carries the coordinator epoch (bumped on recovery, so
+// stale executors are told to re-handshake), Next is made at-most-once
+// by per-GPU sequence numbers with a last-reply cache, and Push and
+// Report are idempotent — a duplicate push (retried call, chaos
+// duplication, or pre-crash push whose reply was lost) returns the
+// memoized completion instead of aggregating twice.
 
 // DistributedName is the registered net/rpc service name.
 const DistributedName = "HareTestbedCoordinator"
@@ -49,7 +63,15 @@ const (
 	// DefaultLeaseTimeout fences a GPU whose last heartbeat (or push)
 	// is older than this.
 	DefaultLeaseTimeout = 2 * time.Second
+	// DefaultSnapshotEvery is the number of accepted pushes between
+	// WAL snapshots when a Journal is attached.
+	DefaultSnapshotEvery = 32
 )
+
+// ErrCoordinatorDown marks calls aborted by Server.Kill — the
+// coordinator process "died" and executors should retry until it is
+// recovered.
+var ErrCoordinatorDown = errors.New("rpcnet: coordinator down")
 
 // ExecutorConfigArgs selects the GPU asking for its configuration.
 type ExecutorConfigArgs struct{ GPU int }
@@ -87,10 +109,23 @@ type ExecutorConfigReply struct {
 	CrashAtSim float64
 	// HeartbeatMillis is the heartbeat period in milliseconds.
 	HeartbeatMillis int64
+	// CoordEpoch is the coordinator's incarnation number, starting at
+	// 1 and bumped on every WAL recovery. Every subsequent call must
+	// echo it; a mismatch means the coordinator restarted and the
+	// executor must re-handshake with Config.
+	CoordEpoch uint64
 }
 
-// NextArgs asks the coordinator for the GPU's next task.
-type NextArgs struct{ GPU int }
+// NextArgs asks the coordinator for the GPU's next task. Seq makes the
+// dispatch at-most-once: the coordinator hands a fresh task out only
+// for the expected next sequence number and replays the cached reply
+// for the previous one, so a retried Next (lost reply) cannot strand a
+// second dispatched task inside the network.
+type NextArgs struct {
+	GPU   int
+	Seq   uint64
+	Epoch uint64
+}
 
 // NextReply carries one dispatched task, or Done when the run has no
 // work left.
@@ -100,7 +135,10 @@ type NextReply struct {
 }
 
 // HeartbeatArgs renews a GPU's lease.
-type HeartbeatArgs struct{ GPU int }
+type HeartbeatArgs struct {
+	GPU   int
+	Epoch uint64
+}
 
 // ReportArgs carries one executor's final status. Task measurements
 // travel with each Push, so the report only closes the executor out
@@ -108,7 +146,21 @@ type HeartbeatArgs struct{ GPU int }
 type ReportArgs struct {
 	GPU int
 	// Err is a non-empty string when the executor failed.
-	Err string
+	Err   string
+	Epoch uint64
+}
+
+// FenceInfo is one fencing decision, in order, for audit and invariant
+// checking: when the GPU was fenced, why, and — for lease expiries —
+// how long after the last heartbeat the monitor noticed.
+type FenceInfo struct {
+	GPU     int
+	Reason  string
+	SimTime float64
+	// DetectMillis is the lease-expiry detection latency in wall
+	// milliseconds (0 for non-lease fences: device faults, executor
+	// error reports).
+	DetectMillis float64
 }
 
 // DistributedOptions configures ServeDistributed.
@@ -128,6 +180,8 @@ type DistributedOptions struct {
 	// (fail=G@T — the coordinator fences the GPU at sim time T), and
 	// executor crashes (crash=G@T — the executor process stops
 	// heartbeating at sim time T and the lease monitor detects it).
+	// Network chaos (Faults.Net) is executor-side; the coordinator
+	// only records the spec so recovery can re-derive the plan.
 	Faults *faults.Plan
 	// Replanner re-schedules the residual instance after a GPU
 	// failure. Defaults to Algorithm 1 (sched.NewHare()).
@@ -138,10 +192,18 @@ type DistributedOptions struct {
 	HeartbeatInterval time.Duration
 	LeaseTimeout      time.Duration
 	// Recorder receives coordinator-side events (gpu.failed,
-	// task.migrated, resched.triggered); nil disables.
+	// task.migrated, resched.triggered, coord.recovered); nil disables.
 	Recorder *obs.Recorder
 	// Metrics, when set, accumulates recovery counters.
 	Metrics *obs.Registry
+	// Journal, when set, makes the coordinator crash-safe: accepted
+	// pushes, fences and reports are written ahead to its log and the
+	// full state is snapshotted every SnapshotEvery pushes, so
+	// RecoverDistributed can resume the batch after a kill.
+	Journal *Journal
+	// SnapshotEvery is the accepted-push count between snapshots
+	// (DefaultSnapshotEvery when <= 0).
+	SnapshotEvery int
 }
 
 func (o DistributedOptions) withDefaults() DistributedOptions {
@@ -173,6 +235,9 @@ func (o DistributedOptions) withDefaults() DistributedOptions {
 	if o.LeaseTimeout <= 0 {
 		o.LeaseTimeout = DefaultLeaseTimeout
 	}
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = DefaultSnapshotEvery
+	}
 	return o
 }
 
@@ -185,17 +250,30 @@ type coordinator struct {
 	epoch  time.Time
 	clock  *testbed.Clock
 	local  testbed.SyncClient
+	pss    []*testbed.ParameterServer
 
 	cFailures, cMigrated, cResched, cHeartbeats *obs.Counter
+	cStale, cDupPush, cSnapshots                *obs.Counter
 
 	mu   sync.Mutex
 	cond *sync.Cond
+	// epochNum is the coordinator incarnation (1 for a fresh serve,
+	// +1 per recovery); every post-handshake RPC must echo it.
+	epochNum uint64
 	// queues[g] holds the tasks assigned to GPU g but not yet handed
 	// out; inflight[g] the one task g is currently running (nil when
-	// idle); done the tasks whose gradient the control plane accepted.
-	queues   [][]core.TaskRef
-	inflight []*core.TaskRef
-	done     map[core.TaskRef]bool
+	// idle); done the tasks whose gradient the control plane accepted,
+	// with their completion memoized for idempotent duplicate pushes.
+	queues      [][]core.TaskRef
+	inflight    []*core.TaskRef
+	done        map[core.TaskRef]bool
+	completions map[core.TaskRef]float64
+	// session[g] and nextSeq[g] implement at-most-once dispatch: a
+	// re-handshake (Config) bumps the session — waking zombie Next
+	// handlers from a dead connection — and resets the sequence.
+	session  []uint64
+	nextSeq  []uint64
+	lastNext []NextReply
 	// pushed[j][r] counts accepted gradients per round; a round-r task
 	// is dispatch-eligible once pushed[j][r-1] == Scale, which is what
 	// keeps executors from committing to barrier-blocked work while
@@ -203,10 +281,19 @@ type coordinator struct {
 	// migration).
 	pushed    [][]int
 	tasksLeft int
+	// partial[j] holds the accepted reports of job j's current
+	// (incomplete) round, partialMax[j] their max completion, and
+	// roundEnds[j] the realized ends of completed rounds — exactly the
+	// parameter-server state a recovery must rebuild.
+	partial    [][]testbed.PushReport
+	partialMax []float64
+	roundEnds  [][]float64
 
-	failed   []bool
-	lease    []time.Time
-	reported []bool
+	failed       []bool
+	fenceReasons []string
+	fenceLog     []FenceInfo
+	lease        []time.Time
+	reported     []bool
 	// prevJob/prevFree mirror each executor's switch state (last job
 	// run, trainEnd of its last task) so accepted pushes can be
 	// re-emitted as the same task-level event stream the sim and
@@ -223,10 +310,80 @@ type coordinator struct {
 	migrated   int
 	reschedule int
 	runErr     error
-	stopped    bool
+
+	// Durability plumbing.
+	journal         *Journal
+	pushesSinceSnap int
+	maxSim          float64 // high-water simulated time of accepted work
+	recovered       int     // completed WAL recoveries
+	replaying       bool    // true while replaying the WAL (no re-journal, no re-emit)
+
+	killed      bool
+	monitorOnce sync.Once
+	stopMonitor chan struct{}
 }
 
-// Config hands an executor its full configuration.
+// newCoordinator wires a coordinator around an already-built control
+// plane. queues must be a fresh (owned) per-GPU task assignment.
+func newCoordinator(in *core.Instance, queues [][]core.TaskRef, cl *cluster.Cluster, models []*model.Model,
+	opts DistributedOptions, clock *testbed.Clock, pss []*testbed.ParameterServer, local testbed.SyncClient) *coordinator {
+	co := &coordinator{
+		in: in, cl: cl, models: models,
+		opts: opts, epoch: clock.Epoch(), clock: clock, local: local, pss: pss,
+		cFailures:    opts.Metrics.Counter("hare_dist_gpu_failures_total"),
+		cMigrated:    opts.Metrics.Counter("hare_dist_tasks_migrated_total"),
+		cResched:     opts.Metrics.Counter("hare_dist_reschedules_total"),
+		cHeartbeats:  opts.Metrics.Counter("hare_dist_heartbeats_total"),
+		cStale:       opts.Metrics.Counter("hare_dist_stale_epoch_total"),
+		cDupPush:     opts.Metrics.Counter("hare_dist_duplicate_pushes_total"),
+		cSnapshots:   opts.Metrics.Counter("hare_coord_snapshots_total"),
+		epochNum:     1,
+		queues:       queues,
+		inflight:     make([]*core.TaskRef, in.NumGPUs),
+		done:         make(map[core.TaskRef]bool, in.NumTasks()),
+		completions:  make(map[core.TaskRef]float64, in.NumTasks()),
+		session:      make([]uint64, in.NumGPUs),
+		nextSeq:      make([]uint64, in.NumGPUs),
+		lastNext:     make([]NextReply, in.NumGPUs),
+		tasksLeft:    in.NumTasks(),
+		partial:      make([][]testbed.PushReport, len(in.Jobs)),
+		partialMax:   make([]float64, len(in.Jobs)),
+		roundEnds:    make([][]float64, len(in.Jobs)),
+		failed:       make([]bool, in.NumGPUs),
+		fenceReasons: make([]string, in.NumGPUs),
+		lease:        make([]time.Time, in.NumGPUs),
+		reported:     make([]bool, in.NumGPUs),
+		prevJob:      make([]core.JobID, in.NumGPUs),
+		prevFree:     make([]float64, in.NumGPUs),
+		journal:      opts.Journal,
+	}
+	for g := range co.prevJob {
+		co.prevJob[g] = -1
+	}
+	co.cond = sync.NewCond(&co.mu)
+	co.pushed = make([][]int, len(in.Jobs))
+	for _, j := range in.Jobs {
+		co.pushed[j.ID] = make([]int, j.Rounds)
+	}
+	return co
+}
+
+// checkEpochLocked rejects calls from an executor that handshook with
+// a previous coordinator incarnation; the error text is the executor's
+// cue to re-Config. Caller holds c.mu.
+func (c *coordinator) checkEpochLocked(e uint64) error {
+	if e != c.epochNum {
+		c.cStale.Inc()
+		return fmt.Errorf("rpcnet: stale coordinator epoch %d (current %d); re-handshake required", e, c.epochNum)
+	}
+	return nil
+}
+
+// Config hands an executor its full configuration. It doubles as the
+// re-handshake after a coordinator recovery or an executor reconnect:
+// the GPU's unfinished in-flight task (if any) is re-queued at the
+// head of its queue, its dispatch sequence resets, and any Next
+// handler from a previous session is superseded.
 func (c *coordinator) Config(args ExecutorConfigArgs, reply *ExecutorConfigReply) error {
 	if args.GPU < 0 || args.GPU >= c.in.NumGPUs {
 		return fmt.Errorf("rpcnet: unknown GPU %d", args.GPU)
@@ -240,8 +397,28 @@ func (c *coordinator) Config(args ExecutorConfigArgs, reply *ExecutorConfigReply
 		crashAt = f.Time
 	}
 	c.mu.Lock()
+	if c.runErr != nil {
+		err := c.runErr
+		c.mu.Unlock()
+		return err
+	}
+	if c.failed[args.GPU] {
+		c.mu.Unlock()
+		return fmt.Errorf("rpcnet: GPU %d is fenced (%s)", args.GPU, c.fenceReasons[args.GPU])
+	}
+	if t := c.inflight[args.GPU]; t != nil {
+		if !c.done[*t] {
+			c.queues[args.GPU] = append([]core.TaskRef{*t}, c.queues[args.GPU]...)
+		}
+		c.inflight[args.GPU] = nil
+	}
+	c.session[args.GPU]++
+	c.nextSeq[args.GPU] = 0
+	c.lastNext[args.GPU] = NextReply{}
 	seq := append([]core.TaskRef(nil), c.queues[args.GPU]...)
 	c.lease[args.GPU] = time.Now()
+	epochNum := c.epochNum
+	c.cond.Broadcast() // wake superseded Next handlers
 	c.mu.Unlock()
 	*reply = ExecutorConfigReply{
 		Instance:        c.in,
@@ -260,6 +437,7 @@ func (c *coordinator) Config(args ExecutorConfigArgs, reply *ExecutorConfigReply
 		SlowFactor:      c.opts.Faults.SlowdownOf(args.GPU),
 		CrashAtSim:      crashAt,
 		HeartbeatMillis: c.opts.HeartbeatInterval.Milliseconds(),
+		CoordEpoch:      epochNum,
 	}
 	return nil
 }
@@ -271,8 +449,14 @@ func (c *coordinator) Heartbeat(args HeartbeatArgs, _ *struct{}) error {
 	}
 	c.cHeartbeats.Inc()
 	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.checkEpochLocked(args.Epoch); err != nil {
+		return err
+	}
+	if c.failed[args.GPU] {
+		return fmt.Errorf("rpcnet: GPU %d is fenced", args.GPU)
+	}
 	c.lease[args.GPU] = time.Now()
-	c.mu.Unlock()
 	return nil
 }
 
@@ -294,77 +478,122 @@ func (c *coordinator) eligibleLocked(g int) int {
 // work, or the GPU is fenced. The time barrier (waiting until the
 // previous round's realized end) stays executor-side via WaitRound;
 // eligibility only prevents an executor from committing to a task
-// whose dependencies could later be queued behind it.
+// whose dependencies could later be queued behind it. Dispatch is
+// at-most-once: a duplicate of the previous sequence number replays
+// the cached reply, anything else out of window is rejected, and a
+// handler superseded by a newer handshake aborts instead of
+// dispatching into a dead connection.
 func (c *coordinator) Next(args NextArgs, reply *NextReply) error {
-	if args.GPU < 0 || args.GPU >= c.in.NumGPUs {
-		return fmt.Errorf("rpcnet: unknown GPU %d", args.GPU)
+	g := args.GPU
+	if g < 0 || g >= c.in.NumGPUs {
+		return fmt.Errorf("rpcnet: unknown GPU %d", g)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.checkEpochLocked(args.Epoch); err != nil {
+		return err
+	}
+	if args.Seq+1 == c.nextSeq[g] {
+		*reply = c.lastNext[g]
+		return nil
+	}
+	if args.Seq != c.nextSeq[g] {
+		return fmt.Errorf("rpcnet: GPU %d Next seq %d out of window (expected %d)", g, args.Seq, c.nextSeq[g])
+	}
+	sess := c.session[g]
 	for {
 		if c.runErr != nil {
 			return c.runErr
 		}
-		if c.failed[args.GPU] {
-			return fmt.Errorf("rpcnet: GPU %d is fenced", args.GPU)
+		if sess != c.session[g] {
+			return fmt.Errorf("rpcnet: GPU %d dispatch superseded by a newer handshake", g)
+		}
+		if c.failed[g] {
+			return fmt.Errorf("rpcnet: GPU %d is fenced", g)
 		}
 		if c.tasksLeft == 0 {
 			reply.Done = true
+			c.lastNext[g] = *reply
+			c.nextSeq[g]++
 			return nil
 		}
-		if i := c.eligibleLocked(args.GPU); i >= 0 {
-			t := c.queues[args.GPU][i]
-			c.queues[args.GPU] = append(c.queues[args.GPU][:i], c.queues[args.GPU][i+1:]...)
-			c.inflight[args.GPU] = &t
+		if i := c.eligibleLocked(g); i >= 0 {
+			t := c.queues[g][i]
+			c.queues[g] = append(c.queues[g][:i], c.queues[g][i+1:]...)
+			c.inflight[g] = &t
 			reply.Task = t
+			c.lastNext[g] = *reply
+			c.nextSeq[g]++
 			return nil
 		}
 		c.cond.Wait()
 	}
 }
 
-// Push accepts a gradient: fenced GPUs and duplicate tasks are
-// rejected *before* the parameter server sees the gradient, which is
-// what keeps a migrated re-execution and a zombie executor's late push
-// from both aggregating into the round.
+// Push accepts a gradient. Fenced GPUs are rejected before the
+// parameter server sees the gradient; duplicates (a retried call, a
+// chaos-duplicated message, or a pre-crash push whose reply was lost)
+// are answered idempotently with the memoized completion — the
+// parameter server aggregates each task exactly once either way. The
+// whole accept — WAL append, PS apply, bookkeeping — runs under c.mu,
+// so a snapshot can never observe a journaled-but-unapplied push.
 func (c *coordinator) Push(args PushArgs, reply *PushReply) error {
 	rep := args.Report
 	if rep.GPU < 0 || rep.GPU >= c.in.NumGPUs {
 		return fmt.Errorf("rpcnet: unknown GPU %d", rep.GPU)
 	}
 	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.checkEpochLocked(args.Epoch); err != nil {
+		return err
+	}
 	if c.runErr != nil {
-		c.mu.Unlock()
 		return c.runErr
 	}
 	if c.failed[rep.GPU] {
-		c.mu.Unlock()
 		return fmt.Errorf("rpcnet: GPU %d is fenced; gradient for %v rejected", rep.GPU, rep.Task)
 	}
 	if c.done[rep.Task] {
-		c.mu.Unlock()
-		return fmt.Errorf("rpcnet: duplicate gradient for %v rejected", rep.Task)
+		c.cDupPush.Inc()
+		reply.Completion = c.completions[rep.Task]
+		return nil
 	}
-	c.done[rep.Task] = true // claim before releasing the lock
-	if t := c.inflight[rep.GPU]; t != nil && *t == rep.Task {
-		c.inflight[rep.GPU] = nil
+	comp, err := c.acceptPushLocked(rep)
+	if err != nil {
+		return err
 	}
-	c.lease[rep.GPU] = time.Now() // a push is as good as a heartbeat
-	c.mu.Unlock()
+	reply.Completion = comp
+	return nil
+}
 
+// acceptPushLocked journals, applies, and accounts one non-duplicate
+// gradient push. Caller holds c.mu and has already rejected fenced
+// GPUs and duplicates. The WAL append happens before the parameter
+// server sees the gradient (write-ahead), and both happen atomically
+// under the lock, so recovery replay applies exactly the accepted
+// suffix.
+func (c *coordinator) acceptPushLocked(rep testbed.PushReport) (float64, error) {
+	simNow := c.clock.Now()
+	if !c.replaying && c.journal != nil {
+		if err := c.journal.append(&journalRecord{Kind: recPush, SimTime: simNow, Push: rep}); err != nil {
+			c.failLocked(fmt.Errorf("rpcnet: WAL append: %w", err))
+			return 0, c.runErr
+		}
+	}
 	comp, err := c.local.Push(rep)
-
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if err != nil {
 		// A PS rejection is a synchronization-protocol violation, not
 		// a device fault: abort the run.
-		if c.runErr == nil {
-			c.runErr = fmt.Errorf("rpcnet: push %v from GPU %d: %w", rep.Task, rep.GPU, err)
-		}
-		c.cond.Broadcast()
-		return err
+		c.failLocked(fmt.Errorf("rpcnet: push %v from GPU %d: %w", rep.Task, rep.GPU, err))
+		return 0, err
 	}
+	c.done[rep.Task] = true
+	c.completions[rep.Task] = comp
+	if t := c.inflight[rep.GPU]; t != nil && *t == rep.Task {
+		c.inflight[rep.GPU] = nil
+	}
+	c.dropQueuedLocked(rep.Task)
+	c.lease[rep.GPU] = time.Now() // a push is as good as a heartbeat
 	c.records = append(c.records, trace.TaskRecord{
 		Task: rep.Task, GPU: rep.GPU, Start: rep.Start,
 		Train: rep.TrainEnd - rep.Start, Sync: comp - rep.TrainEnd, Switch: rep.Switch,
@@ -378,11 +607,50 @@ func (c *coordinator) Push(args PushArgs, reply *PushReply) error {
 		}
 	}
 	c.retries += rep.Retries
-	c.pushed[rep.Task.Job][rep.Task.Round]++
+	j, r := rep.Task.Job, rep.Task.Round
+	c.partial[j] = append(c.partial[j], rep)
+	if comp > c.partialMax[j] {
+		c.partialMax[j] = comp
+	}
+	if comp > c.maxSim {
+		c.maxSim = comp
+	}
+	c.pushed[j][r]++
+	if c.pushed[j][r] == c.in.Jobs[j].Scale {
+		c.roundEnds[j] = append(c.roundEnds[j], c.partialMax[j])
+		c.partial[j] = nil
+		c.partialMax[j] = 0
+	}
 	c.tasksLeft--
+	c.pushesSinceSnap++
+	if !c.replaying && c.journal != nil && c.pushesSinceSnap >= c.opts.SnapshotEvery {
+		c.snapshotLocked()
+	}
 	c.cond.Broadcast()
-	reply.Completion = comp
-	return nil
+	return comp, nil
+}
+
+// dropQueuedLocked removes a completed task from any queue it may have
+// been (re-)planned into — a pushed task must never be dispatched
+// again. Caller holds c.mu.
+func (c *coordinator) dropQueuedLocked(t core.TaskRef) {
+	for g := range c.queues {
+		for i := range c.queues[g] {
+			if c.queues[g][i] == t {
+				c.queues[g] = append(c.queues[g][:i], c.queues[g][i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// failLocked aborts the run with err (first error wins) and wakes
+// every blocked handler. Caller holds c.mu.
+func (c *coordinator) failLocked(err error) {
+	if c.runErr == nil {
+		c.runErr = err
+	}
+	c.cond.Broadcast()
 }
 
 // emitTaskLocked re-emits one accepted push as the engine-shaped task
@@ -393,13 +661,14 @@ func (c *coordinator) Push(args PushArgs, reply *PushReply) error {
 // decided — which is what guarantees at most one finish per task and
 // lets retried/migrated executions stitch into sibling attempts
 // downstream. Per-GPU push order is execution order, so each lane's
-// stream is time-ordered. Caller holds c.mu.
+// stream is time-ordered. During WAL replay only the switch state is
+// rebuilt; events are not re-emitted. Caller holds c.mu.
 func (c *coordinator) emitTaskLocked(rep testbed.PushReport, comp float64) {
 	g := rep.GPU
 	free, prev := c.prevFree[g], c.prevJob[g]
 	c.prevFree[g], c.prevJob[g] = rep.TrainEnd, rep.Task.Job
 	rec := c.opts.Recorder
-	if !rec.Enabled() {
+	if c.replaying || !rec.Enabled() {
 		return
 	}
 	job, round, index := int(rep.Task.Job), rep.Task.Round, rep.Task.Index
@@ -447,6 +716,12 @@ func (c *coordinator) emitTaskLocked(rep testbed.PushReport, comp float64) {
 
 // WaitRound blocks until the round completes.
 func (c *coordinator) WaitRound(args WaitArgs, reply *WaitReply) error {
+	c.mu.Lock()
+	if err := c.checkEpochLocked(args.Epoch); err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.mu.Unlock()
 	end, err := c.local.WaitRound(args.Job, args.Round)
 	if err != nil {
 		return err
@@ -457,6 +732,12 @@ func (c *coordinator) WaitRound(args WaitArgs, reply *WaitReply) error {
 
 // LoadCheckpoint returns a job's latest parameters.
 func (c *coordinator) LoadCheckpoint(args CkptArgs, reply *CkptReply) error {
+	c.mu.Lock()
+	if err := c.checkEpochLocked(args.Epoch); err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.mu.Unlock()
 	p, err := c.local.LoadCheckpoint(args.Job)
 	if err != nil {
 		return err
@@ -466,55 +747,94 @@ func (c *coordinator) LoadCheckpoint(args CkptArgs, reply *CkptReply) error {
 }
 
 // Report closes an executor out. Out-of-range GPU indices are rejected
-// before the duplicate bookkeeping is touched; duplicates are
-// rejected. An error report fences the GPU so its remaining work
-// migrates instead of aborting the run.
+// before the duplicate bookkeeping is touched; a duplicate report (a
+// retried call whose first reply was lost) is accepted idempotently.
+// An error report fences the GPU so its remaining work migrates
+// instead of aborting the run.
 func (c *coordinator) Report(args ReportArgs, _ *struct{}) error {
 	if args.GPU < 0 || args.GPU >= c.in.NumGPUs {
 		return fmt.Errorf("rpcnet: report from unknown GPU %d", args.GPU)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.checkEpochLocked(args.Epoch); err != nil {
+		return err
+	}
 	if c.reported[args.GPU] {
-		return fmt.Errorf("rpcnet: GPU %d already reported", args.GPU)
+		return nil // idempotent duplicate
+	}
+	if !c.replaying && c.journal != nil {
+		rec := &journalRecord{Kind: recReport, SimTime: c.clock.Now(), GPU: args.GPU, Err: args.Err}
+		if err := c.journal.append(rec); err != nil {
+			c.failLocked(fmt.Errorf("rpcnet: WAL append: %w", err))
+			return c.runErr
+		}
 	}
 	c.reported[args.GPU] = true
 	if args.Err != "" {
-		c.markFailedLocked(args.GPU, "executor error: "+args.Err)
+		c.markFailedLocked(args.GPU, "executor error: "+args.Err, 0)
 	}
 	c.cond.Broadcast()
 	return nil
 }
 
-// markFailedLocked fences a GPU, strands its queue and in-flight task,
-// and re-runs the scheduling algorithm on the residual instance to
-// refill the survivors' queues. Caller holds c.mu.
-func (c *coordinator) markFailedLocked(gpu int, reason string) {
+// fencePlan is everything one fencing decision changes, computed first,
+// then journaled, then applied — so the WAL record and the in-memory
+// transition are identical, and recovery replays fences byte-for-byte
+// instead of re-running the (state-dependent) re-planner.
+type fencePlan struct {
+	GPU          int
+	Reason       string
+	SimTime      float64
+	DetectMillis float64
+	// Stranded lists the dead GPU's unfinished tasks.
+	Stranded []core.TaskRef
+	// Queues are the survivors' refilled queues (nil for fenced GPUs);
+	// HasQueues distinguishes "no re-plan needed" from an empty one.
+	Queues    [][]core.TaskRef
+	HasQueues bool
+	// Unrecoverable carries the run-ending error when recovery failed
+	// (no survivors, re-plan error).
+	Unrecoverable string
+	Pending       int
+	Alive         int
+}
+
+// markFailedLocked fences a GPU: it computes the fencing transition
+// (stranded work, residual re-plan), writes it ahead to the WAL, and
+// applies it. detect is the lease-expiry detection latency (zero for
+// non-lease fences). Caller holds c.mu. Idempotent: an already-fenced
+// GPU (duplicate failure report, racing monitor tick) is a no-op.
+func (c *coordinator) markFailedLocked(gpu int, reason string, detect time.Duration) {
 	if c.failed[gpu] || c.runErr != nil {
 		return
 	}
-	c.failed[gpu] = true
-	c.cFailures.Inc()
-	now := c.clock.Now()
-	if c.opts.Recorder.Enabled() {
-		c.opts.Recorder.Emit(obs.Event{
-			Type: obs.EvGPUFailed, Time: now, GPU: gpu, Job: -1, Note: reason,
-		})
+	fp := c.computeFenceLocked(gpu, reason)
+	fp.DetectMillis = detect.Seconds() * 1e3
+	if !c.replaying && c.journal != nil {
+		rec := &journalRecord{Kind: recFence, SimTime: fp.SimTime, Fence: fp}
+		if err := c.journal.append(rec); err != nil {
+			c.failLocked(fmt.Errorf("rpcnet: WAL append: %w", err))
+			return
+		}
 	}
+	c.applyFenceLocked(fp)
+	if !c.replaying && c.journal != nil && c.runErr == nil {
+		c.snapshotLocked() // fences are rare and change a lot of state
+	}
+}
+
+// computeFenceLocked builds the fencing transition for gpu without
+// mutating coordinator state. Caller holds c.mu.
+func (c *coordinator) computeFenceLocked(gpu int, reason string) *fencePlan {
+	fp := &fencePlan{GPU: gpu, Reason: reason, SimTime: c.clock.Now()}
 	// The dead GPU's stranded work: its queue plus its unclaimed
 	// in-flight task (a claimed one already pushed its gradient).
 	stranded := append([]core.TaskRef(nil), c.queues[gpu]...)
-	c.queues[gpu] = nil
-	if t := c.inflight[gpu]; t != nil {
-		if !c.done[*t] {
-			stranded = append(stranded, *t)
-		}
-		c.inflight[gpu] = nil
+	if t := c.inflight[gpu]; t != nil && !c.done[*t] {
+		stranded = append(stranded, *t)
 	}
-	strandedSet := make(map[core.TaskRef]bool, len(stranded))
-	for _, t := range stranded {
-		strandedSet[t] = true
-	}
+	fp.Stranded = stranded
 
 	// Re-plan every not-yet-dispatched task — the survivors' queues
 	// too, since the residual schedule rebalances all remaining work.
@@ -522,62 +842,96 @@ func (c *coordinator) markFailedLocked(gpu int, reason string) {
 	var pending []core.TaskRef
 	var alive []int
 	for g := range c.queues {
-		if c.failed[g] {
+		if c.failed[g] || g == gpu {
 			continue
 		}
 		alive = append(alive, g)
 		pending = append(pending, c.queues[g]...)
 	}
 	pending = append(pending, stranded...)
+	fp.Pending, fp.Alive = len(pending), len(alive)
 	if len(pending) == 0 {
-		c.cond.Broadcast()
-		return // nothing left to move; in-flight pushes finish the run
+		return fp // nothing left to move; in-flight pushes finish the run
 	}
 	if len(alive) == 0 {
-		c.runErr = fmt.Errorf("rpcnet: no surviving GPUs with %d tasks pending (last failure: GPU %d, %s)",
+		fp.Unrecoverable = fmt.Sprintf("rpcnet: no surviving GPUs with %d tasks pending (last failure: GPU %d, %s)",
 			len(pending), gpu, reason)
-		c.cond.Broadcast()
-		return
+		return fp
 	}
 	residual, err := faults.NewResidual(c.in, pending, alive)
 	if err != nil {
-		c.runErr = fmt.Errorf("rpcnet: recovery from GPU %d failure: %w", gpu, err)
-		c.cond.Broadcast()
-		return
+		fp.Unrecoverable = fmt.Sprintf("rpcnet: recovery from GPU %d failure: %v", gpu, err)
+		return fp
 	}
 	plan, err := c.opts.Replanner.Schedule(residual.Instance)
 	if err != nil {
-		c.runErr = fmt.Errorf("rpcnet: re-plan after GPU %d failure: %w", gpu, err)
-		c.cond.Broadcast()
-		return
+		fp.Unrecoverable = fmt.Sprintf("rpcnet: re-plan after GPU %d failure: %v", gpu, err)
+		return fp
 	}
 	seqs, err := residual.Sequences(plan)
 	if err != nil {
-		c.runErr = fmt.Errorf("rpcnet: re-plan after GPU %d failure: %w", gpu, err)
-		c.cond.Broadcast()
-		return
+		fp.Unrecoverable = fmt.Sprintf("rpcnet: re-plan after GPU %d failure: %v", gpu, err)
+		return fp
 	}
+	fp.Queues = make([][]core.TaskRef, len(c.queues))
 	for g := range c.queues {
-		if !c.failed[g] {
-			c.queues[g] = seqs[g]
+		if g != gpu && !c.failed[g] {
+			fp.Queues[g] = seqs[g]
 		}
 	}
-	c.reschedule++
-	c.cResched.Inc()
-	c.migrated += len(stranded)
-	c.cMigrated.Add(float64(len(stranded)))
-	if c.opts.Recorder.Enabled() {
+	fp.HasQueues = true
+	return fp
+}
+
+// applyFenceLocked commits a fencing transition — live or replayed
+// from the WAL. Caller holds c.mu.
+func (c *coordinator) applyFenceLocked(fp *fencePlan) {
+	gpu := fp.GPU
+	c.failed[gpu] = true
+	c.fenceReasons[gpu] = fp.Reason
+	c.fenceLog = append(c.fenceLog, FenceInfo{GPU: gpu, Reason: fp.Reason, SimTime: fp.SimTime, DetectMillis: fp.DetectMillis})
+	c.cFailures.Inc()
+	c.queues[gpu] = nil
+	c.inflight[gpu] = nil
+	if fp.SimTime > c.maxSim {
+		c.maxSim = fp.SimTime
+	}
+	if !c.replaying && c.opts.Recorder.Enabled() {
 		c.opts.Recorder.Emit(obs.Event{
-			Type: obs.EvReschedule, Time: now, GPU: gpu, Job: -1,
-			Note: fmt.Sprintf("tasks=%d gpus=%d", len(pending), len(alive)),
+			Type: obs.EvGPUFailed, Time: fp.SimTime, GPU: gpu, Job: -1, Note: fp.Reason,
 		})
-		for g, seq := range seqs {
-			for _, t := range seq {
-				if strandedSet[t] {
-					c.opts.Recorder.Emit(obs.Event{
-						Type: obs.EvTaskMigrated, Time: now, GPU: g,
-						Job: int(t.Job), Round: t.Round, Index: t.Index, From: gpu,
-					})
+	}
+	if fp.Unrecoverable != "" {
+		c.failLocked(errors.New(fp.Unrecoverable))
+		return
+	}
+	if fp.HasQueues {
+		strandedSet := make(map[core.TaskRef]bool, len(fp.Stranded))
+		for _, t := range fp.Stranded {
+			strandedSet[t] = true
+		}
+		for g := range c.queues {
+			if g != gpu && !c.failed[g] {
+				c.queues[g] = append([]core.TaskRef(nil), fp.Queues[g]...)
+			}
+		}
+		c.reschedule++
+		c.cResched.Inc()
+		c.migrated += len(fp.Stranded)
+		c.cMigrated.Add(float64(len(fp.Stranded)))
+		if !c.replaying && c.opts.Recorder.Enabled() {
+			c.opts.Recorder.Emit(obs.Event{
+				Type: obs.EvReschedule, Time: fp.SimTime, GPU: gpu, Job: -1,
+				Note: fmt.Sprintf("tasks=%d gpus=%d", fp.Pending, fp.Alive),
+			})
+			for g, seq := range fp.Queues {
+				for _, t := range seq {
+					if strandedSet[t] {
+						c.opts.Recorder.Emit(obs.Event{
+							Type: obs.EvTaskMigrated, Time: fp.SimTime, GPU: g,
+							Job: int(t.Job), Round: t.Round, Index: t.Index, From: gpu,
+						})
+					}
 				}
 			}
 		}
@@ -600,22 +954,61 @@ func (c *coordinator) monitor(stop <-chan struct{}) {
 		now := time.Now()
 		simNow := c.clock.Now()
 		c.mu.Lock()
-		if c.runErr == nil && c.tasksLeft > 0 {
-			for g := range c.lease {
-				if c.failed[g] {
-					continue
-				}
-				if f, ok := c.opts.Faults.FailureOf(g); ok && !f.Crash && simNow >= f.Time {
-					c.markFailedLocked(g, fmt.Sprintf("injected device failure at t=%g", f.Time))
-					continue
-				}
-				if now.Sub(c.lease[g]) > c.opts.LeaseTimeout {
-					c.markFailedLocked(g, fmt.Sprintf("lease expired (last heartbeat %.0fms ago)",
-						now.Sub(c.lease[g]).Seconds()*1e3))
-				}
-			}
-		}
+		c.checkLeasesLocked(now, simNow)
 		c.mu.Unlock()
+	}
+}
+
+// checkLeasesLocked runs one failure-detection pass: planned device
+// failures whose simulated time arrived, then lease expiries. The
+// lease predicate is strictly "older than the timeout" — a heartbeat
+// aged exactly LeaseTimeout is still alive, so detection latency is
+// bounded below by the timeout itself and above by timeout plus one
+// monitor tick. Caller holds c.mu.
+func (c *coordinator) checkLeasesLocked(now time.Time, simNow float64) {
+	if c.runErr != nil || c.tasksLeft == 0 {
+		return
+	}
+	for g := range c.lease {
+		if c.failed[g] {
+			continue
+		}
+		if f, ok := c.opts.Faults.FailureOf(g); ok && !f.Crash && simNow >= f.Time {
+			c.markFailedLocked(g, fmt.Sprintf("injected device failure at t=%g", f.Time), 0)
+			continue
+		}
+		if sinceHB := now.Sub(c.lease[g]); sinceHB > c.opts.LeaseTimeout {
+			c.markFailedLocked(g, fmt.Sprintf("lease expired (last heartbeat %.0fms ago)",
+				sinceHB.Seconds()*1e3), sinceHB)
+		}
+	}
+}
+
+// stopMonitorOnce shuts the lease monitor down exactly once (wait and
+// Kill can both reach it).
+func (c *coordinator) stopMonitorOnce() {
+	c.monitorOnce.Do(func() {
+		if c.stopMonitor != nil {
+			close(c.stopMonitor)
+		}
+	})
+}
+
+// kill makes the coordinator behave like a dead process: every blocked
+// and future call errors with ErrCoordinatorDown, parameter-server
+// barriers abort, and the lease monitor stops. The journal (if any)
+// retains the WAL for RecoverDistributed.
+func (c *coordinator) kill() {
+	c.mu.Lock()
+	c.killed = true
+	if c.runErr == nil {
+		c.runErr = ErrCoordinatorDown
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.stopMonitorOnce()
+	for _, ps := range c.pss {
+		ps.Abort(ErrCoordinatorDown)
 	}
 }
 
@@ -646,10 +1039,18 @@ type DistributedResult struct {
 	// GPUFailures counts fenced GPUs; FailedGPUs lists them.
 	GPUFailures int
 	FailedGPUs  []int
+	// FenceLog is every fencing decision in order (including ones
+	// replayed from the WAL after a recovery), with lease-expiry
+	// detection latencies for the chaos harness's invariants.
+	FenceLog []FenceInfo
 	// TasksMigrated counts stranded tasks moved to survivors;
 	// Reschedules the recovery passes that moved them.
 	TasksMigrated int
 	Reschedules   int
+	// Recoveries counts completed WAL recoveries of this coordinator
+	// lineage; Epoch is its final incarnation number (1 + Recoveries).
+	Recoveries int
+	Epoch      uint64
 }
 
 // ServeDistributed starts the coordinator for one planned run and
@@ -675,46 +1076,37 @@ func ServeDistributed(addr string, in *core.Instance, plan *core.Schedule, cl *c
 	if err != nil {
 		return nil, "", nil, err
 	}
-	co := &coordinator{
-		in: in, cl: cl, models: models,
-		opts: opts, epoch: clock.Epoch(), clock: clock, local: local,
-		cFailures:   opts.Metrics.Counter("hare_dist_gpu_failures_total"),
-		cMigrated:   opts.Metrics.Counter("hare_dist_tasks_migrated_total"),
-		cResched:    opts.Metrics.Counter("hare_dist_reschedules_total"),
-		cHeartbeats: opts.Metrics.Counter("hare_dist_heartbeats_total"),
-		queues:      plan.Sequences(in.NumGPUs),
-		inflight:    make([]*core.TaskRef, in.NumGPUs),
-		done:        make(map[core.TaskRef]bool, in.NumTasks()),
-		tasksLeft:   in.NumTasks(),
-		failed:      make([]bool, in.NumGPUs),
-		lease:       make([]time.Time, in.NumGPUs),
-		reported:    make([]bool, in.NumGPUs),
-		prevJob:     make([]core.JobID, in.NumGPUs),
-		prevFree:    make([]float64, in.NumGPUs),
-	}
-	for g := range co.prevJob {
-		co.prevJob[g] = -1
-	}
-	co.cond = sync.NewCond(&co.mu)
-	co.pushed = make([][]int, len(in.Jobs))
-	for _, j := range in.Jobs {
-		co.pushed[j.ID] = make([]int, j.Rounds)
-	}
+	co := newCoordinator(in, plan.Sequences(in.NumGPUs), cl, models, opts, clock, pss, local)
 	// Leases start now: an executor that never connects is eventually
 	// fenced and its queue migrates instead of hanging the run.
 	start := time.Now()
 	for g := range co.lease {
 		co.lease[g] = start
 	}
+	if co.journal != nil {
+		co.mu.Lock()
+		co.snapshotLocked() // a crash before the first push must still recover
+		co.mu.Unlock()
+		if co.runErr != nil {
+			return nil, "", nil, co.runErr
+		}
+	}
+	return co.serve(addr)
+}
+
+// serve exposes the coordinator on addr and returns the server, the
+// bound address, and the result-assembling wait func. Shared by
+// ServeDistributed and RecoverDistributed.
+func (c *coordinator) serve(addr string) (*Server, string, func() (*DistributedResult, error), error) {
 	srv := rpc.NewServer()
-	if err := srv.RegisterName(DistributedName, co); err != nil {
+	if err := srv.RegisterName(DistributedName, c); err != nil {
 		return nil, "", nil, fmt.Errorf("rpcnet: register: %w", err)
 	}
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", nil, fmt.Errorf("rpcnet: listen: %w", err)
 	}
-	s := &Server{lis: lis}
+	s := &Server{lis: lis, co: c, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -723,236 +1115,64 @@ func ServeDistributed(addr string, in *core.Instance, plan *core.Schedule, cl *c
 			if err != nil {
 				return
 			}
-			go srv.ServeConn(conn)
+			s.track(conn)
+			go func() {
+				srv.ServeConn(conn)
+				s.untrack(conn)
+			}()
 		}
 	}()
-	stopMonitor := make(chan struct{})
-	go co.monitor(stopMonitor)
+	c.stopMonitor = make(chan struct{})
+	go c.monitor(c.stopMonitor)
 
 	wait := func() (*DistributedResult, error) {
-		defer close(stopMonitor)
-		co.mu.Lock()
-		for co.runErr == nil && !co.finishedLocked() {
-			co.cond.Wait()
+		defer c.stopMonitorOnce()
+		c.mu.Lock()
+		for c.runErr == nil && !c.finishedLocked() {
+			c.cond.Wait()
 		}
-		defer co.mu.Unlock()
-		if co.runErr != nil {
-			return nil, co.runErr
+		defer c.mu.Unlock()
+		if c.runErr != nil {
+			return nil, c.runErr
 		}
 		res := &DistributedResult{
 			Trace:         &trace.Trace{},
-			JobCompletion: make([]float64, len(in.Jobs)),
-			TotalSwitch:   co.switchTot,
-			SwitchCount:   co.switchCnt,
-			ResidencyHits: co.hits,
-			Retries:       co.retries,
-			TasksMigrated: co.migrated,
-			Reschedules:   co.reschedule,
+			JobCompletion: make([]float64, len(c.in.Jobs)),
+			TotalSwitch:   c.switchTot,
+			SwitchCount:   c.switchCnt,
+			ResidencyHits: c.hits,
+			Retries:       c.retries,
+			TasksMigrated: c.migrated,
+			Reschedules:   c.reschedule,
+			FenceLog:      append([]FenceInfo(nil), c.fenceLog...),
+			Recoveries:    c.recovered,
+			Epoch:         c.epochNum,
 		}
-		for _, r := range co.records {
+		for _, r := range c.records {
 			res.Trace.Add(r)
 		}
-		for g, f := range co.failed {
+		for g, f := range c.failed {
 			if f {
 				res.GPUFailures++
 				res.FailedGPUs = append(res.FailedGPUs, g)
 			}
 		}
-		for _, j := range in.Jobs {
-			c := pss[j.ID].Completion()
-			res.JobCompletion[j.ID] = c
-			res.WeightedJCT += j.Weight * c
-			if c > res.Makespan {
-				res.Makespan = c
+		for _, j := range c.in.Jobs {
+			comp := c.pss[j.ID].Completion()
+			res.JobCompletion[j.ID] = comp
+			res.WeightedJCT += j.Weight * comp
+			if comp > res.Makespan {
+				res.Makespan = comp
+			}
+		}
+		// The batch is durable in the checkpoint store now; the WAL
+		// has nothing left to recover.
+		if c.journal != nil {
+			if err := c.journal.Clear(); err != nil {
+				return nil, fmt.Errorf("rpcnet: clear WAL after completion: %w", err)
 			}
 		}
 		return res, nil
 	}
 	return s, lis.Addr().String(), wait, nil
-}
-
-// execClient adapts an rpc.Client to the coordinator's service name.
-type execClient struct{ c *rpc.Client }
-
-func (c execClient) Push(rep testbed.PushReport) (float64, error) {
-	var reply PushReply
-	if err := c.c.Call(DistributedName+".Push", PushArgs{Report: rep}, &reply); err != nil {
-		return 0, err
-	}
-	return reply.Completion, nil
-}
-
-func (c execClient) WaitRound(job core.JobID, round int) (float64, error) {
-	var reply WaitReply
-	if err := c.c.Call(DistributedName+".WaitRound", WaitArgs{Job: job, Round: round}, &reply); err != nil {
-		return 0, err
-	}
-	return reply.End, nil
-}
-
-func (c execClient) LoadCheckpoint(job core.JobID) ([]float64, error) {
-	var reply CkptReply
-	if err := c.c.Call(DistributedName+".LoadCheckpoint", CkptArgs{Job: job}, &reply); err != nil {
-		return nil, err
-	}
-	return reply.Params, nil
-}
-
-// errCrashed marks an injected executor crash.
-var errCrashed = fmt.Errorf("rpcnet: executor crashed (injected)")
-
-// crashClient wraps the executor's SyncClient so that every
-// control-plane call fails once the crash fires — the executor stops
-// making progress mid-task, like a dead process, instead of finishing
-// its current task gracefully.
-type crashClient struct {
-	inner   testbed.SyncClient
-	crashed <-chan struct{}
-}
-
-func (c crashClient) alive() error {
-	select {
-	case <-c.crashed:
-		return errCrashed
-	default:
-		return nil
-	}
-}
-
-func (c crashClient) Push(rep testbed.PushReport) (float64, error) {
-	if err := c.alive(); err != nil {
-		return 0, err
-	}
-	return c.inner.Push(rep)
-}
-
-func (c crashClient) WaitRound(job core.JobID, round int) (float64, error) {
-	if err := c.alive(); err != nil {
-		return 0, err
-	}
-	return c.inner.WaitRound(job, round)
-}
-
-func (c crashClient) LoadCheckpoint(job core.JobID) ([]float64, error) {
-	if err := c.alive(); err != nil {
-		return nil, err
-	}
-	return c.inner.LoadCheckpoint(job)
-}
-
-// RunExecutor is the executor-process body (cmd/hare-executor calls
-// it; tests run it in goroutines): dial the coordinator with bounded
-// backoff, fetch the GPU's configuration, heartbeat on the configured
-// period, and pull tasks until the coordinator reports the run done.
-// A planned crash (crash=G@T) stops the heartbeats and aborts the pull
-// loop at simulated time T; the coordinator's lease monitor detects
-// the silence and migrates the executor's work.
-func RunExecutor(addr string, gpu int) error {
-	conn, err := dialRPC(addr)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-
-	var cfg ExecutorConfigReply
-	if err := conn.Call(DistributedName+".Config", ExecutorConfigArgs{GPU: gpu}, &cfg); err != nil {
-		return fmt.Errorf("rpcnet: fetch config: %w", err)
-	}
-	gt, err := cluster.TypeByName(cfg.GPUTypeName)
-	if err != nil {
-		return err
-	}
-	models := make([]*model.Model, len(cfg.ModelNames))
-	for i, n := range cfg.ModelNames {
-		if models[i], err = model.ByName(n); err != nil {
-			return err
-		}
-	}
-	clock := testbed.NewClockAt(time.Unix(0, cfg.EpochUnixNano), cfg.TimeScale)
-
-	// Injected crash: at the configured simulated time the executor
-	// goes silent — heartbeats stop and every control-plane call fails.
-	crashed := make(chan struct{})
-	stop := make(chan struct{})
-	defer close(stop)
-	if cfg.CrashAtSim >= 0 {
-		go func() {
-			clock.SleepUntil(cfg.CrashAtSim)
-			select {
-			case <-stop:
-			default:
-				close(crashed)
-			}
-		}()
-	}
-
-	var sc testbed.SyncClient = execClient{c: conn}
-	if cfg.CrashAtSim >= 0 {
-		sc = crashClient{inner: sc, crashed: crashed}
-	}
-	exec, err := testbed.NewRemoteExecutor(testbed.RemoteExecutorConfig{
-		GPU: gpu, GPUType: gt, Seq: cfg.Seq,
-		Instance: cfg.Instance, Models: models,
-		Scheme: cfg.Scheme, Speculative: cfg.Speculative, MemPolicy: cfg.MemPolicy,
-		Clock:      clock,
-		Sync:       sc,
-		ProblemDim: cfg.ProblemDim, ProblemBatch: cfg.ProblemBatch,
-		FaultRate: cfg.FaultRate, FaultSeed: cfg.FaultSeed,
-		SlowFactor: cfg.SlowFactor,
-	})
-	if err != nil {
-		return err
-	}
-
-	// Heartbeats run until the executor exits or crashes.
-	hb := time.Duration(cfg.HeartbeatMillis) * time.Millisecond
-	if hb <= 0 {
-		hb = DefaultHeartbeatInterval
-	}
-	go func() {
-		tick := time.NewTicker(hb)
-		defer tick.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-crashed:
-				return
-			case <-tick.C:
-				if err := conn.Call(DistributedName+".Heartbeat", HeartbeatArgs{GPU: gpu}, &struct{}{}); err != nil {
-					return
-				}
-			}
-		}
-	}()
-
-	// Pull loop: the coordinator dispatches one eligible task at a
-	// time; the sequence fetched with Config only seeds the lookahead.
-	for {
-		select {
-		case <-crashed:
-			return errCrashed
-		default:
-		}
-		var next NextReply
-		if err := conn.Call(DistributedName+".Next", NextArgs{GPU: gpu}, &next); err != nil {
-			return fmt.Errorf("rpcnet: executor %d: %w", gpu, err)
-		}
-		if next.Done {
-			break
-		}
-		if err := exec.RunTask(next.Task); err != nil {
-			// A crash is silent by design — a dead process files no
-			// report. Anything else is reported so the coordinator can
-			// fence the GPU and migrate its work.
-			select {
-			case <-crashed:
-				return errCrashed
-			default:
-			}
-			_ = conn.Call(DistributedName+".Report", ReportArgs{GPU: gpu, Err: err.Error()}, &struct{}{})
-			return err
-		}
-	}
-	return conn.Call(DistributedName+".Report", ReportArgs{GPU: gpu}, &struct{}{})
 }

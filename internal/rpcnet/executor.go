@@ -1,0 +1,442 @@
+package rpcnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"reflect"
+	"strings"
+	"sync"
+	"time"
+
+	"hare/internal/cluster"
+	"hare/internal/core"
+	"hare/internal/faults"
+	"hare/internal/model"
+	"hare/internal/obs"
+	"hare/internal/stats"
+	"hare/internal/testbed"
+)
+
+// The executor side of the distributed testbed. RunExecutor is a
+// session loop: each session dials the coordinator, handshakes with
+// Config (learning the coordinator epoch, the shared clock, and its
+// task sequence), then pulls and runs tasks until the run completes.
+// Transient failures — dropped or delayed messages, a network
+// partition, a coordinator kill-and-recover — tear the session down
+// and the loop re-handshakes; the coordinator's epoch/sequence
+// protocol makes the retries safe (duplicate pushes and reports are
+// absorbed idempotently, re-dispatch is at-most-once). Only genuine
+// local failures (or a simulated crash) end the executor.
+
+// errCrashed marks a simulated executor crash (crash=G@T fault).
+var errCrashed = errors.New("rpcnet: executor crashed (simulated fault)")
+
+// permanentError marks an executor-side failure that re-handshaking
+// cannot fix.
+type permanentError struct{ err error }
+
+func (p permanentError) Error() string { return p.err.Error() }
+func (p permanentError) Unwrap() error { return p.err }
+
+// ExecutorOptions tune RunExecutorOpts. The zero value reproduces
+// RunExecutor: no chaos, default retry budgets.
+type ExecutorOptions struct {
+	// Chaos injects network faults into every RPC of this executor;
+	// nil or empty disables injection. ChaosSeed seeds the draw stream
+	// (the per-GPU stream is derived from it, so one seed covers a
+	// whole fleet deterministically).
+	Chaos     *faults.NetChaos
+	ChaosSeed int64
+	// DialSeed seeds the dial/reconnect backoff jitter (defaults to
+	// ChaosSeed).
+	DialSeed int64
+	// MaxReconnects bounds *consecutive* sessions that fail before the
+	// Config handshake; a successful handshake resets the budget.
+	// Defaults to 12.
+	MaxReconnects int
+	// CallRetries bounds per-call retries of injected drops. Defaults
+	// to 16.
+	CallRetries int
+	// Recorder receives executor-side net.fault events; Metrics
+	// accumulates chaos counters. Both optional.
+	Recorder *obs.Recorder
+	Metrics  *obs.Registry
+}
+
+func (o ExecutorOptions) withDefaults(gpu int) ExecutorOptions {
+	if o.DialSeed == 0 {
+		o.DialSeed = o.ChaosSeed
+	}
+	// Distinct per-GPU jitter streams even under a shared seed.
+	o.DialSeed ^= (int64(gpu) + 1) * 0x9e3779b9
+	if o.MaxReconnects <= 0 {
+		o.MaxReconnects = 12
+	}
+	if o.CallRetries <= 0 {
+		o.CallRetries = 16
+	}
+	return o
+}
+
+// RunExecutor connects to the coordinator at addr and runs one GPU's
+// share of the batch to completion (the common, chaos-free entry
+// point).
+func RunExecutor(addr string, gpu int) error {
+	return RunExecutorOpts(addr, gpu, ExecutorOptions{})
+}
+
+// RunExecutorOpts is RunExecutor with chaos injection and tuned retry
+// budgets.
+func RunExecutorOpts(addr string, gpu int, opts ExecutorOptions) error {
+	opts = opts.withDefaults(gpu)
+	ch := newNetChaos(opts.Chaos, opts.ChaosSeed, gpu, opts.Recorder, opts.Metrics)
+	rng := stats.New(opts.DialSeed)
+	// The crash channel is shared across sessions: a simulated crash
+	// is a property of the executor process, not of one connection.
+	crashed := make(chan struct{})
+	crashOnce := new(sync.Once)
+	fails := 0
+	var lastErr error
+	for {
+		select {
+		case <-crashed:
+			return errCrashed
+		default:
+		}
+		// Inside a partition window, dialing and calling are both
+		// pointless; wait the window out instead of burning the
+		// reconnect budget.
+		if d := ch.partitionRemaining(); d > 0 {
+			if !sleepOrCrash(d+5*time.Millisecond, crashed) {
+				return errCrashed
+			}
+			continue
+		}
+		handshook, err := runExecutorSession(addr, gpu, ch, rng, opts, crashed, crashOnce)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, errCrashed) {
+			return errCrashed
+		}
+		var perm permanentError
+		if errors.As(err, &perm) || !isSessionRetryable(err) {
+			return err
+		}
+		lastErr = err
+		if handshook {
+			fails = 0
+		}
+		fails++
+		if fails > opts.MaxReconnects {
+			return fmt.Errorf("rpcnet: executor %d gave up after %d fruitless reconnects: %w", gpu, fails-1, lastErr)
+		}
+		backoff := 50 * time.Millisecond << min(fails-1, 4)
+		if !sleepOrCrash(time.Duration(float64(backoff)*rng.Uniform(0.5, 1.5)), crashed) {
+			return errCrashed
+		}
+	}
+}
+
+// sleepOrCrash sleeps for d, returning false early if the executor's
+// simulated crash fires first.
+func sleepOrCrash(d time.Duration, crashed <-chan struct{}) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-crashed:
+		return false
+	}
+}
+
+// isSessionRetryable classifies errors a fresh session (re-dial +
+// re-handshake) can fix: chaos injections, torn connections, a
+// coordinator that died (and may recover), and protocol staleness
+// after a recovery. net/rpc surfaces server-side errors as strings,
+// so the protocol markers are matched textually.
+func isSessionRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, rpc.ErrShutdown) || errors.Is(err, errInjectedDrop) || errors.Is(err, errInjectedPartition) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	s := err.Error()
+	for _, marker := range []string{
+		"stale coordinator epoch",
+		"out of window",
+		"superseded",
+		"coordinator down",
+		"injected message drop",
+		"injected network partition",
+		"connection refused",
+		"connection reset",
+		"broken pipe",
+		"use of closed network connection",
+		"EOF",
+	} {
+		if strings.Contains(s, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// isFatalRPC classifies coordinator verdicts no retry can change.
+func isFatalRPC(err error) bool {
+	if err == nil {
+		return false
+	}
+	s := err.Error()
+	return strings.Contains(s, "is fenced") || strings.Contains(s, "unknown GPU")
+}
+
+// execSession is one dial-to-teardown conversation with the
+// coordinator.
+type execSession struct {
+	conn    *rpc.Client
+	gpu     int
+	epoch   uint64
+	seq     uint64
+	chaos   *netChaos
+	retries int
+	mu      sync.Mutex // guards rng (heartbeat goroutine vs pull loop)
+	rng     *stats.RNG
+}
+
+// call performs one RPC with bounded retries of injected drops. The
+// reply struct is re-zeroed before every attempt: gob leaves absent
+// fields untouched on decode, so a retried call must not inherit state
+// from a dropped reply.
+func (s *execSession) call(method string, args, reply any) error {
+	backoff := 2 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		reflect.ValueOf(reply).Elem().SetZero()
+		err := s.chaos.do(s.conn, method, args, reply)
+		if err == nil || attempt >= s.retries || !errors.Is(err, errInjectedDrop) {
+			return err
+		}
+		s.mu.Lock()
+		d := time.Duration(float64(backoff) * s.rng.Uniform(0.5, 1.5))
+		s.mu.Unlock()
+		time.Sleep(d)
+		if backoff < 32*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// execClient adapts the session to testbed.SyncClient. Every call is
+// duplicate-safe on the coordinator, so the retry wrapper applies to
+// all of them.
+type execClient struct{ s *execSession }
+
+func (c execClient) Push(rep testbed.PushReport) (float64, error) {
+	var reply PushReply
+	if err := c.s.call(DistributedName+".Push", PushArgs{Report: rep, Epoch: c.s.epoch}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.Completion, nil
+}
+
+func (c execClient) WaitRound(job core.JobID, round int) (float64, error) {
+	var reply WaitReply
+	if err := c.s.call(DistributedName+".WaitRound", WaitArgs{Job: job, Round: round, Epoch: c.s.epoch}, &reply); err != nil {
+		return 0, err
+	}
+	return reply.End, nil
+}
+
+func (c execClient) LoadCheckpoint(job core.JobID) ([]float64, error) {
+	var reply CkptReply
+	if err := c.s.call(DistributedName+".LoadCheckpoint", CkptArgs{Job: job, Epoch: c.s.epoch}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Params, nil
+}
+
+// crashClient simulates an executor process crash: once the crash
+// fires, every synchronization call fails and no further gradients
+// leave the process — the coordinator must notice via the lease.
+type crashClient struct {
+	inner   testbed.SyncClient
+	crashed <-chan struct{}
+}
+
+func (c crashClient) alive() error {
+	select {
+	case <-c.crashed:
+		return errCrashed
+	default:
+		return nil
+	}
+}
+
+func (c crashClient) Push(rep testbed.PushReport) (float64, error) {
+	if err := c.alive(); err != nil {
+		return 0, err
+	}
+	return c.inner.Push(rep)
+}
+
+func (c crashClient) WaitRound(job core.JobID, round int) (float64, error) {
+	if err := c.alive(); err != nil {
+		return 0, err
+	}
+	return c.inner.WaitRound(job, round)
+}
+
+func (c crashClient) LoadCheckpoint(job core.JobID) ([]float64, error) {
+	if err := c.alive(); err != nil {
+		return nil, err
+	}
+	return c.inner.LoadCheckpoint(job)
+}
+
+// runExecutorSession runs one conversation with the coordinator.
+// handshook reports whether Config succeeded (resets the caller's
+// reconnect budget). A nil error means the executor's share of the
+// run completed and was reported.
+func runExecutorSession(addr string, gpu int, ch *netChaos, rng *stats.RNG, opts ExecutorOptions,
+	crashed chan struct{}, crashOnce *sync.Once) (handshook bool, err error) {
+	conn, err := dialRPCSeeded(addr, opts.DialSeed)
+	if err != nil {
+		return false, err
+	}
+	defer conn.Close()
+	s := &execSession{conn: conn, gpu: gpu, chaos: ch, retries: opts.CallRetries, rng: rng}
+
+	var cfg ExecutorConfigReply
+	if err := s.call(DistributedName+".Config", ExecutorConfigArgs{GPU: gpu}, &cfg); err != nil {
+		if isFatalRPC(err) {
+			return false, permanentError{err}
+		}
+		return false, fmt.Errorf("rpcnet: fetch config: %w", err)
+	}
+	s.epoch = cfg.CoordEpoch
+	gt, err := cluster.TypeByName(cfg.GPUTypeName)
+	if err != nil {
+		return true, permanentError{err}
+	}
+	models := make([]*model.Model, len(cfg.ModelNames))
+	for i, name := range cfg.ModelNames {
+		if models[i], err = model.ByName(name); err != nil {
+			return true, permanentError{err}
+		}
+	}
+	// All executors share the coordinator's clock epoch, so simulated
+	// timestamps agree across processes — including across a
+	// coordinator recovery, which re-anchors its epoch to preserve
+	// simulated-time continuity.
+	clock := testbed.NewClockAt(time.Unix(0, cfg.EpochUnixNano), cfg.TimeScale)
+	ch.setClock(clock)
+
+	stop := make(chan struct{})
+	defer close(stop)
+	if cfg.CrashAtSim >= 0 {
+		go func() {
+			timer := time.NewTimer(clock.Until(cfg.CrashAtSim))
+			defer timer.Stop()
+			select {
+			case <-stop:
+			case <-crashed:
+			case <-timer.C:
+				crashOnce.Do(func() { close(crashed) })
+			}
+		}()
+	}
+
+	// Heartbeats renew the lease until the session ends or the
+	// simulated crash fires (a crashed executor going silent is
+	// exactly what the lease monitor exists to catch).
+	hb := time.Duration(cfg.HeartbeatMillis) * time.Millisecond
+	if hb <= 0 {
+		hb = DefaultHeartbeatInterval
+	}
+	go func() {
+		tick := time.NewTicker(hb)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-crashed:
+				return
+			case <-tick.C:
+			}
+			var none struct{}
+			err := ch.do(conn, DistributedName+".Heartbeat", HeartbeatArgs{GPU: gpu, Epoch: cfg.CoordEpoch}, &none)
+			if err != nil && !errors.Is(err, errInjectedDrop) && !errors.Is(err, errInjectedPartition) {
+				return // torn conn, stale epoch or fence: session will notice
+			}
+		}
+	}()
+
+	var sc testbed.SyncClient = execClient{s: s}
+	if cfg.CrashAtSim >= 0 {
+		sc = crashClient{inner: sc, crashed: crashed}
+	}
+	exec, err := testbed.NewRemoteExecutor(testbed.RemoteExecutorConfig{
+		GPU: gpu, GPUType: gt, Seq: cfg.Seq,
+		Instance: cfg.Instance, Models: models,
+		Scheme: cfg.Scheme, Speculative: cfg.Speculative, MemPolicy: cfg.MemPolicy,
+		Clock: clock, Sync: sc,
+		ProblemDim: cfg.ProblemDim, ProblemBatch: cfg.ProblemBatch,
+		FaultRate: cfg.FaultRate, FaultSeed: cfg.FaultSeed,
+		SlowFactor: cfg.SlowFactor,
+	})
+	if err != nil {
+		return true, permanentError{err}
+	}
+
+	for {
+		select {
+		case <-crashed:
+			return true, errCrashed
+		default:
+		}
+		var next NextReply
+		if err := s.call(DistributedName+".Next", NextArgs{GPU: gpu, Seq: s.seq, Epoch: s.epoch}, &next); err != nil {
+			if isFatalRPC(err) {
+				return true, permanentError{err}
+			}
+			return true, err
+		}
+		s.seq++
+		if next.Done {
+			break
+		}
+		if err := exec.RunTask(next.Task); err != nil {
+			if errors.Is(err, errCrashed) {
+				return true, errCrashed
+			}
+			if isFatalRPC(err) {
+				return true, permanentError{err}
+			}
+			if isSessionRetryable(err) {
+				return true, err
+			}
+			// A genuine local failure: surface it so the coordinator
+			// fences this GPU and migrates the rest of its queue.
+			var none struct{}
+			_ = s.call(DistributedName+".Report", ReportArgs{GPU: gpu, Err: err.Error(), Epoch: s.epoch}, &none)
+			return true, permanentError{err}
+		}
+	}
+	var none struct{}
+	if err := s.call(DistributedName+".Report", ReportArgs{GPU: gpu, Epoch: s.epoch}, &none); err != nil {
+		if isFatalRPC(err) {
+			return true, permanentError{err}
+		}
+		return true, err
+	}
+	return true, nil
+}

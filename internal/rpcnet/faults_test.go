@@ -274,7 +274,8 @@ func TestDistributedRetryDeterminism(t *testing.T) {
 }
 
 // TestReportValidation: out-of-range GPU indices are rejected before
-// any bookkeeping, duplicates are rejected, and an error report fences
+// any bookkeeping, stale-epoch calls are told to re-handshake,
+// duplicates are accepted idempotently, and an error report fences
 // the GPU (here the only GPU, making the run unrecoverable).
 func TestReportValidation(t *testing.T) {
 	cl := cluster.New([]cluster.Spec{{Type: cluster.V100, Count: 1}}, 1)
@@ -300,15 +301,22 @@ func TestReportValidation(t *testing.T) {
 		return conn.Call(DistributedName+".Report", args, &struct{}{})
 	}
 	for _, gpu := range []int{-1, 1, 99} {
-		if err := call(ReportArgs{GPU: gpu}); err == nil || !strings.Contains(err.Error(), "unknown GPU") {
+		if err := call(ReportArgs{GPU: gpu, Epoch: 1}); err == nil || !strings.Contains(err.Error(), "unknown GPU") {
 			t.Errorf("Report(GPU=%d) = %v, want unknown-GPU rejection", gpu, err)
 		}
 	}
-	if err := call(ReportArgs{GPU: 0, Err: "device fell off the bus"}); err != nil {
+	// A call carrying the wrong coordinator epoch (here the zero
+	// value; the live incarnation is 1) must be told to re-handshake.
+	if err := call(ReportArgs{GPU: 0}); err == nil || !strings.Contains(err.Error(), "stale coordinator epoch") {
+		t.Errorf("stale-epoch report = %v, want re-handshake rejection", err)
+	}
+	if err := call(ReportArgs{GPU: 0, Epoch: 1, Err: "device fell off the bus"}); err != nil {
 		t.Fatalf("error report rejected: %v", err)
 	}
-	if err := call(ReportArgs{GPU: 0}); err == nil || !strings.Contains(err.Error(), "already reported") {
-		t.Errorf("duplicate report = %v, want rejection", err)
+	// A duplicate report — a retried call whose first reply was lost —
+	// is absorbed idempotently rather than rejected.
+	if err := call(ReportArgs{GPU: 0, Epoch: 1}); err != nil {
+		t.Errorf("duplicate report = %v, want idempotent nil", err)
 	}
 	// The only GPU is fenced with work pending: unrecoverable.
 	if _, err := wait(); err == nil || !strings.Contains(err.Error(), "no surviving GPUs") {

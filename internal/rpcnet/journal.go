@@ -1,0 +1,378 @@
+package rpcnet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"hare/internal/core"
+	"hare/internal/gpumem"
+	"hare/internal/store"
+	"hare/internal/switching"
+	"hare/internal/testbed"
+	"hare/internal/trace"
+)
+
+// The coordinator's durability layer: a write-ahead log of state
+// transitions (gradient pushes, fences, executor reports) over a
+// periodic full-state snapshot, both persisted through internal/store
+// primitives. Recovery loads the snapshot, replays the WAL suffix with
+// LSN greater than the snapshot's LastLSN, and resumes the batch
+// (recovery.go). The LSN guard is what makes the pair crash-safe at
+// every instant: writeSnapshot persists the snapshot *before* resetting
+// the log, so a crash between the two replays a WAL whose prefix is
+// already in the snapshot — and that prefix is skipped by LSN, never
+// double-applied.
+
+// snapshotKey is the store key of the coordinator snapshot.
+const snapshotKey = "coord/snapshot"
+
+// Journal record kinds.
+const (
+	recPush uint8 = iota + 1
+	recFence
+	recReport
+)
+
+// journalRecord is one WAL entry. Exactly one payload field is set,
+// per Kind; SimTime is the simulated time the transition was accepted,
+// used to restore clock continuity on recovery.
+type journalRecord struct {
+	LSN     uint64
+	Kind    uint8
+	SimTime float64
+	// recPush: the accepted gradient push.
+	Push testbed.PushReport
+	// recFence: the full fencing transition.
+	Fence *fencePlan
+	// recReport: the reporting GPU and its error (empty = success).
+	GPU int
+	Err string
+}
+
+// snapOpts are the run options a recovered coordinator must agree on
+// with the original (Store/Replanner/Recorder are process-local and
+// re-supplied via RecoverOptions).
+type snapOpts struct {
+	TimeScale       float64
+	Scheme          switching.Scheme
+	Speculative     bool
+	MemPolicy       gpumem.Policy
+	ProblemDim      int
+	ProblemBatch    int
+	Eta             float64
+	FaultRate       float64
+	FaultSeed       int64
+	HeartbeatMillis int64
+	LeaseMillis     int64
+	SnapshotEvery   int
+}
+
+// psSnapshot is one parameter server's durable state: the model after
+// the last completed round, the per-round loss history, and the
+// current round's partial pushes (re-pushed into the PS on recovery).
+type psSnapshot struct {
+	Params  []float64
+	Losses  []float64
+	Partial []testbed.PushReport
+}
+
+// doneEntry memoizes one accepted task with its realized completion,
+// so a recovered coordinator still answers duplicate pushes
+// idempotently.
+type doneEntry struct {
+	Task       core.TaskRef
+	Completion float64
+}
+
+// coordSnapshot is the coordinator's full durable state.
+type coordSnapshot struct {
+	// Epoch is the incarnation that wrote the snapshot; recovery
+	// serves at Epoch+1. Recovered counts completed recoveries.
+	Epoch     uint64
+	Recovered int
+	// SimTime is the simulated time the snapshot was taken; the
+	// recovered clock resumes at the max of this and the replayed WAL
+	// records' times.
+	SimTime float64
+	// FaultSpec re-derives the fault plan (faults.Parse round-trip).
+	FaultSpec string
+	Opts      snapOpts
+	// Instance, GPUTypeNames/GPUHosts and ModelNames rebuild the
+	// scheduling problem, the cluster and the model zoo references.
+	Instance     *core.Instance
+	GPUTypeNames []string
+	GPUHosts     []int
+	NetworkBps   float64
+	IntraHostBps float64
+	ModelNames   []string
+	// Dispatch state. Queues include each GPU's unclaimed in-flight
+	// task re-queued at the head (a restart loses executor sessions
+	// anyway, so in-flight work simply becomes queued again).
+	Queues    [][]core.TaskRef
+	Done      []doneEntry
+	Pushed    [][]int
+	TasksLeft int
+	RoundEnds [][]float64
+	// Fencing and reporting state.
+	Failed       []bool
+	FenceReasons []string
+	FenceLog     []FenceInfo
+	Reported     []bool
+	// Trace/accounting state.
+	PrevJob    []core.JobID
+	PrevFree   []float64
+	Records    []trace.TaskRecord
+	SwitchTot  float64
+	SwitchCnt  int
+	Hits       int
+	Retries    int
+	Migrated   int
+	Reschedule int
+	// Parameter servers, one per job.
+	PS []psSnapshot
+	// LastLSN is the newest WAL record already folded into this
+	// snapshot; replay skips records at or below it.
+	LastLSN uint64
+}
+
+// Journal couples a snapshot store with a write-ahead log. A Journal
+// backed by a directory (OpenDirJournal) survives process death; a
+// memory journal (NewMemJournal) supports in-process kill/recover
+// tests and the chaos harness.
+type Journal struct {
+	mu    sync.Mutex
+	snaps store.Store
+	log   store.Log
+	lsn   uint64
+}
+
+// NewJournal couples an arbitrary snapshot store and log.
+func NewJournal(snaps store.Store, log store.Log) *Journal {
+	return &Journal{snaps: snaps, log: log}
+}
+
+// NewMemJournal builds an in-memory journal (state survives a
+// simulated coordinator kill, not a real process death).
+func NewMemJournal() *Journal {
+	return NewJournal(store.NewMem(), store.NewMemLog())
+}
+
+// OpenDirJournal opens (or creates) a durable journal rooted at dir:
+// snapshots as files in dir, the WAL at dir/wal.log. Both fsync on
+// every write.
+func OpenDirJournal(dir string) (*Journal, error) {
+	snaps, err := store.NewDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	log, err := store.OpenDirLog(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		return nil, err
+	}
+	return NewJournal(snaps, log), nil
+}
+
+// HasState reports whether the journal holds a snapshot to recover
+// from. A cleared journal (empty snapshot) counts as no state.
+func (j *Journal) HasState() (bool, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.snaps.Exists(snapshotKey) {
+		return false, nil
+	}
+	raw, err := j.snaps.Load(snapshotKey)
+	if err != nil {
+		return false, err
+	}
+	return len(raw) > 0, nil
+}
+
+// append assigns the next LSN and writes one record through to the
+// log.
+func (j *Journal) append(rec *journalRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.lsn++
+	rec.LSN = j.lsn
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return fmt.Errorf("journal: encode record: %w", err)
+	}
+	return j.log.Append(buf.Bytes())
+}
+
+// writeSnapshot persists a snapshot and then resets the WAL. snap's
+// LastLSN is stamped with the newest appended record so a crash
+// between the two steps cannot double-apply the log.
+func (j *Journal) writeSnapshot(snap *coordSnapshot) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	snap.LastLSN = j.lsn
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return fmt.Errorf("journal: encode snapshot: %w", err)
+	}
+	if err := j.snaps.Save(snapshotKey, buf.Bytes()); err != nil {
+		return fmt.Errorf("journal: save snapshot: %w", err)
+	}
+	return j.log.Reset()
+}
+
+// load reads the snapshot and every decodable WAL record, and resumes
+// the LSN counter past the newest of either. A torn or corrupt log
+// tail has already been truncated by the log layer; a record that
+// fails to gob-decode ends the replay at the last good record.
+func (j *Journal) load() (*coordSnapshot, []*journalRecord, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.snaps.Exists(snapshotKey) {
+		return nil, nil, fmt.Errorf("journal: no coordinator snapshot to recover from")
+	}
+	raw, err := j.snaps.Load(snapshotKey)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(raw) == 0 {
+		return nil, nil, fmt.Errorf("journal: no coordinator snapshot to recover from (journal was cleared)")
+	}
+	snap := new(coordSnapshot)
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(snap); err != nil {
+		return nil, nil, fmt.Errorf("journal: decode snapshot: %w", err)
+	}
+	payloads, err := j.log.Records()
+	if err != nil {
+		return nil, nil, err
+	}
+	var recs []*journalRecord
+	maxLSN := snap.LastLSN
+	for _, p := range payloads {
+		rec := new(journalRecord)
+		if err := gob.NewDecoder(bytes.NewReader(p)).Decode(rec); err != nil {
+			break // torn mid-stream; keep the good prefix
+		}
+		recs = append(recs, rec)
+		if rec.LSN > maxLSN {
+			maxLSN = rec.LSN
+		}
+	}
+	j.lsn = maxLSN
+	return snap, recs, nil
+}
+
+// snapshotLocked persists the coordinator's full state through the
+// journal and resets the push-since-snapshot counter. Because every
+// state transition (push accept, fence, report) happens entirely under
+// c.mu, the snapshot is transactionally consistent with the WAL's
+// LSN watermark by construction. A persistence failure aborts the run
+// — continuing without durability would break the recovery contract
+// silently. Caller holds c.mu.
+func (c *coordinator) snapshotLocked() {
+	snap := c.buildSnapshotLocked()
+	if err := c.journal.writeSnapshot(snap); err != nil {
+		c.failLocked(fmt.Errorf("rpcnet: write snapshot: %w", err))
+		return
+	}
+	c.pushesSinceSnap = 0
+	c.cSnapshots.Inc()
+}
+
+// buildSnapshotLocked assembles the durable state. Caller holds c.mu.
+func (c *coordinator) buildSnapshotLocked() *coordSnapshot {
+	snap := &coordSnapshot{
+		Epoch:     c.epochNum,
+		Recovered: c.recovered,
+		SimTime:   c.clock.Now(),
+		FaultSpec: c.opts.Faults.String(),
+		Opts: snapOpts{
+			TimeScale:       c.opts.TimeScale,
+			Scheme:          c.opts.Scheme,
+			Speculative:     c.opts.Speculative,
+			MemPolicy:       c.opts.MemPolicy,
+			ProblemDim:      c.opts.ProblemDim,
+			ProblemBatch:    c.opts.ProblemBatch,
+			Eta:             c.opts.Eta,
+			FaultRate:       c.opts.FaultRate,
+			FaultSeed:       c.opts.FaultSeed,
+			HeartbeatMillis: c.opts.HeartbeatInterval.Milliseconds(),
+			LeaseMillis:     c.opts.LeaseTimeout.Milliseconds(),
+			SnapshotEvery:   c.opts.SnapshotEvery,
+		},
+		Instance:     c.in,
+		NetworkBps:   c.cl.NetworkBps,
+		IntraHostBps: c.cl.IntraHostBps,
+		Pushed:       make([][]int, len(c.pushed)),
+		TasksLeft:    c.tasksLeft,
+		RoundEnds:    make([][]float64, len(c.roundEnds)),
+		Failed:       append([]bool(nil), c.failed...),
+		FenceReasons: append([]string(nil), c.fenceReasons...),
+		FenceLog:     append([]FenceInfo(nil), c.fenceLog...),
+		Reported:     append([]bool(nil), c.reported...),
+		PrevJob:      append([]core.JobID(nil), c.prevJob...),
+		PrevFree:     append([]float64(nil), c.prevFree...),
+		Records:      append([]trace.TaskRecord(nil), c.records...),
+		SwitchTot:    c.switchTot,
+		SwitchCnt:    c.switchCnt,
+		Hits:         c.hits,
+		Retries:      c.retries,
+		Migrated:     c.migrated,
+		Reschedule:   c.reschedule,
+	}
+	for _, g := range c.cl.GPUs {
+		snap.GPUTypeNames = append(snap.GPUTypeNames, g.Type.Name)
+		snap.GPUHosts = append(snap.GPUHosts, g.Host)
+	}
+	for _, m := range c.models {
+		snap.ModelNames = append(snap.ModelNames, m.Name)
+	}
+	// A restart loses every executor session, so an unclaimed
+	// in-flight task is snapshotted back at the head of its queue.
+	snap.Queues = make([][]core.TaskRef, len(c.queues))
+	for g, q := range c.queues {
+		if t := c.inflight[g]; t != nil && !c.done[*t] {
+			snap.Queues[g] = append([]core.TaskRef{*t}, q...)
+		} else {
+			snap.Queues[g] = append([]core.TaskRef(nil), q...)
+		}
+	}
+	snap.Done = make([]doneEntry, 0, len(c.done))
+	for _, rec := range c.records {
+		// Iterate records (ordered) rather than the done map so the
+		// snapshot bytes are deterministic for a given state.
+		snap.Done = append(snap.Done, doneEntry{Task: rec.Task, Completion: c.completions[rec.Task]})
+	}
+	for j := range c.pushed {
+		snap.Pushed[j] = append([]int(nil), c.pushed[j]...)
+		snap.RoundEnds[j] = append([]float64(nil), c.roundEnds[j]...)
+	}
+	snap.PS = make([]psSnapshot, len(c.pss))
+	for j, ps := range c.pss {
+		snap.PS[j] = psSnapshot{
+			Params:  ps.Params(),
+			Losses:  append([]float64(nil), ps.LossHistory...),
+			Partial: append([]testbed.PushReport(nil), c.partial[j]...),
+		}
+	}
+	return snap
+}
+
+// Clear discards all durable state — called after the run completes,
+// when the batch's results live in the checkpoint store and the WAL
+// has nothing left to protect.
+func (j *Journal) Clear() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.snaps.Save(snapshotKey, nil); err != nil {
+		return err
+	}
+	return j.log.Reset()
+}
+
+// Close releases the underlying log (no-op for memory journals).
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.log.Close()
+}

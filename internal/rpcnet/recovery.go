@@ -1,0 +1,287 @@
+package rpcnet
+
+import (
+	"fmt"
+	"time"
+
+	"hare/internal/cluster"
+	"hare/internal/core"
+	"hare/internal/faults"
+	"hare/internal/model"
+	"hare/internal/obs"
+	"hare/internal/sched"
+	"hare/internal/store"
+	"hare/internal/testbed"
+	"hare/internal/trace"
+)
+
+// Coordinator crash recovery. RecoverDistributed rebuilds a
+// coordinator from its journal — snapshot plus WAL suffix — and serves
+// it again under a bumped epoch:
+//
+//  1. Load the snapshot; rebuild the instance, cluster, models and
+//     options it recorded.
+//  2. Re-anchor the shared simulated clock: the new wall epoch is
+//     chosen so "simulated now" continues from the recovered
+//     high-water mark (max of the snapshot time and every replayed WAL
+//     record's time) instead of rewinding — executors and the
+//     coordinator re-agree on time via the Config re-handshake.
+//  3. Restore the parameter servers to the snapshot (params, loss
+//     history, completed-round gates) and re-push the snapshot's
+//     partial-round gradients.
+//  4. Replay the WAL suffix (records with LSN beyond the snapshot's
+//     watermark) through the same accept paths as live traffic, with
+//     journaling and event emission suppressed.
+//  5. Serve under epoch+1. Executors still holding the old epoch are
+//     rejected with a "stale coordinator epoch" error, re-handshake,
+//     and resume; a pre-crash push retried against the new incarnation
+//     hits the recovered dedup set and is absorbed idempotently.
+//
+// Fenced GPUs stay fenced (fencing survives recovery); live GPUs get a
+// reconnect grace period before the lease monitor may fence them,
+// since their leases necessarily went stale while the coordinator was
+// down.
+
+// RecoverOptions supplies the process-local pieces a recovered
+// coordinator cannot load from its journal.
+type RecoverOptions struct {
+	// Store is the checkpoint store (must be the durable one the dead
+	// coordinator used, or a fresh one — the recovery re-saves the
+	// latest checkpoint of every job either way).
+	Store store.Store
+	// Replanner handles post-recovery GPU failures. Defaults to
+	// sched.NewHare().
+	Replanner sched.Algorithm
+	// ReconnectGrace delays lease-expiry fencing after recovery so
+	// executors have time to re-handshake. Defaults to 3x the
+	// snapshot's lease timeout.
+	ReconnectGrace time.Duration
+	// Recorder receives post-recovery events (starting with
+	// coord.recovered); Metrics accumulates counters. Both optional.
+	Recorder *obs.Recorder
+	Metrics  *obs.Registry
+}
+
+// RecoverDistributed resumes a crashed coordinator from its journal
+// and serves it on addr (normally the dead coordinator's address, so
+// reconnecting executors find it). It returns the same triple as
+// ServeDistributed.
+func RecoverDistributed(addr string, j *Journal, ropts RecoverOptions) (*Server, string, func() (*DistributedResult, error), error) {
+	if j == nil {
+		return nil, "", nil, fmt.Errorf("rpcnet: recover: nil journal")
+	}
+	snap, recs, err := j.load()
+	if err != nil {
+		return nil, "", nil, fmt.Errorf("rpcnet: recover: %w", err)
+	}
+	plan, err := faults.Parse(snap.FaultSpec)
+	if err != nil {
+		return nil, "", nil, fmt.Errorf("rpcnet: recover: fault spec %q: %w", snap.FaultSpec, err)
+	}
+	opts := DistributedOptions{
+		TimeScale:         snap.Opts.TimeScale,
+		Scheme:            snap.Opts.Scheme,
+		Speculative:       snap.Opts.Speculative,
+		MemPolicy:         snap.Opts.MemPolicy,
+		ProblemDim:        snap.Opts.ProblemDim,
+		ProblemBatch:      snap.Opts.ProblemBatch,
+		Eta:               snap.Opts.Eta,
+		FaultRate:         snap.Opts.FaultRate,
+		FaultSeed:         snap.Opts.FaultSeed,
+		Store:             ropts.Store,
+		Faults:            plan,
+		Replanner:         ropts.Replanner,
+		HeartbeatInterval: time.Duration(snap.Opts.HeartbeatMillis) * time.Millisecond,
+		LeaseTimeout:      time.Duration(snap.Opts.LeaseMillis) * time.Millisecond,
+		Recorder:          ropts.Recorder,
+		Metrics:           ropts.Metrics,
+		Journal:           j,
+		SnapshotEvery:     snap.Opts.SnapshotEvery,
+	}
+	opts = opts.withDefaults()
+	in := snap.Instance
+	if err := in.Validate(); err != nil {
+		return nil, "", nil, fmt.Errorf("rpcnet: recover: snapshot instance: %w", err)
+	}
+	cl, err := rebuildCluster(snap)
+	if err != nil {
+		return nil, "", nil, fmt.Errorf("rpcnet: recover: %w", err)
+	}
+	models := make([]*model.Model, len(snap.ModelNames))
+	for i, name := range snap.ModelNames {
+		if models[i], err = model.ByName(name); err != nil {
+			return nil, "", nil, fmt.Errorf("rpcnet: recover: %w", err)
+		}
+	}
+
+	// Simulated-time continuity: resume at the high-water mark of
+	// everything durably accepted, so completions measured after
+	// recovery are monotone with the pre-crash ones.
+	watermark := snap.SimTime
+	for _, rec := range recs {
+		if rec.LSN > snap.LastLSN && rec.SimTime > watermark {
+			watermark = rec.SimTime
+		}
+	}
+	wallBack := time.Duration(watermark * opts.TimeScale * float64(time.Second))
+	clock := testbed.NewClockAt(time.Now().Add(-wallBack), opts.TimeScale)
+
+	pss, local, err := testbed.NewControlPlane(in, clock, opts.Store, opts.Eta, opts.ProblemDim, opts.ProblemBatch)
+	if err != nil {
+		return nil, "", nil, fmt.Errorf("rpcnet: recover: %w", err)
+	}
+	queues := make([][]core.TaskRef, len(snap.Queues))
+	for g, q := range snap.Queues {
+		queues[g] = append([]core.TaskRef(nil), q...)
+	}
+	co := newCoordinator(in, queues, cl, models, opts, clock, pss, local)
+	co.restoreFromSnapshot(snap)
+
+	// Parameter servers: model state after the last completed round,
+	// then the snapshot's partial-round pushes replayed in accept
+	// order.
+	for i, ps := range pss {
+		s := snap.PS[i]
+		if err := ps.Restore(s.Params, s.Losses, snap.RoundEnds[i]); err != nil {
+			return nil, "", nil, fmt.Errorf("rpcnet: recover: %w", err)
+		}
+		for _, rep := range s.Partial {
+			if _, err := local.Push(rep); err != nil {
+				return nil, "", nil, fmt.Errorf("rpcnet: recover: replay partial push %v: %w", rep.Task, err)
+			}
+		}
+	}
+
+	// WAL suffix: re-run every accepted transition after the snapshot
+	// through the live accept paths, with journaling and event
+	// emission suppressed.
+	co.replaying = true
+	co.mu.Lock()
+	for _, rec := range recs {
+		if rec.LSN <= snap.LastLSN || co.runErr != nil {
+			continue
+		}
+		switch rec.Kind {
+		case recPush:
+			if co.done[rec.Push.Task] {
+				continue // already folded into the snapshot
+			}
+			if _, err := co.acceptPushLocked(rec.Push); err != nil {
+				co.mu.Unlock()
+				return nil, "", nil, fmt.Errorf("rpcnet: recover: replay push %v: %w", rec.Push.Task, err)
+			}
+		case recFence:
+			if rec.Fence != nil && !co.failed[rec.Fence.GPU] {
+				co.applyFenceLocked(rec.Fence)
+			}
+		case recReport:
+			co.reported[rec.GPU] = true
+		default:
+			return nil, "", nil, fmt.Errorf("rpcnet: recover: unknown WAL record kind %d", rec.Kind)
+		}
+	}
+	if co.runErr != nil {
+		err := co.runErr
+		co.mu.Unlock()
+		return nil, "", nil, fmt.Errorf("rpcnet: recover: replay: %w", err)
+	}
+	co.replaying = false
+
+	// New incarnation: epoch bump plus a reconnect grace before the
+	// lease monitor may fence anyone (live executors' leases all went
+	// stale while the coordinator was down).
+	co.epochNum = snap.Epoch + 1
+	co.recovered = snap.Recovered + 1
+	grace := ropts.ReconnectGrace
+	if grace <= 0 {
+		grace = 3 * opts.LeaseTimeout
+	}
+	leaseBase := time.Now().Add(grace - opts.LeaseTimeout)
+	for g := range co.lease {
+		co.lease[g] = leaseBase
+	}
+
+	// Persist the recovered state under the new epoch before serving,
+	// so a crash during recovery recovers again from here.
+	co.snapshotLocked()
+	if co.runErr != nil {
+		err := co.runErr
+		co.mu.Unlock()
+		return nil, "", nil, err
+	}
+	co.mu.Unlock()
+
+	ropts.Metrics.Counter("hare_coord_recoveries_total").Inc()
+	if ropts.Recorder.Enabled() {
+		fenced := 0
+		for _, f := range co.failed {
+			if f {
+				fenced++
+			}
+		}
+		ropts.Recorder.Emit(obs.Event{
+			Type: obs.EvCoordRecovered, Time: clock.Now(), GPU: -1, Job: -1,
+			Note: fmt.Sprintf("epoch=%d pushes=%d fenced=%d", co.epochNum, len(co.done), fenced),
+		})
+	}
+	return co.serve(addr)
+}
+
+// restoreFromSnapshot rebuilds the coordinator's dispatch, fencing and
+// accounting state (queues were already handed to newCoordinator).
+func (c *coordinator) restoreFromSnapshot(snap *coordSnapshot) {
+	for _, d := range snap.Done {
+		c.done[d.Task] = true
+		c.completions[d.Task] = d.Completion
+	}
+	c.tasksLeft = snap.TasksLeft
+	for j := range snap.Pushed {
+		copy(c.pushed[j], snap.Pushed[j])
+		c.roundEnds[j] = append([]float64(nil), snap.RoundEnds[j]...)
+		c.partial[j] = append([]testbed.PushReport(nil), snap.PS[j].Partial...)
+		for _, rep := range c.partial[j] {
+			if comp := c.completions[rep.Task]; comp > c.partialMax[j] {
+				c.partialMax[j] = comp
+			}
+		}
+	}
+	copy(c.failed, snap.Failed)
+	copy(c.fenceReasons, snap.FenceReasons)
+	c.fenceLog = append([]FenceInfo(nil), snap.FenceLog...)
+	copy(c.reported, snap.Reported)
+	copy(c.prevJob, snap.PrevJob)
+	copy(c.prevFree, snap.PrevFree)
+	c.records = append([]trace.TaskRecord(nil), snap.Records...)
+	c.switchTot = snap.SwitchTot
+	c.switchCnt = snap.SwitchCnt
+	c.hits = snap.Hits
+	c.retries = snap.Retries
+	c.migrated = snap.Migrated
+	c.reschedule = snap.Reschedule
+	if snap.SimTime > c.maxSim {
+		c.maxSim = snap.SimTime
+	}
+}
+
+// rebuildCluster reconstructs the cluster topology recorded in a
+// snapshot.
+func rebuildCluster(snap *coordSnapshot) (*cluster.Cluster, error) {
+	cl := &cluster.Cluster{NetworkBps: snap.NetworkBps, IntraHostBps: snap.IntraHostBps}
+	hosts := 0
+	for i, name := range snap.GPUTypeNames {
+		gt, err := cluster.TypeByName(name)
+		if err != nil {
+			return nil, err
+		}
+		host := 0
+		if i < len(snap.GPUHosts) {
+			host = snap.GPUHosts[i]
+		}
+		if host+1 > hosts {
+			hosts = host + 1
+		}
+		cl.GPUs = append(cl.GPUs, cluster.GPU{ID: i, Type: gt, Host: host})
+	}
+	cl.Hosts = hosts
+	return cl, nil
+}

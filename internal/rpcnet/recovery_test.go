@@ -1,0 +1,442 @@
+package rpcnet
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hare/internal/core"
+	"hare/internal/faults"
+	"hare/internal/obs"
+	"hare/internal/store"
+	"hare/internal/testbed"
+)
+
+// pushesSoFar peeks at the coordinator's accepted-push count.
+func pushesSoFar(srv *Server) int {
+	srv.co.mu.Lock()
+	defer srv.co.mu.Unlock()
+	return len(srv.co.done)
+}
+
+// awaitPushes blocks until the coordinator has accepted at least n
+// gradients (or the deadline passes).
+func awaitPushes(t *testing.T, srv *Server, n int, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		if pushesSoFar(srv) >= n {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("coordinator accepted only %d pushes within %v (want >= %d)", pushesSoFar(srv), within, n)
+}
+
+// assertExactlyOnce checks the trace holds every task exactly once.
+func assertExactlyOnce(t *testing.T, res *DistributedResult, in *core.Instance) {
+	t.Helper()
+	if len(res.Trace.Records) != in.NumTasks() {
+		t.Fatalf("recorded %d tasks, want %d", len(res.Trace.Records), in.NumTasks())
+	}
+	seen := make(map[core.TaskRef]bool)
+	for _, r := range res.Trace.Records {
+		if seen[r.Task] {
+			t.Errorf("task %v recorded twice", r.Task)
+		}
+		seen[r.Task] = true
+	}
+}
+
+// TestKillRecoverMidBatch is the tentpole test: the coordinator is
+// killed mid-batch while the network drops and duplicates messages,
+// then recovered from its journal on the same address. Reconnecting
+// executors re-handshake against the bumped epoch, duplicate pushes
+// are absorbed by the recovered dedup set, and the run completes with
+// every task applied exactly once and final checkpoints matching a
+// crash-free run to 1e-9.
+func TestKillRecoverMidBatch(t *testing.T) {
+	in, plan, cl, models := chaosWorkload(t, 5, 11)
+
+	// Crash-free in-process reference for the checkpoint equality.
+	refStore := store.NewMem()
+	if _, err := testbed.Run(in, plan, cl, models, testbed.Options{
+		TimeScale: 1e-4, Store: refStore,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	st := store.NewMem()
+	journal := NewMemJournal()
+	reg := obs.NewRegistry()
+	ring := obs.NewRingSink(8192)
+	opts := DistributedOptions{
+		TimeScale:         1e-3,
+		Store:             st,
+		HeartbeatInterval: 5 * time.Millisecond,
+		LeaseTimeout:      150 * time.Millisecond,
+		Recorder:          obs.NewRecorder(ring),
+		Metrics:           reg,
+		Journal:           journal,
+		SnapshotEvery:     8,
+	}
+	srv, addr, wait, err := ServeDistributed("127.0.0.1:0", in, plan, cl, models, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaos := &faults.NetChaos{Drop: 0.05, Dup: 0.08}
+	var wg sync.WaitGroup
+	errs := make([]error, cl.Size())
+	for g := 0; g < cl.Size(); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			errs[g] = RunExecutorOpts(addr, g, ExecutorOptions{
+				Chaos: chaos, ChaosSeed: 42, Metrics: reg, Recorder: obs.NewRecorder(ring),
+			})
+		}(g)
+	}
+
+	// Kill once a quarter of the batch has been accepted.
+	awaitPushes(t, srv, in.NumTasks()/4, 20*time.Second)
+	if err := srv.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	if _, err := wait(); !errors.Is(err, ErrCoordinatorDown) {
+		t.Fatalf("wait after kill = %v, want ErrCoordinatorDown", err)
+	}
+
+	// Downtime: executors spin on reconnects against a dead address.
+	time.Sleep(150 * time.Millisecond)
+
+	srv2, _, wait2, err := RecoverDistributed(addr, journal, RecoverOptions{
+		Store:    st,
+		Recorder: obs.NewRecorder(ring),
+		Metrics:  reg,
+	})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer srv2.Close()
+
+	res, err := wait2()
+	if err != nil {
+		t.Fatalf("recovered wait: %v", err)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("executor %d: %v", g, err)
+		}
+	}
+
+	if res.Recoveries != 1 || res.Epoch != 2 {
+		t.Errorf("recoveries=%d epoch=%d, want 1 and 2", res.Recoveries, res.Epoch)
+	}
+	if res.GPUFailures != 0 {
+		t.Errorf("fenced GPUs %v during a kill/recover with live executors (reconnect grace too small?)", res.FailedGPUs)
+	}
+	assertExactlyOnce(t, res, in)
+
+	// Zero duplicate gradient applications: the recovered checkpoints
+	// must match a crash-free run bit-for-bit up to float summation
+	// order.
+	if d := maxParamDiff(finalParams(t, refStore, len(in.Jobs)), finalParams(t, st, len(in.Jobs))); d > 1e-9 {
+		t.Errorf("recovered params diverge from crash-free run by %g (> 1e-9)", d)
+	}
+
+	// The chaos actually exercised the idempotency machinery, and the
+	// recovery announced itself.
+	if v := reg.Counter("hare_net_drops_total").Value(); v == 0 {
+		t.Error("no injected drops despite netdrop chaos")
+	}
+	if v := reg.Counter("hare_net_dups_total").Value(); v == 0 {
+		t.Error("no injected duplicates despite netdup chaos")
+	}
+	if v := reg.Counter("hare_coord_recoveries_total").Value(); v != 1 {
+		t.Errorf("recovery counter = %g, want 1", v)
+	}
+	var sawRecovered bool
+	for _, e := range ring.Snapshot() {
+		if e.Type == obs.EvCoordRecovered {
+			sawRecovered = true
+			if !strings.Contains(e.Note, "epoch=2") {
+				t.Errorf("coord.recovered note = %q, want epoch=2", e.Note)
+			}
+		}
+	}
+	if !sawRecovered {
+		t.Error("no coord.recovered event emitted")
+	}
+	// The run completed, so the journal owes nothing.
+	if ok, err := journal.HasState(); err != nil || ok {
+		t.Errorf("journal retains state after completion (ok=%v err=%v)", ok, err)
+	}
+}
+
+// TestFencingSurvivesRecovery: an executor crash fences its GPU before
+// the coordinator is killed; after recovery the fence must still hold
+// (the WAL replays it), the reconnecting survivor set completes the
+// run, and the crashed GPU's duplicate pre-crash state cannot leak
+// back in.
+func TestFencingSurvivesRecovery(t *testing.T) {
+	in, plan, cl, models := chaosWorkload(t, 4, 19)
+
+	refStore := store.NewMem()
+	if _, err := testbed.Run(in, plan, cl, models, testbed.Options{
+		TimeScale: 1e-4, Store: refStore,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	crashAt := plan.Makespan(in) / 4
+	st := store.NewMem()
+	journal := NewMemJournal()
+	srv, addr, wait, err := ServeDistributed("127.0.0.1:0", in, plan, cl, models, DistributedOptions{
+		TimeScale:         1e-3,
+		Store:             st,
+		Faults:            &faults.Plan{Failures: []faults.GPUFailure{{GPU: 1, Time: crashAt, Crash: true}}},
+		HeartbeatInterval: 5 * time.Millisecond,
+		LeaseTimeout:      60 * time.Millisecond,
+		Journal:           journal,
+		SnapshotEvery:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, cl.Size())
+	for g := 0; g < cl.Size(); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			errs[g] = RunExecutor(addr, g)
+		}(g)
+	}
+
+	// Wait until the lease monitor has fenced the crashed GPU, then
+	// kill the coordinator.
+	fenceDeadline := time.Now().Add(20 * time.Second)
+	for {
+		srv.co.mu.Lock()
+		fenced := srv.co.failed[1]
+		srv.co.mu.Unlock()
+		if fenced {
+			break
+		}
+		if time.Now().After(fenceDeadline) {
+			t.Fatal("GPU 1 was never fenced")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := srv.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	if _, err := wait(); !errors.Is(err, ErrCoordinatorDown) {
+		t.Fatalf("wait after kill = %v, want ErrCoordinatorDown", err)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	srv2, _, wait2, err := RecoverDistributed(addr, journal, RecoverOptions{Store: st})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer srv2.Close()
+
+	res, err := wait2()
+	if err != nil {
+		t.Fatalf("recovered wait: %v", err)
+	}
+	wg.Wait()
+	if errs[1] == nil {
+		t.Error("crashed executor returned nil")
+	}
+
+	if res.GPUFailures != 1 || len(res.FailedGPUs) != 1 || res.FailedGPUs[0] != 1 {
+		t.Errorf("failures = %d %v, want exactly GPU 1 (fence must survive recovery)", res.GPUFailures, res.FailedGPUs)
+	}
+	if len(res.FenceLog) != 1 || res.FenceLog[0].GPU != 1 {
+		t.Errorf("fence log %+v, want one entry for GPU 1", res.FenceLog)
+	}
+	if res.Recoveries != 1 {
+		t.Errorf("recoveries = %d, want 1", res.Recoveries)
+	}
+	assertExactlyOnce(t, res, in)
+	if d := maxParamDiff(finalParams(t, refStore, len(in.Jobs)), finalParams(t, st, len(in.Jobs))); d > 1e-9 {
+		t.Errorf("recovered params diverge from fault-free run by %g (> 1e-9)", d)
+	}
+}
+
+// TestLeaseBoundary: a heartbeat aged exactly LeaseTimeout does not
+// fence (the predicate is strictly greater-than), one nanosecond past
+// it does, and the fence records a positive detection latency.
+func TestLeaseBoundary(t *testing.T) {
+	in, plan, cl, models := chaosWorkload(t, 2, 5)
+	srv, _, _, err := ServeDistributed("127.0.0.1:0", in, plan, cl, models, DistributedOptions{
+		TimeScale:    1e-3,
+		LeaseTimeout: time.Hour, // the real monitor must not interfere
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	co := srv.co
+
+	now := time.Now()
+	co.mu.Lock()
+	for g := range co.lease {
+		co.lease[g] = now
+	}
+	co.lease[1] = now.Add(-time.Hour) // exactly LeaseTimeout old
+	co.checkLeasesLocked(now, 0)
+	atBoundary := co.failed[1]
+	co.lease[1] = now.Add(-time.Hour - time.Nanosecond)
+	co.checkLeasesLocked(now, 0)
+	pastBoundary := co.failed[1]
+	fenceLog := append([]FenceInfo(nil), co.fenceLog...)
+	co.mu.Unlock()
+
+	if atBoundary {
+		t.Error("heartbeat aged exactly LeaseTimeout was fenced (predicate must be strict)")
+	}
+	if !pastBoundary {
+		t.Error("heartbeat older than LeaseTimeout was not fenced")
+	}
+	if len(fenceLog) != 1 || fenceLog[0].GPU != 1 || fenceLog[0].DetectMillis <= 0 {
+		t.Errorf("fence log %+v, want one GPU-1 entry with positive detection latency", fenceLog)
+	}
+}
+
+// TestDuplicateFailureReportsFenceOnce: two error reports for the same
+// GPU (a retried report whose first reply was lost) fence it exactly
+// once — one fence-log entry, one reschedule.
+func TestDuplicateFailureReportsFenceOnce(t *testing.T) {
+	in, plan, cl, models := chaosWorkload(t, 3, 9)
+	srv, addr, _, err := ServeDistributed("127.0.0.1:0", in, plan, cl, models, DistributedOptions{
+		TimeScale:    1e-3,
+		LeaseTimeout: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := dialRPC(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 2; i++ {
+		if err := conn.Call(DistributedName+".Report",
+			ReportArgs{GPU: 2, Err: "xid 79: GPU has fallen off the bus", Epoch: 1}, &struct{}{}); err != nil {
+			t.Fatalf("report %d: %v", i, err)
+		}
+	}
+
+	srv.co.mu.Lock()
+	fences := len(srv.co.fenceLog)
+	resched := srv.co.reschedule
+	fenced := srv.co.failed[2]
+	srv.co.mu.Unlock()
+	if !fenced || fences != 1 || resched != 1 {
+		t.Errorf("fenced=%v fences=%d reschedules=%d, want true/1/1", fenced, fences, resched)
+	}
+}
+
+// TestJournalLSNGuard: records folded into a snapshot are not replayed
+// again, even when the WAL still holds them (a crash between snapshot
+// write and WAL reset leaves exactly that state behind).
+func TestJournalLSNGuard(t *testing.T) {
+	j := NewMemJournal()
+	for i := 1; i <= 3; i++ {
+		if err := j.append(&journalRecord{Kind: recPush, SimTime: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.writeSnapshot(&coordSnapshot{Epoch: 1, SimTime: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash-between-snapshot-and-reset: re-append records
+	// 1..3's successors, then check which survive a load's guard.
+	for i := 4; i <= 5; i++ {
+		if err := j.append(&journalRecord{Kind: recPush, SimTime: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, recs, err := j.load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.LastLSN != 3 {
+		t.Errorf("snapshot LastLSN = %d, want 3", snap.LastLSN)
+	}
+	replayable := 0
+	for _, r := range recs {
+		if r.LSN > snap.LastLSN {
+			replayable++
+		}
+	}
+	if replayable != 2 {
+		t.Errorf("replayable suffix = %d records, want 2", replayable)
+	}
+	// LSNs keep ascending after a load (no reuse).
+	rec := &journalRecord{Kind: recReport}
+	if err := j.append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.LSN != 6 {
+		t.Errorf("post-load LSN = %d, want 6", rec.LSN)
+	}
+}
+
+// TestExecutorGoroutineHygiene: a complete distributed run leaves no
+// goroutines behind — client loops, heartbeats, crash timers, barrier
+// releases and the lease monitor all shut down.
+func TestExecutorGoroutineHygiene(t *testing.T) {
+	before := runtime.NumGoroutine()
+	in, plan, cl, models := chaosWorkload(t, 3, 13)
+	srv, addr, wait, err := ServeDistributed("127.0.0.1:0", in, plan, cl, models, DistributedOptions{
+		TimeScale: 1e-3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < cl.Size(); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if err := RunExecutor(addr, g); err != nil {
+				t.Errorf("executor %d: %v", g, err)
+			}
+		}(g)
+	}
+	if _, err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// net/rpc's ServeConn goroutines drain asynchronously after the
+	// connections close; poll until the count settles back.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s", before, now, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"time"
 
 	"hare/internal/core"
+	"hare/internal/faults"
+	"hare/internal/stats"
 	"hare/internal/testbed"
 )
 
@@ -23,8 +25,10 @@ const ServiceName = "HareScheduler"
 // Dial behavior: connection attempts time out instead of hanging on a
 // dead listener, and transient refusals are absorbed by bounded
 // exponential backoff (DialAttempts tries, DialBackoff doubling each
-// time). A permanently dead coordinator therefore surfaces as an error
-// after ~1.5 s rather than an executor process stuck forever.
+// time, jittered so a fleet of executors restarting after a
+// coordinator recovery doesn't reconnect in lockstep). A permanently
+// dead coordinator therefore surfaces as an error after a few seconds
+// rather than an executor process stuck forever.
 const (
 	// DialTimeout bounds one TCP connection attempt.
 	DialTimeout = 2 * time.Second
@@ -37,11 +41,20 @@ const (
 // dialRPC connects with a per-attempt timeout and bounded exponential
 // backoff between attempts.
 func dialRPC(addr string) (*rpc.Client, error) {
+	return dialRPCSeeded(addr, 0)
+}
+
+// dialRPCSeeded is dialRPC with deterministic backoff jitter: each
+// backoff step is scaled by a uniform factor in [0.5, 1.5) drawn from
+// a seeded stream, so runs stay reproducible while concurrent dialers
+// with distinct seeds desynchronize.
+func dialRPCSeeded(addr string, seed int64) (*rpc.Client, error) {
+	rng := stats.New(seed)
 	var lastErr error
 	backoff := DialBackoff
 	for attempt := 0; attempt < DialAttempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			time.Sleep(time.Duration(float64(backoff) * rng.Uniform(0.5, 1.5)))
 			backoff *= 2
 		}
 		conn, err := net.DialTimeout("tcp", addr, DialTimeout)
@@ -54,8 +67,11 @@ func dialRPC(addr string) (*rpc.Client, error) {
 }
 
 // PushArgs carries one gradient push: the task's full measured report.
+// Epoch is the coordinator incarnation the executor handshook with
+// (used by the distributed coordinator; the plain Service ignores it).
 type PushArgs struct {
 	Report testbed.PushReport
+	Epoch  uint64
 }
 
 // PushReply returns the task's realized completion time.
@@ -65,13 +81,17 @@ type PushReply struct{ Completion float64 }
 type WaitArgs struct {
 	Job   core.JobID
 	Round int
+	Epoch uint64
 }
 
 // WaitReply returns the round's realized completion time.
 type WaitReply struct{ End float64 }
 
 // CkptArgs requests a job's latest checkpoint.
-type CkptArgs struct{ Job core.JobID }
+type CkptArgs struct {
+	Job   core.JobID
+	Epoch uint64
+}
 
 // CkptReply carries the checkpoint parameters.
 type CkptReply struct{ Params []float64 }
@@ -131,11 +151,75 @@ func (s *Service) Sequence(args SeqArgs, reply *SeqReply) error {
 	return nil
 }
 
-// Server hosts the scheduler's RPC endpoint on a TCP listener.
+// Server hosts the scheduler's RPC endpoint on a TCP listener. For the
+// distributed coordinator it also tracks open connections so Kill can
+// sever them, simulating a coordinator process death.
 type Server struct {
-	lis net.Listener
-	mu  sync.Mutex
-	wg  sync.WaitGroup
+	lis   net.Listener
+	mu    sync.Mutex
+	wg    sync.WaitGroup
+	co    *coordinator
+	conns map[net.Conn]struct{}
+}
+
+func (s *Server) track(conn net.Conn) {
+	s.mu.Lock()
+	if s.conns != nil {
+		s.conns[conn] = struct{}{}
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	if s.conns != nil {
+		delete(s.conns, conn)
+	}
+	s.mu.Unlock()
+}
+
+// Kill simulates a coordinator crash: it aborts every in-flight and
+// future call with ErrCoordinatorDown, severs all open connections,
+// stops the lease monitor, and closes the listener — leaving whatever
+// the WAL and snapshot captured as the only surviving state, exactly
+// like a killed process. The bound port is released so a recovered
+// coordinator can re-listen on the same address.
+func (s *Server) Kill() error {
+	if s.co != nil {
+		s.co.kill()
+	}
+	s.mu.Lock()
+	err := s.lis.Close()
+	//lint:ordered every tracked connection is severed; close order is immaterial
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.conns = nil
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// FleetSize reports the coordinator's GPU count (0 for a plain task
+// server) — after a WAL recovery this is how the host process learns
+// how many executors to respawn, since the fleet shape lives in the
+// snapshot rather than on the command line.
+func (s *Server) FleetSize() int {
+	if s.co == nil {
+		return 0
+	}
+	return s.co.cl.Size()
+}
+
+// FaultPlan returns the coordinator's fault plan (nil for a plain task
+// server). After a recovery the plan was rebuilt from the snapshot's
+// fault spec, so respawned executors can inherit the same network
+// chaos the pre-crash ones ran under.
+func (s *Server) FaultPlan() *faults.Plan {
+	if s.co == nil {
+		return nil
+	}
+	return s.co.opts.Faults
 }
 
 // Serve starts serving the backend on addr (e.g. "127.0.0.1:0") and

@@ -96,15 +96,55 @@ func (s *DirStore) path(key string) string {
 	return filepath.Join(s.dir, strings.ReplaceAll(key, "/", "__"))
 }
 
-// Save implements Store.
+// Save implements Store. The write is crash-safe: data goes to a temp
+// file in the same directory, is fsynced, and is then atomically
+// renamed over the destination, with a final fsync of the directory so
+// the rename itself is durable. A reader therefore never observes a
+// torn or partially-written blob, even if the process dies mid-Save —
+// a requirement for the coordinator WAL snapshots built on DirStore.
 func (s *DirStore) Save(key string, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	tmp := s.path(key) + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, s.path(key))
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, s.path(key)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(s.dir)
+}
+
+// syncDir fsyncs a directory so a preceding rename is durable. Best
+// effort on platforms where directories cannot be opened for sync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		// Some filesystems reject fsync on directories; the rename
+		// already happened, so don't fail the Save over it.
+		return nil
+	}
+	return nil
 }
 
 // Load implements Store.

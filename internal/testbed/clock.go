@@ -36,6 +36,18 @@ func NewClockAt(start time.Time, wallPerSim float64) *Clock {
 // Epoch returns the clock's wall-time origin.
 func (c *Clock) Epoch() time.Time { return c.start }
 
+// Scale returns the clock's wall-seconds-per-simulated-second factor.
+func (c *Clock) Scale() float64 { return c.wallPerSim }
+
+// Until returns the wall-clock duration remaining until simulated time
+// t (non-positive when t has already passed). It exists so callers can
+// arm select-able timers against simulated deadlines instead of
+// blocking in SleepUntil — the difference between a goroutine that can
+// be shut down and one that leaks.
+func (c *Clock) Until(t float64) time.Duration {
+	return time.Duration((t - c.Now()) * c.wallPerSim * float64(time.Second))
+}
+
 // Now returns the current simulated time in seconds.
 func (c *Clock) Now() float64 {
 	return time.Since(c.start).Seconds() / c.wallPerSim

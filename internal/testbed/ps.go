@@ -3,6 +3,7 @@ package testbed
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"hare/internal/core"
 	"hare/internal/store"
@@ -34,6 +35,10 @@ type ParameterServer struct {
 	// LossHistory records the held-out loss after each round, for
 	// convergence assertions.
 	LossHistory []float64
+
+	abortOnce sync.Once
+	aborted   chan struct{}
+	abortErr  error
 }
 
 type roundGate struct {
@@ -45,8 +50,9 @@ type roundGate struct {
 func NewParameterServer(job *core.Job, prob *Problem, st store.Store, clock *Clock, eta float64, syncOf func(gpu int) float64) *ParameterServer {
 	ps := &ParameterServer{
 		Job: job, prob: prob, st: st, clock: clock, eta: eta, syncOf: syncOf,
-		params: prob.InitParams(),
-		done:   make([]*roundGate, job.Rounds),
+		params:  prob.InitParams(),
+		done:    make([]*roundGate, job.Rounds),
+		aborted: make(chan struct{}),
 	}
 	for r := range ps.done {
 		ps.done[r] = &roundGate{ch: make(chan struct{})}
@@ -105,24 +111,95 @@ func (ps *ParameterServer) Push(t core.TaskRef, gpu int, trainEnd float64, grad 
 	ps.mu.Unlock()
 
 	if last {
-		// Release the barrier once the slowest task's sync lands.
+		// Release the barrier once the slowest task's sync lands. The
+		// timer is select-able against Abort so a killed control plane
+		// doesn't strand the goroutine until the simulated deadline.
 		go func() {
-			ps.clock.SleepUntil(end)
-			close(gate.ch)
+			timer := time.NewTimer(ps.clock.Until(end))
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+				close(gate.ch)
+			case <-ps.aborted:
+			}
 		}()
 	}
 	return completion, nil
 }
 
 // WaitRound blocks until round r (0-based) has fully completed and
-// returns its realized completion time.
+// returns its realized completion time. It unblocks with an error if
+// the parameter server is aborted first.
 func (ps *ParameterServer) WaitRound(r int) (float64, error) {
 	if r < 0 || r >= ps.Job.Rounds {
 		return 0, fmt.Errorf("testbed: job %d has no round %d", ps.Job.ID, r)
 	}
 	gate := ps.done[r]
-	<-gate.ch
-	return gate.end, nil
+	select {
+	case <-gate.ch:
+		return gate.end, nil
+	case <-ps.aborted:
+		ps.mu.Lock()
+		err := ps.abortErr
+		ps.mu.Unlock()
+		return 0, err
+	}
+}
+
+// Abort permanently unblocks every pending and future WaitRound with
+// err and stops pending barrier-release timers. Used by the
+// coordinator's kill path so blocked executor RPCs drain instead of
+// leaking goroutines. Idempotent; the first error wins.
+func (ps *ParameterServer) Abort(err error) {
+	ps.abortOnce.Do(func() {
+		ps.mu.Lock()
+		if err == nil {
+			err = fmt.Errorf("testbed: job %d parameter server aborted", ps.Job.ID)
+		}
+		ps.abortErr = err
+		ps.mu.Unlock()
+		close(ps.aborted)
+	})
+}
+
+// Restore rewinds the parameter server to a recovered coordinator
+// snapshot: params are the model parameters after the last completed
+// round, losses the per-round loss history, and roundEnds the realized
+// completion times of the completed rounds (len(roundEnds) is the next
+// round to run). Gates of completed rounds are released immediately —
+// their realized ends are in the past of the recovered clock — and the
+// rolling "latest" checkpoint is re-saved so reconnecting executors can
+// load it even when the checkpoint store died with the old process.
+func (ps *ParameterServer) Restore(params, losses, roundEnds []float64) error {
+	if len(roundEnds) > ps.Job.Rounds {
+		return fmt.Errorf("testbed: job %d restore with %d completed rounds (max %d)",
+			ps.Job.ID, len(roundEnds), ps.Job.Rounds)
+	}
+	if len(losses) != len(roundEnds) {
+		return fmt.Errorf("testbed: job %d restore with %d losses for %d rounds",
+			ps.Job.ID, len(losses), len(roundEnds))
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.params = append(ps.params[:0], params...)
+	ps.LossHistory = append([]float64(nil), losses...)
+	ps.round = len(roundEnds)
+	ps.grads = nil
+	ps.roundMax = 0
+	for r, end := range roundEnds {
+		ps.done[r].end = end
+		close(ps.done[r].ch)
+	}
+	ckpt := store.EncodeParams(ps.params)
+	if err := ps.st.Save(store.LatestKey(int(ps.Job.ID)), ckpt); err != nil {
+		return fmt.Errorf("testbed: restore checkpoint save: %w", err)
+	}
+	if ps.round > 0 {
+		if err := ps.st.Save(store.CheckpointKey(int(ps.Job.ID), ps.round-1), ckpt); err != nil {
+			return fmt.Errorf("testbed: restore checkpoint save: %w", err)
+		}
+	}
+	return nil
 }
 
 // Params returns a copy of the current model parameters.

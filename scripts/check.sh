@@ -32,6 +32,13 @@ go test -race -run 'TestResidual' ./internal/faults/
 go test -race -run 'TestDistributed|TestReportValidation' ./internal/rpcnet/
 go test -race -run 'TestFaultSweep' ./internal/experiments/
 
+echo "==> coordinator crash-safety under -race (WAL recovery, epoch fencing, lease edges, soak harness)"
+go test -race -run 'TestKillRecoverMidBatch|TestFencingSurvivesRecovery|TestLeaseBoundary|TestDuplicateFailureReportsFenceOnce|TestJournalLSNGuard|TestExecutorGoroutineHygiene' ./internal/rpcnet/
+go test -race ./internal/chaos/
+
+echo "==> harechaos seed matrix (docs/ROBUSTNESS.md; same matrix as the CI chaos job)"
+go run ./cmd/harechaos -seeds 20 -start 1
+
 echo "==> go test -race ./..."
 go test -race ./...
 
