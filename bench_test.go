@@ -17,6 +17,7 @@ import (
 	"hare/internal/experiments"
 	"hare/internal/gpumem"
 	"hare/internal/manager"
+	"hare/internal/obs"
 	"hare/internal/sched"
 	"hare/internal/sched/relax"
 	"hare/internal/sim"
@@ -561,6 +562,64 @@ func BenchmarkObsEnabledRing(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkObsRPCDisabled pins the cost of the control-plane RPC
+// instrumentation when nobody listens: a nil RPCObserver hands out nil
+// method handles, so the per-call wrapper rpcnet wraps around every
+// coordinator/executor RPC must add no clock reads and no allocations.
+// The loop mirrors the executor's call path — Active gate, Start,
+// call body, Observe — with a xorshift standing in for the RPC.
+func BenchmarkObsRPCDisabled(b *testing.B) {
+	m := obs.NewRPCObserver(nil, nil, "client").Method("Coordinator.Push")
+	var calls uint64
+	sink := uint64(0x9e3779b97f4a7c15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var call uint64
+		if m.Active() {
+			calls++
+			call = calls
+		}
+		t := m.Start(0)
+		sink ^= sink << 13
+		sink ^= sink >> 7
+		sink ^= sink << 17
+		m.Observe(t, 0, obs.Event{GPU: 0, Call: call}, nil)
+	}
+	if sink == 0 {
+		b.Fatal("xorshift collapsed")
+	}
+}
+
+// BenchmarkObsRPCEnabledRing measures the same wrapper fully on: event
+// emission into a ring sink plus the per-method counter and histogram
+// series — the hared steady-state configuration of the distributed
+// control plane.
+func BenchmarkObsRPCEnabledRing(b *testing.B) {
+	ring := obs.NewRingSink(4096)
+	reg := obs.NewRegistry()
+	m := obs.NewRPCObserver(obs.NewRecorder(ring), reg, "client").Method("Coordinator.Push")
+	var calls uint64
+	sink := uint64(0x9e3779b97f4a7c15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var call uint64
+		if m.Active() {
+			calls++
+			call = calls
+		}
+		t := m.Start(0)
+		sink ^= sink << 13
+		sink ^= sink >> 7
+		sink ^= sink << 17
+		m.Observe(t, 0, obs.Event{GPU: 0, Call: call}, nil)
+	}
+	if sink == 0 {
+		b.Fatal("xorshift collapsed")
 	}
 }
 

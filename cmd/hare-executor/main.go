@@ -18,6 +18,8 @@ import (
 	"os"
 
 	"hare/internal/faults"
+	"hare/internal/obs"
+	"hare/internal/obs/dtrace"
 	"hare/internal/rpcnet"
 )
 
@@ -26,6 +28,8 @@ var (
 	gpu       = flag.Int("gpu", -1, "this executor's GPU index (required)")
 	faultSpec = flag.String("fault-spec", "", "client-side network chaos: netdrop=P,netdup=P,netreorder=P,netdelay=A~B,partition=G@T+D")
 	chaosSeed = flag.Int64("chaos-seed", 0, "chaos decision-stream seed (overrides netseed= in -fault-spec)")
+	eventsOut = flag.String("events-out", "", "write this executor's trace-context event stream into DIR/gpuN.events.jsonl; on failure a flight-recorder ring is dumped alongside (merge with `harectl mergetrace DIR`)")
+	flightCap = flag.Int("flight-cap", 512, "flight-recorder ring capacity for -events-out")
 )
 
 func main() {
@@ -43,10 +47,34 @@ func main() {
 	if *chaosSeed != 0 {
 		seed = *chaosSeed
 	}
+	var (
+		stream *dtrace.ProcStream
+		rec    *obs.Recorder
+	)
+	if *eventsOut != "" {
+		if err := os.MkdirAll(*eventsOut, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "hare-executor: %v\n", err)
+			os.Exit(2)
+		}
+		stream, err = dtrace.NewProcStream(*eventsOut, fmt.Sprintf("gpu%d", *gpu), *flightCap)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hare-executor: %v\n", err)
+			os.Exit(2)
+		}
+		rec = stream.Recorder
+	}
 	if err := rpcnet.RunExecutorOpts(*addr, *gpu, rpcnet.ExecutorOptions{
-		Chaos: fplan.NetModel(), ChaosSeed: seed,
+		Chaos: fplan.NetModel(), ChaosSeed: seed, Recorder: rec,
 	}); err != nil {
+		// Failure is exactly when the flight ring matters: dump the
+		// events leading into the error next to the main stream.
+		_ = stream.DumpFlight()
+		_ = stream.Close()
 		fmt.Fprintf(os.Stderr, "hare-executor: %v\n", err)
+		os.Exit(1)
+	}
+	if err := stream.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "hare-executor: trace: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("hare-executor: GPU %d done\n", *gpu)

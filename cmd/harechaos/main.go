@@ -48,7 +48,7 @@ func main() {
 	}
 
 	if *spec != "" {
-		out := chaos.RunSpec(*start, *spec, withJournal(opts, *start))
+		out := chaos.RunSpec(*start, *spec, withArtifacts(opts, *start))
 		report(out, opts)
 		return
 	}
@@ -56,17 +56,19 @@ func main() {
 	startWall := time.Now()
 	for i := 0; i < *seeds; i++ {
 		seed := *start + int64(i)
-		out := chaos.Run(seed, withJournal(opts, seed))
+		out := chaos.Run(seed, withArtifacts(opts, seed))
 		report(out, opts)
 	}
 	fmt.Printf("harechaos: %d seeds clean in %v (seeds %d..%d)\n",
 		*seeds, time.Since(startWall).Round(time.Millisecond), *start, *start+int64(*seeds)-1)
 }
 
-// withJournal gives the seed's run a durable journal under the
-// artifact directory (so a violation leaves its WAL behind for CI
-// upload); without -artifact-dir runs use in-memory journals.
-func withJournal(opts chaos.Options, seed int64) chaos.Options {
+// withArtifacts gives the seed's run a durable journal and a
+// distributed-trace capture under the artifact directory (so a
+// violation leaves its WAL, per-process event streams, flight dumps
+// and merged chrome trace behind for CI upload); without -artifact-dir
+// runs use in-memory journals and no tracing.
+func withArtifacts(opts chaos.Options, seed int64) chaos.Options {
 	if *artifacts == "" {
 		return opts
 	}
@@ -76,6 +78,7 @@ func withJournal(opts chaos.Options, seed int64) chaos.Options {
 		fatal(err)
 	}
 	opts.Journal = j
+	opts.TraceDir = dir // merged_trace.json lands next to violation.txt
 	return opts
 }
 
@@ -105,10 +108,29 @@ func report(out chaos.Outcome, opts chaos.Options) {
 		default:
 			minSpec = min
 			fmt.Printf("harechaos:   minimized (%d runs): harechaos -seeds 1 -start %d -spec %q\n", runs, v.Seed, min)
+			captureMinimizedTrace(v.Seed, min, opts)
 		}
 	}
 	persistViolation(v, minSpec)
 	os.Exit(1)
+}
+
+// captureMinimizedTrace re-runs the minimized spec once with tracing
+// on, so the artifact bundle carries a timeline of the smallest repro
+// (Minimize itself runs trace-free — its probe runs would clobber each
+// other).
+func captureMinimizedTrace(seed int64, minSpec string, opts chaos.Options) {
+	if *artifacts == "" {
+		return
+	}
+	opts.Journal = nil
+	opts.TraceDir = filepath.Join(*artifacts, fmt.Sprintf("seed-%d", seed), "minimized")
+	out := chaos.RunSpec(seed, minSpec, opts)
+	if out.Err != nil {
+		fmt.Fprintf(os.Stderr, "harechaos: minimized-trace capture: %v\n", out.Err)
+		return
+	}
+	fmt.Printf("harechaos:   minimized repro trace: %s\n", filepath.Join(opts.TraceDir, "merged_trace.json"))
 }
 
 // persistViolation writes the report next to the seed's WAL so a CI

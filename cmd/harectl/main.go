@@ -48,13 +48,23 @@ func main() {
 	}
 	cmd, cmdArgs := rest[0], rest[1:]
 
-	// tail and stats hit the HTTP debug listener, not the RPC port.
+	// tail, stats and top hit the HTTP debug listener, not the RPC
+	// port; mergetrace and wal work offline on run artifacts.
 	switch cmd {
 	case "tail":
 		tail(*debugAddr, cmdArgs)
 		return
 	case "stats":
 		stats(*debugAddr, cmdArgs)
+		return
+	case "top":
+		top(*debugAddr, cmdArgs)
+		return
+	case "mergetrace":
+		mergetrace(cmdArgs)
+		return
+	case "wal":
+		wal(cmdArgs)
 		return
 	}
 
@@ -93,7 +103,16 @@ commands:
                       show recent events from the daemon's ring buffer
   stats [-family F]   dump the daemon's metrics (text exposition),
                       optionally only families containing F
-                      (e.g. -family hare_perf, -family hare_runtime)`)
+                      (e.g. -family hare_perf, -family hare_runtime)
+  top [-interval D] [-once]
+                      live per-GPU cluster view of a distributed run
+                      (occupancy, queue depth, lease age, fencing,
+                      executor reconnects) polled from the debug listener
+  mergetrace [-o out.json] [-wire] <stream-dir>
+                      merge per-process *.events.jsonl streams into one
+                      clock-aligned chrome trace (open in a trace viewer)
+  wal <journal-dir>   render a coordinator journal (snapshot + WAL) as a
+                      timeline and cross-check LSN continuity`)
 }
 
 func submit(c *manager.Client, args []string) {

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"hare/internal/metrics"
+	"hare/internal/obs"
+)
+
+// harectl top: a live cluster view of the distributed control plane,
+// polled from the daemon's debug listener (/metrics + /events). Frame
+// rendering is a pure function of the fetched samples and events so it
+// can be tested headlessly against a stub server.
+
+func top(debugAddr string, args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	interval := fs.Duration("interval", 2*time.Second, "refresh period")
+	once := fs.Bool("once", false, "render a single frame and exit (no screen clearing)")
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	for {
+		frame := fetchTopFrame(debugAddr)
+		if *once {
+			fmt.Print(frame)
+			return
+		}
+		// Home + clear-to-end keeps the frame flicker-free.
+		fmt.Print("\033[H\033[2J" + frame)
+		time.Sleep(*interval)
+	}
+}
+
+// fetchTopFrame polls the debug listener and renders one frame.
+func fetchTopFrame(debugAddr string) string {
+	mBody := get(fmt.Sprintf("http://%s/metrics", debugAddr))
+	samples, err := obs.ParseText(mBody)
+	mBody.Close()
+	if err != nil {
+		fatal(fmt.Errorf("parse /metrics: %w", err))
+	}
+	eBody := get(fmt.Sprintf("http://%s/events?n=64", debugAddr))
+	events, err := obs.ReadJSONL(eBody)
+	eBody.Close()
+	if err != nil {
+		fatal(fmt.Errorf("parse /events: %w", err))
+	}
+	return topFrame(samples, events)
+}
+
+// gpuTopRow accumulates one GPU's per-label samples.
+type gpuTopRow struct {
+	queue, inflight, fenced, leaseAgeMS, reconnects float64
+}
+
+// topFrame renders the cluster view: a coordinator summary line, the
+// per-GPU table, and the most recent control-plane events.
+func topFrame(samples []obs.Sample, events []obs.Event) string {
+	scalar := func(name string) (float64, bool) {
+		for _, s := range samples {
+			if s.Name == name && len(s.Labels) == 0 {
+				return s.Value, true
+			}
+		}
+		return 0, false
+	}
+	gpus := map[int]*gpuTopRow{}
+	row := func(g int) *gpuTopRow {
+		if gpus[g] == nil {
+			gpus[g] = &gpuTopRow{}
+		}
+		return gpus[g]
+	}
+	for _, s := range samples {
+		gl := s.Label("gpu")
+		if gl == "" {
+			continue
+		}
+		g, err := strconv.Atoi(gl)
+		if err != nil {
+			continue
+		}
+		switch s.Name {
+		case "hare_dist_queue_depth":
+			row(g).queue = s.Value
+		case "hare_dist_inflight":
+			row(g).inflight = s.Value
+		case "hare_dist_fenced":
+			row(g).fenced = s.Value
+		case "hare_dist_lease_age_ms":
+			row(g).leaseAgeMS = s.Value
+		case "hare_exec_reconnects_total":
+			row(g).reconnects = s.Value
+		}
+	}
+
+	var b strings.Builder
+	epoch, haveEpoch := scalar("hare_coord_epoch")
+	tasksLeft, _ := scalar("hare_dist_tasks_left")
+	bound, _ := scalar("hare_dist_lease_bound_ms")
+	snaps, _ := scalar("hare_coord_snapshots_total")
+	recov, _ := scalar("hare_coord_recoveries_total")
+	walN, _ := scalar("hare_wal_appends_total")
+	if !haveEpoch && len(gpus) == 0 {
+		b.WriteString("no distributed run observed (is a batch executing on the distributed backend?)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "coordinator: epoch %.0f  tasks left %.0f  lease bound %.0fms  wal appends %.0f  snapshots %.0f  recoveries %.0f\n\n",
+		epoch, tasksLeft, bound, walN, snaps, recov)
+
+	ids := make([]int, 0, len(gpus))
+	for g := range gpus {
+		ids = append(ids, g)
+	}
+	sort.Ints(ids)
+	var rows [][]string
+	for _, g := range ids {
+		r := gpus[g]
+		state := "idle"
+		lease := "-"
+		switch {
+		case r.fenced > 0:
+			state = "FENCED"
+		case r.inflight > 0:
+			state = "run"
+		}
+		if r.fenced == 0 && r.leaseAgeMS >= 0 {
+			lease = fmt.Sprintf("%.0f/%.0fms", r.leaseAgeMS, bound)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", g), state,
+			fmt.Sprintf("%.0f", r.inflight),
+			fmt.Sprintf("%.0f", r.queue),
+			lease,
+			fmt.Sprintf("%.0f", r.reconnects),
+		})
+	}
+	b.WriteString(metrics.Table([]string{"gpu", "state", "inflight", "queue", "lease age", "reconnects"}, rows))
+
+	b.WriteString("\nrecent control-plane events:\n")
+	shown := 0
+	for i := len(events) - 1; i >= 0 && shown < 8; i-- {
+		switch events[i].Type {
+		case obs.EvLeaseExpired, obs.EvGPUFailed, obs.EvWALSnapshot,
+			obs.EvRecoveryReplay, obs.EvCoordRecovered, obs.EvNetFault, obs.EvTaskMigrated:
+			fmt.Fprintf(&b, "  %s\n", events[i].Format())
+			shown++
+		}
+	}
+	if shown == 0 {
+		b.WriteString("  (none)\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hare/internal/obs/dtrace"
+	"hare/internal/rpcnet"
+)
+
+// Offline forensics subcommands: mergetrace fuses per-process event
+// streams into one chrome trace, wal renders a coordinator journal as
+// a human-readable timeline. Both work on run artifacts (a chaos
+// harness TraceDir / artifact dir, or a hared -trace-dir), no daemon
+// required.
+
+// mergetrace merges a directory of *.events.jsonl streams.
+func mergetrace(args []string) {
+	fs := flag.NewFlagSet("mergetrace", flag.ExitOnError)
+	out := fs.String("o", "merged_trace.json", "output chrome trace path")
+	wire := fs.Bool("wire", false, "also print per-method wire-time totals")
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("usage: mergetrace [-o out.json] [-wire] <stream-dir>"))
+	}
+	streams, err := dtrace.ReadDir(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	offsets, err := dtrace.WriteChrome(f, streams)
+	if err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("merged %d streams -> %s\n", len(streams), *out)
+	for _, o := range offsets {
+		fmt.Printf("  %-8s offset %+.6fs (%d rpc pairs)\n", o.Proc, o.Seconds, o.Pairs)
+	}
+	if *wire {
+		merged, _, err := dtrace.Merge(streams)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("wire time by method:")
+		for _, w := range dtrace.Wire(merged) {
+			fmt.Printf("  %-16s calls %-6d total %8.3fs  max %.4fs\n", w.Method, w.Calls, w.Total, w.Max)
+		}
+	}
+}
+
+// wal renders a coordinator journal directory.
+func wal(args []string) {
+	if len(args) != 1 {
+		fatal(fmt.Errorf("usage: wal <journal-dir>"))
+	}
+	d, err := rpcnet.InspectDir(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	d.WriteText(os.Stdout)
+	if len(d.Gaps) > 0 {
+		os.Exit(1)
+	}
+}

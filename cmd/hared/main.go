@@ -44,6 +44,7 @@ var (
 	useSim    = flag.Bool("sim", false, "execute batches on the simulator instead of the testbed")
 	backendNm = flag.String("backend", "", "batch executor: testbed, sim, or dist (default testbed; overrides -sim)")
 	walDir    = flag.String("wal-dir", "", "durable WAL/snapshot directory for the dist backend; leftover state is recovered at boot")
+	traceDir  = flag.String("trace-dir", "", "capture a distributed trace per batch under DIR/batch-N (dist backend): per-process event streams, flight dumps, merged_trace.json")
 	faultSpec = flag.String("fault-spec", "", "fault injection applied to every batch: rate=R,seed=S,fail=G@T,slow=GxF,netdrop=P,netdelay=A~B,partition=G@T+D")
 	timescale = flag.Float64("timescale", 1e-3, "testbed clock scale (wall s per simulated s)")
 	batches   = flag.Int("batches-per-task", 0, "profiler mini-batches per task (0 = default)")
@@ -132,6 +133,9 @@ func buildBackend(fplan *faults.Plan, rec *obs.Recorder, reg *obs.Registry) (man
 	if name != "dist" && !fplan.NetModel().Empty() {
 		return nil, fmt.Errorf("network chaos in -fault-spec requires -backend dist")
 	}
+	if name != "dist" && *traceDir != "" {
+		return nil, fmt.Errorf("-trace-dir captures distributed control-plane traces; it requires -backend dist")
+	}
 	switch name {
 	case "sim":
 		return &manager.SimBackend{Faults: fplan, Recorder: rec, Metrics: reg}, nil
@@ -160,7 +164,7 @@ func buildBackend(fplan *faults.Plan, rec *obs.Recorder, reg *obs.Registry) (man
 		}
 		return &manager.DistributedBackend{
 			TimeScale: *timescale, Faults: fplan, Journal: journal,
-			Recorder: rec, Metrics: reg,
+			Recorder: rec, Metrics: reg, TraceDir: *traceDir,
 		}, nil
 	}
 	return nil, fmt.Errorf("unknown backend %q (want testbed, sim, or dist)", name)

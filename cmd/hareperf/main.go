@@ -54,6 +54,16 @@ var defaultRatios = []perf.RatioGate{
 		Num: "BenchmarkObsEnabledRing", Den: "BenchmarkSimulatorReplay",
 		Threshold: 0.60, Max: 3.0,
 	},
+	// The control-plane RPC wrapper (rpcnet's per-call Start/Observe
+	// around every coordinator/executor RPC) must stay near-free when
+	// observation is off: the nil path is a couple of branch tests, so
+	// it genuinely costs well under half of the fully-on path. A broken
+	// nil path (a clock read or emit per call) lands near 1.0 and fails.
+	{
+		Name: "rpc-obs-off-overhead", Metric: "ns/op",
+		Num: "BenchmarkObsRPCDisabled", Den: "BenchmarkObsRPCEnabledRing",
+		Threshold: 0.60, Max: 0.5,
+	},
 }
 
 // defaultAbs are absolute allocation caps. allocs/op is deterministic
@@ -65,6 +75,9 @@ var defaultRatios = []perf.RatioGate{
 var defaultAbs = []perf.AbsGate{
 	{Name: "replay-allocs", Bench: "BenchmarkSimulatorReplay", Metric: "allocs/op", Max: 1100},
 	{Name: "pooled-replay-allocs", Bench: "BenchmarkPooledReplay", Metric: "allocs/op", Max: 64},
+	// The observation-off RPC wrapper allocates nothing, ever: its nil
+	// handles never touch the event or timer beyond stack values.
+	{Name: "rpc-obs-nil-allocs", Bench: "BenchmarkObsRPCDisabled", Metric: "allocs/op", Max: 0},
 }
 
 func main() {

@@ -51,6 +51,11 @@ type Options struct {
 	// Recorder and Metrics observe the run. Both optional.
 	Recorder *obs.Recorder
 	Metrics  *obs.Registry
+	// TraceDir, when set, captures distributed traces: one
+	// <proc>.events.jsonl per process (coord, gpu0..gpuN), flight-ring
+	// dumps at kills and violations, and the cross-process merge as
+	// merged_trace.json. The Recorder's sinks still see every event.
+	TraceDir string
 	// Logf, when set, receives progress lines (e.g. t.Logf or a -v
 	// printer).
 	Logf func(format string, args ...any)
@@ -228,6 +233,11 @@ func (h *harness) run(fplan *faults.Plan) Outcome {
 		journal = rpcnet.NewMemJournal()
 	}
 	st := store.NewMem()
+	tr, err := newRunTrace(h.opts.TraceDir, h.cl.Size(), h.opts.Recorder)
+	if err != nil {
+		out.Err = err
+		return out
+	}
 
 	type runEnd struct {
 		out Outcome
@@ -249,7 +259,7 @@ func (h *harness) run(fplan *faults.Plan) Outcome {
 			SnapshotEvery:     soakSnapEvery,
 			HeartbeatInterval: soakHeartbeat,
 			LeaseTimeout:      soakLease,
-			Recorder:          h.opts.Recorder,
+			Recorder:          tr.coordRec(h.opts.Recorder),
 			Metrics:           h.opts.Metrics,
 		})
 		if err != nil {
@@ -271,7 +281,7 @@ func (h *harness) run(fplan *faults.Plan) Outcome {
 					Chaos:         fplan.NetModel(),
 					ChaosSeed:     fplan.NetSeed(),
 					MaxReconnects: soakReconnects,
-					Recorder:      h.opts.Recorder,
+					Recorder:      tr.execRec(g, h.opts.Recorder),
 					Metrics:       h.opts.Metrics,
 				})
 			}(g)
@@ -311,13 +321,14 @@ func (h *harness) run(fplan *faults.Plan) Outcome {
 				// Planned kill: serve the outage, then recover from the
 				// journal on the same address so executors find it.
 				h.opts.logf("seed %d: coordinator killed at outage %d/%d, down %v", h.seed, kills+1, len(downs), downs[kills].Dur)
+				tr.onKill()
 				time.Sleep(downs[kills].Dur)
 				downtime += downs[kills].Dur
 				kills++
 				srv, _, wait, err = rpcnet.RecoverDistributed(bound, journal, rpcnet.RecoverOptions{
 					Store:          st,
 					ReconnectGrace: soakGrace,
-					Recorder:       h.opts.Recorder,
+					Recorder:       tr.coordRec(h.opts.Recorder),
 					Metrics:        h.opts.Metrics,
 				})
 				if err != nil {
@@ -341,17 +352,22 @@ func (h *harness) run(fplan *faults.Plan) Outcome {
 		done <- runEnd{h.check(out, res, st, execErrs, fplan, kills, downtime)}
 	}()
 
+	var final Outcome
 	select {
 	case end := <-done:
-		return end.out
+		final = end.out
 	case <-time.After(h.opts.watchdog()):
 		last.mu.Lock()
 		if last.srv != nil {
 			_ = last.srv.Kill()
 		}
 		last.mu.Unlock()
-		return viol("liveness", "run exceeded the %v watchdog: lost or orphaned tasks", h.opts.watchdog())
+		final = viol("liveness", "run exceeded the %v watchdog: lost or orphaned tasks", h.opts.watchdog())
 	}
+	if err := tr.finish(final.Violation != nil); err != nil {
+		h.opts.logf("seed %d: %v", h.seed, err)
+	}
+	return final
 }
 
 // check verifies every invariant of a completed run.

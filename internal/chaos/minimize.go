@@ -22,7 +22,11 @@ const maxMinimizeRuns = 24
 func Minimize(seed int64, spec string, opts Options) (minSpec string, runs int, reproduced bool, err error) {
 	// The minimizer owns journal lifetime: every re-run gets a fresh
 	// in-memory journal regardless of what the caller's runs used.
+	// Tracing is off during the search — dozens of probe runs would
+	// overwrite each other's streams; the caller re-runs the minimized
+	// spec with a TraceDir to capture its timeline.
 	opts.Journal = nil
+	opts.TraceDir = ""
 	jobs := GenerateScenario(seed).Jobs
 	if opts.Jobs > 0 {
 		jobs = opts.Jobs

@@ -1,0 +1,85 @@
+package chaos
+
+import (
+	"fmt"
+
+	"hare/internal/obs"
+	"hare/internal/obs/dtrace"
+)
+
+// Per-run distributed tracing: when Options.TraceDir is set, the soak
+// harness gives the coordinator and each executor its own
+// dtrace.ProcStream (durable JSONL + flight ring), dumps flight rings
+// at forensic moments (coordinator kills, violations), and renders the
+// cross-process merge as merged_trace.json next to the streams. The
+// caller's shared Recorder keeps seeing every event — its sinks ride
+// along as extra sinks of each per-process recorder.
+
+// flightCap is each process's flight-ring capacity. Sized to hold the
+// full RPC churn of several rounds — enough context around a violation
+// without unbounded memory.
+const flightCap = 512
+
+// runTrace is one soak run's tracing state.
+type runTrace struct {
+	fleet *dtrace.Fleet
+}
+
+// newRunTrace builds the per-process streams, or returns nil when
+// tracing is off (empty TraceDir).
+func newRunTrace(dir string, gpus int, shared *obs.Recorder) (*runTrace, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	fleet, err := dtrace.NewFleet(dir, gpus, flightCap, shared.Sinks()...)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: trace: %w", err)
+	}
+	return &runTrace{fleet: fleet}, nil
+}
+
+// coordRec is the coordinator's recorder (the caller's shared recorder
+// when tracing is off). The same stream spans every coordinator
+// incarnation of the run, so seq stays monotone across recoveries.
+func (t *runTrace) coordRec(def *obs.Recorder) *obs.Recorder {
+	if t == nil {
+		return def
+	}
+	return t.fleet.CoordRecorder(def)
+}
+
+// execRec is GPU g's recorder (shared recorder when tracing is off).
+func (t *runTrace) execRec(g int, def *obs.Recorder) *obs.Recorder {
+	if t == nil {
+		return def
+	}
+	return t.fleet.ExecRecorder(g, def)
+}
+
+// onKill captures forensics at a coordinator kill: the coordinator's
+// flight ring (the events leading into the crash) plus an fsync of
+// every stream's tail.
+func (t *runTrace) onKill() {
+	if t == nil {
+		return
+	}
+	_ = t.fleet.Coord.DumpFlight()
+	t.fleet.Sync()
+}
+
+// finish ends the run's tracing: on a violation every process's flight
+// ring is dumped first, then all streams are closed (flush + fsync) and
+// the cross-process merge is written as merged_trace.json. Merge
+// failures are reported but never override the run's outcome.
+func (t *runTrace) finish(violated bool) error {
+	if t == nil {
+		return nil
+	}
+	if violated {
+		t.fleet.DumpFlights()
+	}
+	if err := t.fleet.Close(); err != nil {
+		return fmt.Errorf("chaos: merge trace: %w", err)
+	}
+	return nil
+}

@@ -103,6 +103,14 @@ func DefaultPolicy(module string) Policy {
 	// parent obs, which owns the raw sinks.
 	per[module+"/internal/obs/span"] = engine
 	per[module+"/internal/obs/critpath"] = engine
+	// dtrace merges per-process streams into one timeline that must be
+	// a deterministic function of the streams, so it gets the engine
+	// tier — except obsrecorder: the ProcStream half legitimately
+	// constructs raw sinks (JSONL files, flight rings) on obs's behalf.
+	per[module+"/internal/obs/dtrace"] = Rules{
+		MapRange: LevelError, WallTime: LevelError,
+		GlobalRand: LevelError, FloatEq: LevelError, ObsRecorder: LevelOff,
+	}
 	realtime := Rules{
 		MapRange: LevelError, WallTime: LevelOff,
 		GlobalRand: LevelError, FloatEq: LevelWarn, ObsRecorder: LevelWarn,

@@ -2,6 +2,7 @@ package manager
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"hare/internal/faults"
 	"hare/internal/model"
 	"hare/internal/obs"
+	"hare/internal/obs/dtrace"
 	"hare/internal/rpcnet"
 	"hare/internal/store"
 	"hare/internal/trace"
@@ -41,6 +43,16 @@ type DistributedBackend struct {
 	// counters. Both optional.
 	Recorder *obs.Recorder
 	Metrics  *obs.Registry
+	// TraceDir, when set, captures one distributed trace per executed
+	// batch under TraceDir/batch-N: a per-process event stream for the
+	// coordinator and each executor, flight-recorder dumps, and the
+	// cross-process merge as merged_trace.json (readable with `harectl
+	// mergetrace` / a chrome trace viewer). The Recorder still sees
+	// every event.
+	TraceDir string
+
+	mu      sync.Mutex
+	batches int
 }
 
 // Execute implements Backend.
@@ -56,6 +68,19 @@ func (b *DistributedBackend) Execute(in *core.Instance, plan *core.Schedule, cl 
 	if n := b.Faults.NetModel(); len(n.SortedCoordDowns()) > 0 {
 		return nil, nil, fmt.Errorf("manager: codown windows are orchestrated by the chaos harness (harechaos), not the distributed backend")
 	}
+	var fleet *dtrace.Fleet
+	if b.TraceDir != "" {
+		b.mu.Lock()
+		b.batches++
+		n := b.batches
+		b.mu.Unlock()
+		var err error
+		fleet, err = dtrace.NewFleet(filepath.Join(b.TraceDir, fmt.Sprintf("batch-%d", n)),
+			cl.Size(), 512, b.Recorder.Sinks()...)
+		if err != nil {
+			return nil, nil, fmt.Errorf("manager: trace: %w", err)
+		}
+	}
 	_, bound, wait, err := rpcnet.ServeDistributed(addr, in, plan, cl, models, rpcnet.DistributedOptions{
 		TimeScale:         ts,
 		Store:             b.Store,
@@ -63,7 +88,7 @@ func (b *DistributedBackend) Execute(in *core.Instance, plan *core.Schedule, cl 
 		Journal:           b.Journal,
 		HeartbeatInterval: b.HeartbeatInterval,
 		LeaseTimeout:      b.LeaseTimeout,
-		Recorder:          b.Recorder,
+		Recorder:          fleet.CoordRecorder(b.Recorder),
 		Metrics:           b.Metrics,
 	})
 	if err != nil {
@@ -80,7 +105,7 @@ func (b *DistributedBackend) Execute(in *core.Instance, plan *core.Schedule, cl 
 			_ = rpcnet.RunExecutorOpts(bound, g, rpcnet.ExecutorOptions{
 				Chaos:     b.Faults.NetModel(),
 				ChaosSeed: b.Faults.NetSeed(),
-				Recorder:  b.Recorder,
+				Recorder:  fleet.ExecRecorder(g, b.Recorder),
 				Metrics:   b.Metrics,
 			})
 		}(g)
@@ -88,7 +113,15 @@ func (b *DistributedBackend) Execute(in *core.Instance, plan *core.Schedule, cl 
 	res, err := wait()
 	wg.Wait()
 	if err != nil {
+		// A failed batch is exactly when the flight rings matter.
+		fleet.DumpFlights()
+		if cerr := fleet.Close(); cerr != nil {
+			return nil, nil, fmt.Errorf("%w (trace merge also failed: %v)", err, cerr)
+		}
 		return nil, nil, err
+	}
+	if err := fleet.Close(); err != nil {
+		return nil, nil, fmt.Errorf("manager: trace: %w", err)
 	}
 	return res.JobCompletion, res.Trace, nil
 }

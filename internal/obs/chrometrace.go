@@ -22,6 +22,7 @@ const (
 	ChromePidScheduler = 1 // Algorithm 1 decisions, tid = chosen GPU
 	ChromePidJobs      = 2 // submit/complete instants, tid = job
 	ChromePidSpans     = 3 // nested causal spans, tid = job
+	ChromePidControl   = 4 // control-plane RPC/lease/WAL lanes, tid = GPU (-1 = coordinator)
 )
 
 // chromeEvent is one entry of the trace-event JSON array.
@@ -165,6 +166,50 @@ func WriteChromeTraceSpans(w io.Writer, events []Event, spans []ChromeSpan) erro
 				Pid: ChromePidJobs, Tid: e.Job, S: "p",
 				Args: map[string]any{"note": e.Note},
 			})
+		case EvRPCClient, EvRPCServer:
+			// Both ends of one call land on the same GPU lane of the
+			// control-plane process; the coordinator's handler slice
+			// nests inside the executor's call slice (same clock, so
+			// the uncovered margins read directly as wire time).
+			touch(ChromePidControl, e.GPU)
+			cat, name := "rpc-server", e.Note
+			if e.Type == EvRPCClient {
+				cat, name = "rpc-client", e.Note+" call"
+			}
+			out = append(out, chromeEvent{
+				Name: name, Cat: cat, Ph: "X",
+				Ts: e.Time * usec, Dur: e.Dur * usec,
+				Pid: ChromePidControl, Tid: e.GPU,
+				Args: map[string]any{"call": e.Call, "epoch": e.Epoch, "lsn": e.LSN, "seq": e.Seq},
+			})
+		case EvLeaseRenew, EvLeaseExpired:
+			touch(ChromePidControl, e.GPU)
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("%s gpu%d", e.Type, e.GPU),
+				Cat:  "lease", Ph: "i",
+				Ts:  e.Time * usec,
+				Pid: ChromePidControl, Tid: e.GPU, S: "t",
+				Args: map[string]any{"age": e.Dur, "note": e.Note},
+			})
+		case EvNetFault:
+			touch(ChromePidControl, e.GPU)
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("net.fault %s", e.Note),
+				Cat:  "chaos", Ph: "i",
+				Ts:  e.Time * usec,
+				Pid: ChromePidControl, Tid: e.GPU, S: "t",
+				Args: map[string]any{"note": e.Note, "delay": e.Dur},
+			})
+		case EvWALAppend, EvWALSnapshot, EvRecoveryReplay, EvCoordRecovered:
+			// The journal reads as one strip on the coordinator lane.
+			touch(ChromePidControl, -1)
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("%s lsn=%d", e.Type, e.LSN),
+				Cat:  "wal", Ph: "i",
+				Ts:  e.Time * usec,
+				Pid: ChromePidControl, Tid: -1, S: "t",
+				Args: map[string]any{"lsn": e.LSN, "kind": e.Note, "gpu": e.GPU, "bytes": e.Bytes},
+			})
 		}
 	}
 
@@ -229,8 +274,19 @@ func WriteChromeTraceSpans(w io.Writer, events []Event, spans []ChromeSpan) erro
 		})
 	}
 	var laneList []lane
+	control := false
+	//lint:ordered collected lanes are sorted by (pid, tid) just below
 	for l := range lanes {
 		laneList = append(laneList, l)
+		if l.pid == ChromePidControl {
+			control = true
+		}
+	}
+	if control {
+		meta = append(meta, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: ChromePidControl,
+			Args: map[string]any{"name": "control-plane"},
+		})
 	}
 	sort.Slice(laneList, func(i, j int) bool {
 		if laneList[i].pid != laneList[j].pid {
@@ -242,6 +298,9 @@ func WriteChromeTraceSpans(w io.Writer, events []Event, spans []ChromeSpan) erro
 		name := fmt.Sprintf("GPU %d", l.tid)
 		if l.pid == ChromePidJobs || l.pid == ChromePidSpans {
 			name = fmt.Sprintf("job %d", l.tid)
+		}
+		if l.pid == ChromePidControl && l.tid < 0 {
+			name = "coordinator"
 		}
 		meta = append(meta, chromeEvent{
 			Name: "thread_name", Ph: "M", Pid: l.pid, Tid: l.tid,

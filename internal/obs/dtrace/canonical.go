@@ -1,0 +1,94 @@
+package dtrace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hare/internal/obs"
+)
+
+// Canonical renders the run's logical control-plane timeline in a form
+// that is byte-identical across replays of the same seed: it keeps
+// only outcomes the plan and fault plan determine — which GPU ran each
+// task, which GPUs were fenced and why, how many times the coordinator
+// recovered — and none of the wall-clock-dependent timestamps or
+// interleavings. This is the artifact the merge-determinism golden
+// test pins: timing chaos (netdelay, netreorder) may shuffle the
+// physical timeline arbitrarily, but must never change this view.
+func Canonical(streams []Stream) string {
+	var tasks []obs.Event
+	var fences []obs.Event
+	recoveries := 0
+	jobsDone := map[int]bool{}
+	for _, s := range streams {
+		for _, e := range s.Events {
+			switch e.Type {
+			case obs.EvTaskFinish:
+				tasks = append(tasks, e)
+			case obs.EvGPUFailed:
+				fences = append(fences, e)
+			case obs.EvCoordRecovered:
+				recoveries++
+			case obs.EvJobComplete:
+				jobsDone[e.Job] = true
+			}
+		}
+	}
+	sort.Slice(tasks, func(i, j int) bool {
+		a, b := tasks[i], tasks[j]
+		if a.Job != b.Job {
+			return a.Job < b.Job
+		}
+		if a.Round != b.Round {
+			return a.Round < b.Round
+		}
+		return a.Index < b.Index
+	})
+	sort.Slice(fences, func(i, j int) bool {
+		if fences[i].GPU != fences[j].GPU {
+			return fences[i].GPU < fences[j].GPU
+		}
+		return reasonClass(fences[i].Note) < reasonClass(fences[j].Note)
+	})
+	var jobs []int
+	for j := range jobsDone {
+		jobs = append(jobs, j)
+	}
+	sort.Ints(jobs)
+
+	var b strings.Builder
+	b.WriteString("canonical control-plane timeline v1\n")
+	fmt.Fprintf(&b, "tasks %d\n", len(tasks))
+	for _, e := range tasks {
+		fmt.Fprintf(&b, "task j%d r%d.%d gpu=%d\n", e.Job, e.Round, e.Index, e.GPU)
+	}
+	for _, e := range fences {
+		fmt.Fprintf(&b, "fence gpu=%d reason=%s\n", e.GPU, reasonClass(e.Note))
+	}
+	fmt.Fprintf(&b, "recoveries %d\n", recoveries)
+	for _, j := range jobs {
+		fmt.Fprintf(&b, "job-complete j%d\n", j)
+	}
+	return b.String()
+}
+
+// reasonClass collapses a fence reason to its stable class — the
+// free-text part carries timings that vary run to run.
+func reasonClass(note string) string {
+	switch {
+	case strings.Contains(note, "lease"):
+		return "lease"
+	case strings.Contains(note, "report"), strings.Contains(note, "executor"):
+		return "executor"
+	case strings.Contains(note, "device"), strings.Contains(note, "fault"):
+		return "device"
+	}
+	if note == "" {
+		return "unknown"
+	}
+	if i := strings.IndexByte(note, ' '); i > 0 {
+		return note[:i]
+	}
+	return note
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Reading the text exposition format back. WriteText is how a hared
+// process publishes its registry on /metrics; ParseText is the other
+// half, used by `harectl top` (and tests) to turn a scrape back into
+// samples without a Prometheus dependency.
+
+// Sample is one parsed metric sample: the family name with its labels
+// split out.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the sample's value for one label key ("" when absent).
+func (s Sample) Label(key string) string { return s.Labels[key] }
+
+// ParseText parses a text-exposition scrape (the output of WriteText)
+// into samples, in input order. `# TYPE` and other comment lines are
+// skipped; histogram series surface as their underlying _bucket /
+// _sum / _count samples.
+func ParseText(r io.Reader) ([]Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var out []Sample
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		s, err := parseSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("obs: metrics line %d: %w", line, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: read metrics: %w", err)
+	}
+	return out, nil
+}
+
+func parseSample(text string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	name := text
+	rest := ""
+	if i := strings.IndexByte(text, '{'); i >= 0 {
+		name = text[:i]
+		close := strings.LastIndexByte(text, '}')
+		if close < i {
+			return s, fmt.Errorf("unterminated label set in %q", text)
+		}
+		if err := parseLabels(text[i+1:close], s.Labels); err != nil {
+			return s, err
+		}
+		rest = strings.TrimSpace(text[close+1:])
+	} else if sp := strings.IndexAny(text, " \t"); sp >= 0 {
+		name = text[:sp]
+		rest = strings.TrimSpace(text[sp:])
+	} else {
+		return s, fmt.Errorf("no value in %q", text)
+	}
+	s.Name = name
+	if rest == "" {
+		return s, fmt.Errorf("no value in %q", text)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses `k1="v1",k2="v2"` (values are Go-quoted, as
+// WriteText emits them via %q).
+func parseLabels(text string, into map[string]string) error {
+	for text != "" {
+		eq := strings.IndexByte(text, '=')
+		if eq < 0 {
+			return fmt.Errorf("bad label in %q", text)
+		}
+		key := strings.TrimSpace(text[:eq])
+		rest := strings.TrimSpace(text[eq+1:])
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value in %q", text)
+		}
+		// Scan the quoted value, honoring backslash escapes.
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unterminated label value in %q", text)
+		}
+		val, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			return fmt.Errorf("bad label value %q: %w", rest[:end+1], err)
+		}
+		into[key] = val
+		text = strings.TrimSpace(rest[end+1:])
+		if text == "" {
+			break
+		}
+		if text[0] != ',' {
+			return fmt.Errorf("bad label separator in %q", text)
+		}
+		text = strings.TrimSpace(text[1:])
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FlightRecorder is a per-process crash forensics ring: it retains the
+// last-N events the process emitted and can dump them to disk on
+// demand — on a crash, a fence, or an invariant violation — so the
+// moments leading up to a failure survive even when the process's main
+// event stream was cut mid-line. It is a thin wrapper over RingSink
+// whose only addition is the durable dump.
+type FlightRecorder struct {
+	ring *RingSink
+}
+
+// NewFlightRecorder returns a flight recorder retaining the last
+// capacity events (minimum 1).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	return &FlightRecorder{ring: NewRingSink(capacity)}
+}
+
+// Record implements Sink (nil-safe).
+func (f *FlightRecorder) Record(e Event) {
+	if f == nil {
+		return
+	}
+	f.ring.Record(e)
+}
+
+// Snapshot returns the retained events oldest-first.
+func (f *FlightRecorder) Snapshot() []Event {
+	if f == nil {
+		return nil
+	}
+	return f.ring.Snapshot()
+}
+
+// Dump writes the retained events to path as fsynced JSONL, replacing
+// any previous dump. A nil recorder dumps nothing and reports no
+// error.
+func (f *FlightRecorder) Dump(path string) error {
+	if f == nil {
+		return nil
+	}
+	return WriteEventsJSONL(path, f.ring.Snapshot())
+}
+
+// WriteEventsJSONL writes events to path as JSONL, fsyncing both the
+// file and (best-effort) its directory before returning, so the dump
+// survives an immediately following process kill.
+func WriteEventsJSONL(path string, events []Event) error {
+	sink, err := CreateJSONL(path)
+	if err != nil {
+		return err
+	}
+	for _, e := range events {
+		sink.Record(e)
+	}
+	if err := sink.Close(); err != nil {
+		return fmt.Errorf("obs: write %s: %w", path, err)
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync()
+		_ = dir.Close()
+	}
+	return nil
+}

@@ -15,8 +15,8 @@ import (
 type JSONLSink struct {
 	mu  sync.Mutex
 	bw  *bufio.Writer
-	c   io.Closer // underlying file, if we opened it
-	err error     // first write error, reported at Close
+	f   *os.File // underlying file, if we opened it (fsynced at Close)
+	err error    // first write error, reported at Close
 }
 
 // NewJSONLSink wraps an open writer. The caller keeps ownership of w;
@@ -26,13 +26,15 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 }
 
 // CreateJSONL opens (truncating) a JSONL event file that Close will
-// also close.
+// flush, fsync and close — event tails must survive the process being
+// killed right after Close returns (flight-recorder dumps and chaos
+// artifacts depend on it).
 func CreateJSONL(path string) (*JSONLSink, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("obs: create %s: %w", path, err)
 	}
-	return &JSONLSink{bw: bufio.NewWriter(f), c: f}, nil
+	return &JSONLSink{bw: bufio.NewWriter(f), f: f}, nil
 }
 
 // Record implements Sink. Encoding errors are sticky and surface at
@@ -65,21 +67,43 @@ func (s *JSONLSink) Flush() error {
 	return s.bw.Flush()
 }
 
-// Close flushes and, when the sink opened its own file, closes it. It
-// returns the first error seen by any Record call.
+// Sync flushes buffered lines and, when the sink owns its file, fsyncs
+// it — the durability point for event streams that must survive a
+// kill.
+func (s *JSONLSink) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncLocked()
+}
+
+func (s *JSONLSink) syncLocked() error {
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.bw.Flush(); err != nil {
+		return err
+	}
+	if s.f != nil {
+		return s.f.Sync()
+	}
+	return nil
+}
+
+// Close flushes, fsyncs and, when the sink opened its own file, closes
+// it. It returns the first error seen by any Record call.
 func (s *JSONLSink) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ferr := s.bw.Flush()
+	serr := s.syncLocked()
 	var cerr error
-	if s.c != nil {
-		cerr = s.c.Close()
+	if s.f != nil {
+		cerr = s.f.Close()
 	}
 	if s.err != nil {
 		return s.err
 	}
-	if ferr != nil {
-		return ferr
+	if serr != nil {
+		return serr
 	}
 	return cerr
 }

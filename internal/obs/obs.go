@@ -18,6 +18,7 @@ package obs
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Type enumerates the event taxonomy. The events mirror the paper's
@@ -83,6 +84,33 @@ const (
 	// write-ahead log: Time is the restored simulated watermark and
 	// Note carries "epoch=E pushes=N fenced=M" for the recovered state.
 	EvCoordRecovered
+	// EvRPCClient records one executor-side RPC: Note carries the
+	// method, Call the trace-context call id, Dur the call's duration
+	// in simulated seconds (wire time included), GPU the calling
+	// executor and Epoch the coordinator incarnation it targeted.
+	EvRPCClient
+	// EvRPCServer records the coordinator-side handling of the same
+	// call: matched to EvRPCClient by (GPU, Call), with LSN the journal
+	// watermark after the handler ran. The client/server duration gap
+	// is the wire (plus chaos-injected) time.
+	EvRPCServer
+	// EvLeaseRenew records a heartbeat renewing a GPU's lease; Dur is
+	// the simulated age of the previous lease at renewal.
+	EvLeaseRenew
+	// EvLeaseExpired records the lease monitor fencing a GPU: Dur is
+	// how long the lease had been silent (simulated seconds) and Note
+	// the expiry detail, mirrored by the gpu.failed event that follows.
+	EvLeaseExpired
+	// EvWALAppend records one durable journal append: LSN the record's
+	// log sequence number, Note the record kind (push/fence/report).
+	EvWALAppend
+	// EvWALSnapshot records a journal snapshot: LSN the watermark it
+	// folds in, Bytes the encoded snapshot size.
+	EvWALSnapshot
+	// EvRecoveryReplay records the WAL replay phase of a recovery:
+	// LSN the replay high-water mark, Note "snap=L replayed=N" for the
+	// snapshot cut point and the number of records re-applied.
+	EvRecoveryReplay
 )
 
 func (t Type) String() string {
@@ -119,13 +147,27 @@ func (t Type) String() string {
 		return "net.fault"
 	case EvCoordRecovered:
 		return "coord.recovered"
+	case EvRPCClient:
+		return "rpc.client"
+	case EvRPCServer:
+		return "rpc.server"
+	case EvLeaseRenew:
+		return "lease.renew"
+	case EvLeaseExpired:
+		return "lease.expired"
+	case EvWALAppend:
+		return "wal.append"
+	case EvWALSnapshot:
+		return "wal.snapshot"
+	case EvRecoveryReplay:
+		return "recovery.replay"
 	}
 	return fmt.Sprintf("Type(%d)", int(t))
 }
 
 // TypeByName resolves an event type from its String form.
 func TypeByName(name string) (Type, error) {
-	for t := EvTaskStart; t <= EvCoordRecovered; t++ {
+	for t := EvTaskStart; t <= EvRecoveryReplay; t++ {
 		if t.String() == name {
 			return t, nil
 		}
@@ -166,6 +208,16 @@ type Event struct {
 	Hit bool `json:"hit,omitempty"`
 	// Note is a short human label (model name, wait reason, scheme).
 	Note string `json:"note,omitempty"`
+	// Trace context (distributed control plane). Seq is the emitting
+	// process's monotonic event sequence (stamped by a seq recorder,
+	// see NewSeqRecorder); Call identifies one RPC across both ends;
+	// Epoch is the coordinator incarnation; LSN the journal watermark.
+	// Together (LSN, Seq) give cross-process merges a deterministic
+	// tie-break.
+	Seq   uint64 `json:"seq,omitempty"`
+	Call  uint64 `json:"call,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
+	LSN   uint64 `json:"lsn,omitempty"`
 }
 
 // Format renders the event as one compact human-readable line, the
@@ -205,10 +257,31 @@ func (e Event) Format() string {
 		detail = fmt.Sprintf(" (%s)", e.Note)
 	case EvCoordRecovered:
 		detail = fmt.Sprintf(" (%s)", e.Note)
+	case EvRPCClient, EvRPCServer:
+		detail = fmt.Sprintf(" %s call=%d epoch=%d dur=%.4fs", e.Note, e.Call, e.Epoch, e.Dur)
+		if e.LSN > 0 {
+			detail += fmt.Sprintf(" lsn=%d", e.LSN)
+		}
+	case EvLeaseRenew:
+		detail = fmt.Sprintf(" age=%.3fs", e.Dur)
+	case EvLeaseExpired:
+		detail = fmt.Sprintf(" silent=%.3fs (%s)", e.Dur, e.Note)
+	case EvWALAppend:
+		detail = fmt.Sprintf(" lsn=%d kind=%s", e.LSN, e.Note)
+	case EvWALSnapshot:
+		detail = fmt.Sprintf(" lsn=%d %dB", e.LSN, e.Bytes)
+	case EvRecoveryReplay:
+		detail = fmt.Sprintf(" lsn=%d (%s)", e.LSN, e.Note)
 	}
 	note := ""
-	if e.Note != "" && e.Type != EvBarrierWait && e.Type != EvGPUFailed {
-		note = " " + e.Note
+	switch e.Type {
+	case EvBarrierWait, EvGPUFailed, EvRPCClient, EvRPCServer,
+		EvLeaseExpired, EvWALAppend, EvRecoveryReplay:
+		// detail already renders the note
+	default:
+		if e.Note != "" {
+			note = " " + e.Note
+		}
 	}
 	return fmt.Sprintf("%12.3f %-14s%s%s%s", e.Time, e.Type, loc, detail, note)
 }
@@ -227,6 +300,9 @@ type Sink interface {
 // fan-out path a plain loop.
 type Recorder struct {
 	sinks []Sink
+	// seq, when non-nil, stamps each emitted event with this process's
+	// monotonic sequence number (see NewSeqRecorder).
+	seq *atomic.Uint64
 }
 
 // NewRecorder builds a recorder over the given sinks (nil sinks are
@@ -241,6 +317,27 @@ func NewRecorder(sinks ...Sink) *Recorder {
 	return r
 }
 
+// NewSeqRecorder is NewRecorder plus trace-context sequencing: every
+// emitted event whose Seq is still zero is stamped with a per-recorder
+// monotonic counter, giving one process's stream a total order that
+// survives the round-trip through JSONL and lets cross-process merges
+// tie-break deterministically on (LSN, Seq).
+func NewSeqRecorder(sinks ...Sink) *Recorder {
+	r := NewRecorder(sinks...)
+	r.seq = new(atomic.Uint64)
+	return r
+}
+
+// Sinks returns the recorder's sink slice (nil-safe, read-only): used
+// by harnesses that fan one process's events into an extra per-process
+// stream without disturbing the original wiring.
+func (r *Recorder) Sinks() []Sink {
+	if r == nil {
+		return nil
+	}
+	return r.sinks
+}
+
 // Enabled reports whether emitting can have any effect. Hot paths
 // check it (or compare the recorder against nil) before building an
 // Event, so the disabled path costs one predictable branch.
@@ -250,6 +347,9 @@ func (r *Recorder) Enabled() bool { return r != nil && len(r.sinks) > 0 }
 func (r *Recorder) Emit(e Event) {
 	if r == nil {
 		return
+	}
+	if r.seq != nil && e.Seq == 0 {
+		e.Seq = r.seq.Add(1)
 	}
 	for _, s := range r.sinks {
 		s.Record(e)

@@ -59,7 +59,7 @@ func TestRingSinkOrderAndOverwrite(t *testing.T) {
 }
 
 func TestTypeByNameRoundTrip(t *testing.T) {
-	for typ := EvTaskStart; typ <= EvCoordRecovered; typ++ {
+	for typ := EvTaskStart; typ <= EvRecoveryReplay; typ++ {
 		back, err := TypeByName(typ.String())
 		if err != nil {
 			t.Fatalf("TypeByName(%q): %v", typ.String(), err)

@@ -74,7 +74,11 @@ const (
 var ErrCoordinatorDown = errors.New("rpcnet: coordinator down")
 
 // ExecutorConfigArgs selects the GPU asking for its configuration.
-type ExecutorConfigArgs struct{ GPU int }
+// Call is the trace-context call id (see PushArgs).
+type ExecutorConfigArgs struct {
+	GPU  int
+	Call uint64
+}
 
 // ExecutorConfigReply carries everything an external executor needs.
 type ExecutorConfigReply struct {
@@ -125,6 +129,8 @@ type NextArgs struct {
 	GPU   int
 	Seq   uint64
 	Epoch uint64
+	// Call is the trace-context call id (see PushArgs).
+	Call uint64
 }
 
 // NextReply carries one dispatched task, or Done when the run has no
@@ -134,10 +140,12 @@ type NextReply struct {
 	Done bool
 }
 
-// HeartbeatArgs renews a GPU's lease.
+// HeartbeatArgs renews a GPU's lease. Call is the trace-context call
+// id (see PushArgs).
 type HeartbeatArgs struct {
 	GPU   int
 	Epoch uint64
+	Call  uint64
 }
 
 // ReportArgs carries one executor's final status. Task measurements
@@ -148,6 +156,8 @@ type ReportArgs struct {
 	// Err is a non-empty string when the executor failed.
 	Err   string
 	Epoch uint64
+	// Call is the trace-context call id (see PushArgs).
+	Call uint64
 }
 
 // FenceInfo is one fencing decision, in order, for audit and invariant
@@ -254,6 +264,17 @@ type coordinator struct {
 
 	cFailures, cMigrated, cResched, cHeartbeats *obs.Counter
 	cStale, cDupPush, cSnapshots                *obs.Counter
+
+	// Control-plane tracing: per-method rpc.server observation handles
+	// (nil when both recorder and metrics are off) plus the lease/WAL
+	// counter families and the per-GPU gauges behind `harectl top`.
+	obsConfig, obsHeartbeat, obsNext, obsPush *obs.RPCMethod
+	obsWait, obsCkpt, obsReport               *obs.RPCMethod
+	cLeaseRenews, cLeaseExpiries, cWALAppends *obs.Counter
+	hLeaseAge                                 *obs.Histogram
+	gQueue, gInflight, gFenced, gLeaseAge     []*obs.Gauge
+	gEpoch, gTasksLeft, gLeaseBound           *obs.Gauge
+	gSnapBytes                                *obs.Gauge
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -365,7 +386,92 @@ func newCoordinator(in *core.Instance, queues [][]core.TaskRef, cl *cluster.Clus
 	for _, j := range in.Jobs {
 		co.pushed[j.ID] = make([]int, j.Rounds)
 	}
+
+	// Trace-context observation (all nil-safe when recorder and
+	// metrics are both off).
+	rpcObs := obs.NewRPCObserver(opts.Recorder, opts.Metrics, "server")
+	co.obsConfig = rpcObs.Method("Config")
+	co.obsHeartbeat = rpcObs.Method("Heartbeat")
+	co.obsNext = rpcObs.Method("Next")
+	co.obsPush = rpcObs.Method("Push")
+	co.obsWait = rpcObs.Method("WaitRound")
+	co.obsCkpt = rpcObs.Method("LoadCheckpoint")
+	co.obsReport = rpcObs.Method("Report")
+	co.cLeaseRenews = opts.Metrics.Counter("hare_lease_renewals_total")
+	co.cLeaseExpiries = opts.Metrics.Counter("hare_lease_expiries_total")
+	co.cWALAppends = opts.Metrics.Counter("hare_wal_appends_total")
+	co.hLeaseAge = opts.Metrics.Histogram("hare_lease_age_seconds", obs.DefSecondsBuckets)
+	co.gEpoch = opts.Metrics.Gauge("hare_coord_epoch")
+	co.gTasksLeft = opts.Metrics.Gauge("hare_dist_tasks_left")
+	co.gLeaseBound = opts.Metrics.Gauge("hare_dist_lease_bound_ms")
+	co.gSnapBytes = opts.Metrics.Gauge("hare_wal_snapshot_bytes")
+	co.gQueue = make([]*obs.Gauge, in.NumGPUs)
+	co.gInflight = make([]*obs.Gauge, in.NumGPUs)
+	co.gFenced = make([]*obs.Gauge, in.NumGPUs)
+	co.gLeaseAge = make([]*obs.Gauge, in.NumGPUs)
+	for g := 0; g < in.NumGPUs; g++ {
+		co.gQueue[g] = opts.Metrics.Gauge(fmt.Sprintf(`hare_dist_queue_depth{gpu="%d"}`, g))
+		co.gInflight[g] = opts.Metrics.Gauge(fmt.Sprintf(`hare_dist_inflight{gpu="%d"}`, g))
+		co.gFenced[g] = opts.Metrics.Gauge(fmt.Sprintf(`hare_dist_fenced{gpu="%d"}`, g))
+		co.gLeaseAge[g] = opts.Metrics.Gauge(fmt.Sprintf(`hare_dist_lease_age_ms{gpu="%d"}`, g))
+	}
+	co.gLeaseBound.Set(float64(opts.LeaseTimeout.Milliseconds()))
 	return co
+}
+
+// beginRPC starts rpc.server observation for one handler; it reads the
+// clock only when the method handle is live. finishRPC completes it,
+// stamping the trace context (GPU, call id, epoch, journal watermark)
+// onto the emitted rpc.server event.
+func (c *coordinator) beginRPC(m *obs.RPCMethod) obs.RPCTimer {
+	if !m.Active() {
+		return obs.RPCTimer{}
+	}
+	return m.Start(c.clock.Now())
+}
+
+func (c *coordinator) finishRPC(m *obs.RPCMethod, t obs.RPCTimer, gpu int, call, epoch uint64, err error) {
+	if !m.Active() {
+		return
+	}
+	m.Observe(t, c.clock.Now(), obs.Event{GPU: gpu, Call: call, Epoch: epoch, LSN: c.journal.LSN()}, err)
+}
+
+// walAppendedLocked records one durable WAL append on the counter and
+// (when tracing) the wal.append event. Caller holds c.mu and has
+// already journaled the record.
+func (c *coordinator) walAppendedLocked(simNow float64, gpu int, lsn uint64, kind string) {
+	c.cWALAppends.Inc()
+	if c.opts.Recorder.Enabled() {
+		c.opts.Recorder.Emit(obs.Event{
+			Type: obs.EvWALAppend, Time: simNow, GPU: gpu, Job: -1,
+			Epoch: c.epochNum, LSN: lsn, Note: kind,
+		})
+	}
+}
+
+// updateGaugesLocked refreshes the per-GPU /metrics gauges `harectl
+// top` renders: queue depth, in-flight, fence state and lease age
+// (milliseconds; -1 for fenced GPUs, whose leases no longer matter).
+// Caller holds c.mu.
+func (c *coordinator) updateGaugesLocked(now time.Time) {
+	c.gEpoch.Set(float64(c.epochNum))
+	c.gTasksLeft.Set(float64(c.tasksLeft))
+	for g := range c.queues {
+		c.gQueue[g].Set(float64(len(c.queues[g])))
+		inflight := 0.0
+		if c.inflight[g] != nil {
+			inflight = 1
+		}
+		c.gInflight[g].Set(inflight)
+		if c.failed[g] {
+			c.gFenced[g].Set(1)
+			c.gLeaseAge[g].Set(-1)
+		} else {
+			c.gFenced[g].Set(0)
+			c.gLeaseAge[g].Set(now.Sub(c.lease[g]).Seconds() * 1e3)
+		}
+	}
 }
 
 // checkEpochLocked rejects calls from an executor that handshook with
@@ -385,6 +491,13 @@ func (c *coordinator) checkEpochLocked(e uint64) error {
 // head of its queue, its dispatch sequence resets, and any Next
 // handler from a previous session is superseded.
 func (c *coordinator) Config(args ExecutorConfigArgs, reply *ExecutorConfigReply) error {
+	t := c.beginRPC(c.obsConfig)
+	err := c.config(args, reply)
+	c.finishRPC(c.obsConfig, t, args.GPU, args.Call, reply.CoordEpoch, err)
+	return err
+}
+
+func (c *coordinator) config(args ExecutorConfigArgs, reply *ExecutorConfigReply) error {
 	if args.GPU < 0 || args.GPU >= c.in.NumGPUs {
 		return fmt.Errorf("rpcnet: unknown GPU %d", args.GPU)
 	}
@@ -443,7 +556,14 @@ func (c *coordinator) Config(args ExecutorConfigArgs, reply *ExecutorConfigReply
 }
 
 // Heartbeat renews a GPU's lease. Fenced GPUs stay fenced.
-func (c *coordinator) Heartbeat(args HeartbeatArgs, _ *struct{}) error {
+func (c *coordinator) Heartbeat(args HeartbeatArgs, reply *struct{}) error {
+	t := c.beginRPC(c.obsHeartbeat)
+	err := c.heartbeat(args)
+	c.finishRPC(c.obsHeartbeat, t, args.GPU, args.Call, args.Epoch, err)
+	return err
+}
+
+func (c *coordinator) heartbeat(args HeartbeatArgs) error {
 	if args.GPU < 0 || args.GPU >= c.in.NumGPUs {
 		return fmt.Errorf("rpcnet: unknown GPU %d", args.GPU)
 	}
@@ -456,7 +576,17 @@ func (c *coordinator) Heartbeat(args HeartbeatArgs, _ *struct{}) error {
 	if c.failed[args.GPU] {
 		return fmt.Errorf("rpcnet: GPU %d is fenced", args.GPU)
 	}
-	c.lease[args.GPU] = time.Now()
+	now := time.Now()
+	age := now.Sub(c.lease[args.GPU])
+	c.lease[args.GPU] = now
+	c.cLeaseRenews.Inc()
+	c.hLeaseAge.Observe(age.Seconds())
+	if c.opts.Recorder.Enabled() {
+		c.opts.Recorder.Emit(obs.Event{
+			Type: obs.EvLeaseRenew, Time: c.clock.Now(), GPU: args.GPU, Job: -1,
+			Epoch: c.epochNum, Call: args.Call, Dur: age.Seconds() / c.opts.TimeScale,
+		})
+	}
 	return nil
 }
 
@@ -484,6 +614,13 @@ func (c *coordinator) eligibleLocked(g int) int {
 // handler superseded by a newer handshake aborts instead of
 // dispatching into a dead connection.
 func (c *coordinator) Next(args NextArgs, reply *NextReply) error {
+	t := c.beginRPC(c.obsNext)
+	err := c.next(args, reply)
+	c.finishRPC(c.obsNext, t, args.GPU, args.Call, args.Epoch, err)
+	return err
+}
+
+func (c *coordinator) next(args NextArgs, reply *NextReply) error {
 	g := args.GPU
 	if g < 0 || g >= c.in.NumGPUs {
 		return fmt.Errorf("rpcnet: unknown GPU %d", g)
@@ -538,6 +675,13 @@ func (c *coordinator) Next(args NextArgs, reply *NextReply) error {
 // whole accept — WAL append, PS apply, bookkeeping — runs under c.mu,
 // so a snapshot can never observe a journaled-but-unapplied push.
 func (c *coordinator) Push(args PushArgs, reply *PushReply) error {
+	t := c.beginRPC(c.obsPush)
+	err := c.push(args, reply)
+	c.finishRPC(c.obsPush, t, args.Report.GPU, args.Call, args.Epoch, err)
+	return err
+}
+
+func (c *coordinator) push(args PushArgs, reply *PushReply) error {
 	rep := args.Report
 	if rep.GPU < 0 || rep.GPU >= c.in.NumGPUs {
 		return fmt.Errorf("rpcnet: unknown GPU %d", rep.GPU)
@@ -575,10 +719,12 @@ func (c *coordinator) Push(args PushArgs, reply *PushReply) error {
 func (c *coordinator) acceptPushLocked(rep testbed.PushReport) (float64, error) {
 	simNow := c.clock.Now()
 	if !c.replaying && c.journal != nil {
-		if err := c.journal.append(&journalRecord{Kind: recPush, SimTime: simNow, Push: rep}); err != nil {
+		rec := &journalRecord{Kind: recPush, SimTime: simNow, Push: rep}
+		if err := c.journal.append(rec); err != nil {
 			c.failLocked(fmt.Errorf("rpcnet: WAL append: %w", err))
 			return 0, c.runErr
 		}
+		c.walAppendedLocked(simNow, rep.GPU, rec.LSN, "push")
 	}
 	comp, err := c.local.Push(rep)
 	if err != nil {
@@ -716,6 +862,13 @@ func (c *coordinator) emitTaskLocked(rep testbed.PushReport, comp float64) {
 
 // WaitRound blocks until the round completes.
 func (c *coordinator) WaitRound(args WaitArgs, reply *WaitReply) error {
+	t := c.beginRPC(c.obsWait)
+	err := c.waitRound(args, reply)
+	c.finishRPC(c.obsWait, t, args.GPU, args.Call, args.Epoch, err)
+	return err
+}
+
+func (c *coordinator) waitRound(args WaitArgs, reply *WaitReply) error {
 	c.mu.Lock()
 	if err := c.checkEpochLocked(args.Epoch); err != nil {
 		c.mu.Unlock()
@@ -732,6 +885,13 @@ func (c *coordinator) WaitRound(args WaitArgs, reply *WaitReply) error {
 
 // LoadCheckpoint returns a job's latest parameters.
 func (c *coordinator) LoadCheckpoint(args CkptArgs, reply *CkptReply) error {
+	t := c.beginRPC(c.obsCkpt)
+	err := c.loadCheckpoint(args, reply)
+	c.finishRPC(c.obsCkpt, t, args.GPU, args.Call, args.Epoch, err)
+	return err
+}
+
+func (c *coordinator) loadCheckpoint(args CkptArgs, reply *CkptReply) error {
 	c.mu.Lock()
 	if err := c.checkEpochLocked(args.Epoch); err != nil {
 		c.mu.Unlock()
@@ -751,7 +911,14 @@ func (c *coordinator) LoadCheckpoint(args CkptArgs, reply *CkptReply) error {
 // retried call whose first reply was lost) is accepted idempotently.
 // An error report fences the GPU so its remaining work migrates
 // instead of aborting the run.
-func (c *coordinator) Report(args ReportArgs, _ *struct{}) error {
+func (c *coordinator) Report(args ReportArgs, reply *struct{}) error {
+	t := c.beginRPC(c.obsReport)
+	err := c.report(args)
+	c.finishRPC(c.obsReport, t, args.GPU, args.Call, args.Epoch, err)
+	return err
+}
+
+func (c *coordinator) report(args ReportArgs) error {
 	if args.GPU < 0 || args.GPU >= c.in.NumGPUs {
 		return fmt.Errorf("rpcnet: report from unknown GPU %d", args.GPU)
 	}
@@ -769,6 +936,7 @@ func (c *coordinator) Report(args ReportArgs, _ *struct{}) error {
 			c.failLocked(fmt.Errorf("rpcnet: WAL append: %w", err))
 			return c.runErr
 		}
+		c.walAppendedLocked(rec.SimTime, args.GPU, rec.LSN, "report")
 	}
 	c.reported[args.GPU] = true
 	if args.Err != "" {
@@ -817,6 +985,7 @@ func (c *coordinator) markFailedLocked(gpu int, reason string, detect time.Durat
 			c.failLocked(fmt.Errorf("rpcnet: WAL append: %w", err))
 			return
 		}
+		c.walAppendedLocked(fp.SimTime, gpu, rec.LSN, "fence")
 	}
 	c.applyFenceLocked(fp)
 	if !c.replaying && c.journal != nil && c.runErr == nil {
@@ -955,6 +1124,7 @@ func (c *coordinator) monitor(stop <-chan struct{}) {
 		simNow := c.clock.Now()
 		c.mu.Lock()
 		c.checkLeasesLocked(now, simNow)
+		c.updateGaugesLocked(now)
 		c.mu.Unlock()
 	}
 }
@@ -978,6 +1148,14 @@ func (c *coordinator) checkLeasesLocked(now time.Time, simNow float64) {
 			continue
 		}
 		if sinceHB := now.Sub(c.lease[g]); sinceHB > c.opts.LeaseTimeout {
+			c.cLeaseExpiries.Inc()
+			if c.opts.Recorder.Enabled() {
+				c.opts.Recorder.Emit(obs.Event{
+					Type: obs.EvLeaseExpired, Time: simNow, GPU: g, Job: -1,
+					Epoch: c.epochNum, Dur: sinceHB.Seconds() / c.opts.TimeScale,
+					Note: fmt.Sprintf("bound=%dms", c.opts.LeaseTimeout.Milliseconds()),
+				})
+			}
 			c.markFailedLocked(g, fmt.Sprintf("lease expired (last heartbeat %.0fms ago)",
 				sinceHB.Seconds()*1e3), sinceHB)
 		}
@@ -1122,6 +1300,9 @@ func (c *coordinator) serve(addr string) (*Server, string, func() (*DistributedR
 			}()
 		}
 	}()
+	c.mu.Lock()
+	c.updateGaugesLocked(time.Now()) // /metrics is meaningful before the first monitor tick
+	c.mu.Unlock()
 	c.stopMonitor = make(chan struct{})
 	go c.monitor(c.stopMonitor)
 

@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hare/internal/cluster"
@@ -59,10 +60,72 @@ type ExecutorOptions struct {
 	// CallRetries bounds per-call retries of injected drops. Defaults
 	// to 16.
 	CallRetries int
-	// Recorder receives executor-side net.fault events; Metrics
-	// accumulates chaos counters. Both optional.
+	// Recorder receives executor-side net.fault and rpc.client events;
+	// Metrics accumulates chaos counters and the hare_rpc_client_*
+	// families. Both optional.
 	Recorder *obs.Recorder
 	Metrics  *obs.Registry
+}
+
+// execObs is the executor process's RPC observation state: one handle
+// per coordinator method plus the process-wide trace call-id counter.
+// The counter outlives sessions on purpose — a re-handshake after a
+// torn connection must not reissue ids the dead session already put on
+// the wire, or the cross-process merge would pair the wrong events.
+// nil (observation off) is a valid receiver everywhere.
+type execObs struct {
+	config, heartbeat, next, push *obs.RPCMethod
+	wait, ckpt, report            *obs.RPCMethod
+	calls                         *atomic.Uint64
+	reconnects                    *obs.Counter
+}
+
+func newExecObs(rec *obs.Recorder, reg *obs.Registry, gpu int) *execObs {
+	o := obs.NewRPCObserver(rec, reg, "client")
+	if o == nil {
+		return nil
+	}
+	return &execObs{
+		config:     o.Method("Config"),
+		heartbeat:  o.Method("Heartbeat"),
+		next:       o.Method("Next"),
+		push:       o.Method("Push"),
+		wait:       o.Method("WaitRound"),
+		ckpt:       o.Method("LoadCheckpoint"),
+		report:     o.Method("Report"),
+		calls:      new(atomic.Uint64),
+		reconnects: reg.Counter(fmt.Sprintf(`hare_exec_reconnects_total{gpu="%d"}`, gpu)),
+	}
+}
+
+// method maps a full "Service.Method" RPC name to its handle.
+func (e *execObs) method(full string) *obs.RPCMethod {
+	if e == nil {
+		return nil
+	}
+	switch full[strings.LastIndexByte(full, '.')+1:] {
+	case "Config":
+		return e.config
+	case "Heartbeat":
+		return e.heartbeat
+	case "Next":
+		return e.next
+	case "Push":
+		return e.push
+	case "WaitRound":
+		return e.wait
+	case "LoadCheckpoint":
+		return e.ckpt
+	case "Report":
+		return e.report
+	}
+	return nil
+}
+
+func (e *execObs) reconnect() {
+	if e != nil {
+		e.reconnects.Inc()
+	}
 }
 
 func (o ExecutorOptions) withDefaults(gpu int) ExecutorOptions {
@@ -92,6 +155,7 @@ func RunExecutor(addr string, gpu int) error {
 func RunExecutorOpts(addr string, gpu int, opts ExecutorOptions) error {
 	opts = opts.withDefaults(gpu)
 	ch := newNetChaos(opts.Chaos, opts.ChaosSeed, gpu, opts.Recorder, opts.Metrics)
+	eobs := newExecObs(opts.Recorder, opts.Metrics, gpu)
 	rng := stats.New(opts.DialSeed)
 	// The crash channel is shared across sessions: a simulated crash
 	// is a property of the executor process, not of one connection.
@@ -114,7 +178,7 @@ func RunExecutorOpts(addr string, gpu int, opts ExecutorOptions) error {
 			}
 			continue
 		}
-		handshook, err := runExecutorSession(addr, gpu, ch, rng, opts, crashed, crashOnce)
+		handshook, err := runExecutorSession(addr, gpu, ch, eobs, rng, opts, crashed, crashOnce)
 		if err == nil {
 			return nil
 		}
@@ -130,6 +194,7 @@ func RunExecutorOpts(addr string, gpu int, opts ExecutorOptions) error {
 			fails = 0
 		}
 		fails++
+		eobs.reconnect()
 		if fails > opts.MaxReconnects {
 			return fmt.Errorf("rpcnet: executor %d gave up after %d fruitless reconnects: %w", gpu, fails-1, lastErr)
 		}
@@ -207,16 +272,49 @@ type execSession struct {
 	epoch   uint64
 	seq     uint64
 	chaos   *netChaos
+	obs     *execObs
+	clock   *testbed.Clock // nil until the Config handshake succeeds
 	retries int
 	mu      sync.Mutex // guards rng (heartbeat goroutine vs pull loop)
 	rng     *stats.RNG
 }
 
-// call performs one RPC with bounded retries of injected drops. The
-// reply struct is re-zeroed before every attempt: gob leaves absent
-// fields untouched on decode, so a retried call must not inherit state
-// from a dropped reply.
+// simNow is the session's simulated time — zero before the handshake
+// establishes the shared clock (dtrace excludes Config from offset
+// estimation for exactly this reason).
+func (s *execSession) simNow() float64 {
+	if s.clock == nil {
+		return 0
+	}
+	return s.clock.Now()
+}
+
+// call performs one observed RPC with bounded retries of injected
+// drops. When tracing is on, pointer args carrying a Call field are
+// stamped with a fresh process-wide call id before the first attempt;
+// retries reuse it, so a duplicated wire call keeps one trace identity
+// and the merge can pair client and server events unambiguously.
 func (s *execSession) call(method string, args, reply any) error {
+	m := s.obs.method(method)
+	var call uint64
+	if m.Active() {
+		call = s.obs.calls.Add(1)
+		if v := reflect.ValueOf(args); v.Kind() == reflect.Pointer {
+			if f := v.Elem().FieldByName("Call"); f.IsValid() && f.CanSet() && f.Kind() == reflect.Uint64 {
+				f.SetUint(call)
+			}
+		}
+	}
+	t := m.Start(s.simNow())
+	err := s.callRetry(method, args, reply)
+	m.Observe(t, s.simNow(), obs.Event{GPU: s.gpu, Call: call, Epoch: s.epoch}, err)
+	return err
+}
+
+// callRetry is the unobserved retry loop. The reply struct is re-zeroed
+// before every attempt: gob leaves absent fields untouched on decode,
+// so a retried call must not inherit state from a dropped reply.
+func (s *execSession) callRetry(method string, args, reply any) error {
 	backoff := 2 * time.Millisecond
 	for attempt := 0; ; attempt++ {
 		reflect.ValueOf(reply).Elem().SetZero()
@@ -241,7 +339,7 @@ type execClient struct{ s *execSession }
 
 func (c execClient) Push(rep testbed.PushReport) (float64, error) {
 	var reply PushReply
-	if err := c.s.call(DistributedName+".Push", PushArgs{Report: rep, Epoch: c.s.epoch}, &reply); err != nil {
+	if err := c.s.call(DistributedName+".Push", &PushArgs{Report: rep, Epoch: c.s.epoch}, &reply); err != nil {
 		return 0, err
 	}
 	return reply.Completion, nil
@@ -249,7 +347,7 @@ func (c execClient) Push(rep testbed.PushReport) (float64, error) {
 
 func (c execClient) WaitRound(job core.JobID, round int) (float64, error) {
 	var reply WaitReply
-	if err := c.s.call(DistributedName+".WaitRound", WaitArgs{Job: job, Round: round, Epoch: c.s.epoch}, &reply); err != nil {
+	if err := c.s.call(DistributedName+".WaitRound", &WaitArgs{Job: job, Round: round, Epoch: c.s.epoch, GPU: c.s.gpu}, &reply); err != nil {
 		return 0, err
 	}
 	return reply.End, nil
@@ -257,7 +355,7 @@ func (c execClient) WaitRound(job core.JobID, round int) (float64, error) {
 
 func (c execClient) LoadCheckpoint(job core.JobID) ([]float64, error) {
 	var reply CkptReply
-	if err := c.s.call(DistributedName+".LoadCheckpoint", CkptArgs{Job: job, Epoch: c.s.epoch}, &reply); err != nil {
+	if err := c.s.call(DistributedName+".LoadCheckpoint", &CkptArgs{Job: job, Epoch: c.s.epoch, GPU: c.s.gpu}, &reply); err != nil {
 		return nil, err
 	}
 	return reply.Params, nil
@@ -305,17 +403,17 @@ func (c crashClient) LoadCheckpoint(job core.JobID) ([]float64, error) {
 // handshook reports whether Config succeeded (resets the caller's
 // reconnect budget). A nil error means the executor's share of the
 // run completed and was reported.
-func runExecutorSession(addr string, gpu int, ch *netChaos, rng *stats.RNG, opts ExecutorOptions,
+func runExecutorSession(addr string, gpu int, ch *netChaos, eobs *execObs, rng *stats.RNG, opts ExecutorOptions,
 	crashed chan struct{}, crashOnce *sync.Once) (handshook bool, err error) {
 	conn, err := dialRPCSeeded(addr, opts.DialSeed)
 	if err != nil {
 		return false, err
 	}
 	defer conn.Close()
-	s := &execSession{conn: conn, gpu: gpu, chaos: ch, retries: opts.CallRetries, rng: rng}
+	s := &execSession{conn: conn, gpu: gpu, chaos: ch, obs: eobs, retries: opts.CallRetries, rng: rng}
 
 	var cfg ExecutorConfigReply
-	if err := s.call(DistributedName+".Config", ExecutorConfigArgs{GPU: gpu}, &cfg); err != nil {
+	if err := s.call(DistributedName+".Config", &ExecutorConfigArgs{GPU: gpu}, &cfg); err != nil {
 		if isFatalRPC(err) {
 			return false, permanentError{err}
 		}
@@ -338,6 +436,7 @@ func runExecutorSession(addr string, gpu int, ch *netChaos, rng *stats.RNG, opts
 	// simulated-time continuity.
 	clock := testbed.NewClockAt(time.Unix(0, cfg.EpochUnixNano), cfg.TimeScale)
 	ch.setClock(clock)
+	s.clock = clock
 
 	stop := make(chan struct{})
 	defer close(stop)
@@ -364,6 +463,7 @@ func runExecutorSession(addr string, gpu int, ch *netChaos, rng *stats.RNG, opts
 	go func() {
 		tick := time.NewTicker(hb)
 		defer tick.Stop()
+		hbObs := eobs.method(DistributedName + ".Heartbeat")
 		for {
 			select {
 			case <-stop:
@@ -372,8 +472,16 @@ func runExecutorSession(addr string, gpu int, ch *netChaos, rng *stats.RNG, opts
 				return
 			case <-tick.C:
 			}
+			// Heartbeats bypass the retry wrapper (a dropped heartbeat is
+			// simply absorbed by the next tick) but are still observed.
+			args := HeartbeatArgs{GPU: gpu, Epoch: cfg.CoordEpoch}
+			if hbObs.Active() {
+				args.Call = eobs.calls.Add(1)
+			}
+			t := hbObs.Start(s.simNow())
 			var none struct{}
-			err := ch.do(conn, DistributedName+".Heartbeat", HeartbeatArgs{GPU: gpu, Epoch: cfg.CoordEpoch}, &none)
+			err := ch.do(conn, DistributedName+".Heartbeat", args, &none)
+			hbObs.Observe(t, s.simNow(), obs.Event{GPU: gpu, Call: args.Call, Epoch: cfg.CoordEpoch}, err)
 			if err != nil && !errors.Is(err, errInjectedDrop) && !errors.Is(err, errInjectedPartition) {
 				return // torn conn, stale epoch or fence: session will notice
 			}
@@ -404,7 +512,7 @@ func runExecutorSession(addr string, gpu int, ch *netChaos, rng *stats.RNG, opts
 		default:
 		}
 		var next NextReply
-		if err := s.call(DistributedName+".Next", NextArgs{GPU: gpu, Seq: s.seq, Epoch: s.epoch}, &next); err != nil {
+		if err := s.call(DistributedName+".Next", &NextArgs{GPU: gpu, Seq: s.seq, Epoch: s.epoch}, &next); err != nil {
 			if isFatalRPC(err) {
 				return true, permanentError{err}
 			}
@@ -427,12 +535,12 @@ func runExecutorSession(addr string, gpu int, ch *netChaos, rng *stats.RNG, opts
 			// A genuine local failure: surface it so the coordinator
 			// fences this GPU and migrates the rest of its queue.
 			var none struct{}
-			_ = s.call(DistributedName+".Report", ReportArgs{GPU: gpu, Err: err.Error(), Epoch: s.epoch}, &none)
+			_ = s.call(DistributedName+".Report", &ReportArgs{GPU: gpu, Err: err.Error(), Epoch: s.epoch}, &none)
 			return true, permanentError{err}
 		}
 	}
 	var none struct{}
-	if err := s.call(DistributedName+".Report", ReportArgs{GPU: gpu, Epoch: s.epoch}, &none); err != nil {
+	if err := s.call(DistributedName+".Report", &ReportArgs{GPU: gpu, Epoch: s.epoch}, &none); err != nil {
 		if isFatalRPC(err) {
 			return true, permanentError{err}
 		}

@@ -9,6 +9,7 @@ import (
 
 	"hare/internal/core"
 	"hare/internal/gpumem"
+	"hare/internal/obs"
 	"hare/internal/store"
 	"hare/internal/switching"
 	"hare/internal/testbed"
@@ -190,6 +191,18 @@ func (j *Journal) HasState() (bool, error) {
 	return len(raw) > 0, nil
 }
 
+// LSN returns the newest assigned log sequence number — the journal
+// watermark rpc.server events carry as trace context. Safe on a nil
+// journal (0: no durability attached).
+func (j *Journal) LSN() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lsn
+}
+
 // append assigns the next LSN and writes one record through to the
 // log.
 func (j *Journal) append(rec *journalRecord) error {
@@ -204,21 +217,22 @@ func (j *Journal) append(rec *journalRecord) error {
 	return j.log.Append(buf.Bytes())
 }
 
-// writeSnapshot persists a snapshot and then resets the WAL. snap's
-// LastLSN is stamped with the newest appended record so a crash
-// between the two steps cannot double-apply the log.
-func (j *Journal) writeSnapshot(snap *coordSnapshot) error {
+// writeSnapshot persists a snapshot and then resets the WAL, returning
+// the encoded snapshot size. snap's LastLSN is stamped with the newest
+// appended record so a crash between the two steps cannot double-apply
+// the log.
+func (j *Journal) writeSnapshot(snap *coordSnapshot) (int, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	snap.LastLSN = j.lsn
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
-		return fmt.Errorf("journal: encode snapshot: %w", err)
+		return 0, fmt.Errorf("journal: encode snapshot: %w", err)
 	}
 	if err := j.snaps.Save(snapshotKey, buf.Bytes()); err != nil {
-		return fmt.Errorf("journal: save snapshot: %w", err)
+		return 0, fmt.Errorf("journal: save snapshot: %w", err)
 	}
-	return j.log.Reset()
+	return buf.Len(), j.log.Reset()
 }
 
 // load reads the snapshot and every decodable WAL record, and resumes
@@ -271,12 +285,20 @@ func (j *Journal) load() (*coordSnapshot, []*journalRecord, error) {
 // silently. Caller holds c.mu.
 func (c *coordinator) snapshotLocked() {
 	snap := c.buildSnapshotLocked()
-	if err := c.journal.writeSnapshot(snap); err != nil {
+	size, err := c.journal.writeSnapshot(snap)
+	if err != nil {
 		c.failLocked(fmt.Errorf("rpcnet: write snapshot: %w", err))
 		return
 	}
 	c.pushesSinceSnap = 0
 	c.cSnapshots.Inc()
+	c.gSnapBytes.Set(float64(size))
+	if !c.replaying && c.opts.Recorder.Enabled() {
+		c.opts.Recorder.Emit(obs.Event{
+			Type: obs.EvWALSnapshot, Time: snap.SimTime, GPU: -1, Job: -1,
+			Epoch: c.epochNum, LSN: snap.LastLSN, Bytes: int64(size),
+		})
+	}
 }
 
 // buildSnapshotLocked assembles the durable state. Caller holds c.mu.

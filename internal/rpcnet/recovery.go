@@ -157,9 +157,15 @@ func RecoverDistributed(addr string, j *Journal, ropts RecoverOptions) (*Server,
 	// emission suppressed.
 	co.replaying = true
 	co.mu.Lock()
+	replayed := 0
+	maxLSN := snap.LastLSN
 	for _, rec := range recs {
 		if rec.LSN <= snap.LastLSN || co.runErr != nil {
 			continue
+		}
+		replayed++
+		if rec.LSN > maxLSN {
+			maxLSN = rec.LSN
 		}
 		switch rec.Kind {
 		case recPush:
@@ -212,6 +218,7 @@ func RecoverDistributed(addr string, j *Journal, ropts RecoverOptions) (*Server,
 	co.mu.Unlock()
 
 	ropts.Metrics.Counter("hare_coord_recoveries_total").Inc()
+	ropts.Metrics.Counter("hare_recovery_replayed_total").Add(float64(replayed))
 	if ropts.Recorder.Enabled() {
 		fenced := 0
 		for _, f := range co.failed {
@@ -219,6 +226,11 @@ func RecoverDistributed(addr string, j *Journal, ropts RecoverOptions) (*Server,
 				fenced++
 			}
 		}
+		ropts.Recorder.Emit(obs.Event{
+			Type: obs.EvRecoveryReplay, Time: watermark, GPU: -1, Job: -1,
+			Epoch: co.epochNum, LSN: maxLSN,
+			Note: fmt.Sprintf("snap=%d replayed=%d", snap.LastLSN, replayed),
+		})
 		ropts.Recorder.Emit(obs.Event{
 			Type: obs.EvCoordRecovered, Time: clock.Now(), GPU: -1, Job: -1,
 			Note: fmt.Sprintf("epoch=%d pushes=%d fenced=%d", co.epochNum, len(co.done), fenced),

@@ -358,7 +358,7 @@ func TestJournalLSNGuard(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := j.writeSnapshot(&coordSnapshot{Epoch: 1, SimTime: 3}); err != nil {
+	if _, err := j.writeSnapshot(&coordSnapshot{Epoch: 1, SimTime: 3}); err != nil {
 		t.Fatal(err)
 	}
 	// Simulate the crash-between-snapshot-and-reset: re-append records

@@ -69,9 +69,14 @@ func dialRPCSeeded(addr string, seed int64) (*rpc.Client, error) {
 // PushArgs carries one gradient push: the task's full measured report.
 // Epoch is the coordinator incarnation the executor handshook with
 // (used by the distributed coordinator; the plain Service ignores it).
+// Call is the executor's trace-context call id: stamped once per
+// logical call (retries reuse it), echoed in the rpc.client and
+// rpc.server events so cross-process merges can pair both ends of the
+// wire. Zero means tracing is off.
 type PushArgs struct {
 	Report testbed.PushReport
 	Epoch  uint64
+	Call   uint64
 }
 
 // PushReply returns the task's realized completion time.
@@ -82,6 +87,12 @@ type WaitArgs struct {
 	Job   core.JobID
 	Round int
 	Epoch uint64
+	// GPU identifies the calling executor. Call ids are per-process, so
+	// without it the coordinator's rpc.server events from different
+	// executors would collide on (call, epoch) in cross-process merges.
+	GPU int
+	// Call is the trace-context call id (see PushArgs).
+	Call uint64
 }
 
 // WaitReply returns the round's realized completion time.
@@ -91,6 +102,10 @@ type WaitReply struct{ End float64 }
 type CkptArgs struct {
 	Job   core.JobID
 	Epoch uint64
+	// GPU identifies the calling executor (see WaitArgs).
+	GPU int
+	// Call is the trace-context call id (see PushArgs).
+	Call uint64
 }
 
 // CkptReply carries the checkpoint parameters.
